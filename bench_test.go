@@ -1,0 +1,270 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§8), plus protocol micro-benchmarks. Each figure benchmark runs the
+// corresponding experiment from internal/experiments at a compact scale and
+// reports the headline metrics via b.ReportMetric; run cmd/zeus-bench -full
+// for the larger populations.
+package zeus_test
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"zeus"
+	"zeus/internal/experiments"
+	"zeus/internal/wire"
+)
+
+// benchScale keeps figure benchmarks fast enough for -bench=. sweeps.
+var benchScale = experiments.Scale{
+	AccountsPerNode:    1000,
+	SubscribersPerNode: 1000,
+	VotersPerNode:      1000,
+	UsersPerNode:       500,
+	Sessions:           300,
+	Workers:            4,
+	OpsPerWorker:       150,
+	Duration:           400 * time.Millisecond,
+	Interval:           100 * time.Millisecond,
+	Packets:            1000,
+}
+
+// --- Micro-benchmarks: the two Zeus protocols and the transaction layer ---
+
+// BenchmarkLocalWriteTx measures a fully local write transaction (owner
+// executes, pipelined replication to 2 followers) — Zeus' common case.
+func BenchmarkLocalWriteTx(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 4})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 128))
+	n := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := n.BeginOn(0)
+		v, err := tx.Get(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(v, uint64(i))
+		if err := tx.Set(1, v); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	n.WaitReplication(5 * time.Second)
+}
+
+// BenchmarkReadOnlyTx measures a local strictly serializable read-only
+// transaction on a reader replica (§5.3: no network traffic).
+func BenchmarkReadOnlyTx(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 4})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 128))
+	n := c.Node(1) // a reader
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := n.BeginRO()
+		if _, err := tx.Get(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOwnershipTransfer measures the reliable ownership protocol: each
+// iteration bounces one object between two nodes (§4: 1.5 RTT fast path).
+func BenchmarkOwnershipTransfer(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 4, Workers: 2})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := c.Node(i % 2) // alternate owners 0 ↔ 1
+		if err := dst.AcquireOwnership(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinedCommit measures back-to-back commits on one pipeline
+// without waiting for replication (§5.2).
+func BenchmarkPipelinedCommit(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 1})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 400))
+	n := c.Node(0)
+	buf := make([]byte, 400)
+	b.SetBytes(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := n.BeginOn(0)
+		if err := tx.Set(1, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	n.WaitReplication(10 * time.Second)
+}
+
+// BenchmarkWireCommitInv measures the codec on the hot replication path.
+func BenchmarkWireCommitInv(b *testing.B) {
+	m := &wire.CommitInv{
+		Tx:        wire.TxID{Pipe: wire.PipeID{Node: 1, Worker: 2}, Local: 77},
+		Epoch:     3,
+		Followers: wire.BitmapOf(0, 2),
+		Updates:   []wire.Update{{Obj: 42, Version: 9, Data: make([]byte, 400)}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.Marshal(m)
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table and figure benchmarks (one per paper artefact) ---
+
+// BenchmarkTable2Summary regenerates Table 2.
+func BenchmarkTable2Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(); len(rows.Rows) != 4 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+}
+
+// BenchmarkLocalityAnalysis regenerates the §8 locality numbers (Boston,
+// Venmo, TPC-C).
+func BenchmarkLocalityAnalysis(b *testing.B) {
+	var last experiments.LocalityResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.Locality()
+	}
+	b.ReportMetric(100*last.BostonRemoteHandovers6, "boston-remote-%")
+	b.ReportMetric(100*last.VenmoRemote6, "venmo-remote-%")
+	b.ReportMetric(100*last.TPCCCalibrated, "tpcc-remote-%")
+}
+
+// BenchmarkFig7Handovers regenerates Figure 7 (ideal vs Zeus).
+func BenchmarkFig7Handovers(b *testing.B) {
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig7(benchScale)
+	}
+	for _, r := range rows {
+		if r.Nodes == 6 && r.HandoverPct == 5 {
+			b.ReportMetric(r.ZeusTps, "zeus-tps")
+			b.ReportMetric(r.IdealTps, "ideal-tps")
+			b.ReportMetric(r.GapPct, "gap-%")
+		}
+	}
+}
+
+// BenchmarkFig8Smallbank regenerates Figure 8 (Smallbank remote sweep).
+func BenchmarkFig8Smallbank(b *testing.B) {
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8(benchScale)
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].Zeus3PerNode, "zeus3@0%-tps/node")
+		b.ReportMetric(rows[0].BaselinePerNode, "occ2pc@0%-tps/node")
+	}
+}
+
+// BenchmarkFig9TATP regenerates Figure 9 (TATP remote sweep).
+func BenchmarkFig9TATP(b *testing.B) {
+	var rows []experiments.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig9(benchScale)
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].Zeus3PerNode, "zeus3@0%-tps/node")
+		b.ReportMetric(rows[0].BaselinePerNode, "occ2pc@0%-tps/node")
+	}
+}
+
+// BenchmarkFig10VoterMigration regenerates Figure 10 (bulk migration).
+func BenchmarkFig10VoterMigration(b *testing.B) {
+	var r experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10(benchScale)
+	}
+	b.ReportMetric(r.MoveRate, "moves/s")
+	b.ReportMetric(float64(r.TotalVotes), "votes")
+}
+
+// BenchmarkFig11VoterConcurrent regenerates Figure 11 (migration under load).
+func BenchmarkFig11VoterConcurrent(b *testing.B) {
+	var r experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11(benchScale)
+	}
+	b.ReportMetric(r.HotMoveRate, "hot-moves/s")
+}
+
+// BenchmarkFig12OwnershipLatency regenerates Figure 12 (latency CDF).
+func BenchmarkFig12OwnershipLatency(b *testing.B) {
+	var r experiments.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12(benchScale)
+	}
+	b.ReportMetric(float64(r.Mean.Microseconds()), "mean-µs")
+	b.ReportMetric(float64(r.P999.Microseconds()), "p99.9-µs")
+}
+
+// BenchmarkFig13Gateway regenerates Figure 13 (gateway configurations).
+func BenchmarkFig13Gateway(b *testing.B) {
+	var r experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13(benchScale)
+	}
+	b.ReportMetric(r.LocalTps, "local-tps")
+	b.ReportMetric(r.BlockingTps, "blocking-tps")
+	b.ReportMetric(r.Zeus1ActiveTps, "zeus1-tps")
+	b.ReportMetric(r.Zeus2ActiveTps, "zeus2-tps")
+}
+
+// BenchmarkFig14SCTP regenerates Figure 14 (SCTP goodput).
+func BenchmarkFig14SCTP(b *testing.B) {
+	var r experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14(benchScale)
+	}
+	for _, row := range r.Rows {
+		if row.PacketBytes == 1440 {
+			b.ReportMetric(row.NoReplMbps, "norepl-Mbps@1440")
+			b.ReportMetric(row.ZeusMbps, "zeus-Mbps@1440")
+		}
+	}
+}
+
+// BenchmarkFig15HTTPLB regenerates Figure 15 (scale-out/in).
+func BenchmarkFig15HTTPLB(b *testing.B) {
+	var r experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig15(benchScale)
+	}
+	b.ReportMetric(r.OneProxyTps, "1proxy-tps")
+	b.ReportMetric(r.TwoProxyTps, "2proxy-tps")
+}
+
+// BenchmarkAblationPipelining regenerates the design-choice ablations.
+func BenchmarkAblationPipelining(b *testing.B) {
+	var r experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Ablations(benchScale)
+	}
+	b.ReportMetric(r.PipelinedTps, "pipelined-tps")
+	b.ReportMetric(r.BlockingTps, "blocking-tps")
+}

@@ -1,0 +1,99 @@
+// Command zeus-bench regenerates the paper's evaluation artefacts (§8):
+// every table and figure, plus the ablation studies.
+//
+// Usage:
+//
+//	zeus-bench -experiment all
+//	zeus-bench -experiment fig8 -full
+//	zeus-bench -list
+//
+// Experiments: tab2, locality, fig7 … fig15, ablation, all. The default
+// scale finishes in seconds; -full runs the larger populations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zeus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, all)")
+	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range order {
+			fmt.Printf("  %-9s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, e := range order {
+		if want != "all" && want != e.name {
+			continue
+		}
+		e.run(scale)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}
+
+type entry struct {
+	name string
+	desc string
+	run  func(experiments.Scale)
+}
+
+var order = []entry{
+	{"tab2", "Table 2: benchmark summary", func(experiments.Scale) {
+		experiments.Table2().Print(os.Stdout)
+	}},
+	{"locality", "§8 locality analyses (Boston, Venmo, TPC-C)", func(experiments.Scale) {
+		experiments.Locality().Print(os.Stdout)
+	}},
+	{"fig7", "Handovers: all-local ideal vs Zeus", func(s experiments.Scale) {
+		experiments.PrintFig7(os.Stdout, experiments.Fig7(s))
+	}},
+	{"fig8", "Smallbank vs % remote writes (Zeus vs OCC+2PC)", func(s experiments.Scale) {
+		experiments.PrintSweep(os.Stdout, "Figure 8: Smallbank while varying remote write transactions", experiments.Fig8(s))
+	}},
+	{"fig9", "TATP vs % remote writes (Zeus vs OCC+2PC)", func(s experiments.Scale) {
+		experiments.PrintSweep(os.Stdout, "Figure 9: TATP while varying remote write transactions", experiments.Fig9(s))
+	}},
+	{"fig10", "Voter: bulk object migration under load", func(s experiments.Scale) {
+		experiments.Fig10(s).Print(os.Stdout)
+	}},
+	{"fig11", "Voter: votes concurrent with hot-object moves", func(s experiments.Scale) {
+		experiments.Fig11(s).Print(os.Stdout)
+	}},
+	{"fig12", "CDF of ownership request latency", func(s experiments.Scale) {
+		experiments.Fig12(s).Print(os.Stdout)
+	}},
+	{"fig13", "Packet gateway control plane (4 configurations)", func(s experiments.Scale) {
+		experiments.Fig13(s).Print(os.Stdout)
+	}},
+	{"fig14", "SCTP throughput with/without replication", func(s experiments.Scale) {
+		experiments.Fig14(s).Print(os.Stdout)
+	}},
+	{"fig15", "Nginx-style LB under scale-out/in", func(s experiments.Scale) {
+		experiments.Fig15(s).Print(os.Stdout)
+	}},
+	{"ablation", "Pipelining / replication degree / loss ablations", func(s experiments.Scale) {
+		experiments.Ablations(s).Print(os.Stdout)
+	}},
+}

@@ -1,0 +1,104 @@
+// Handover: the paper's motivating cellular scenario (§2.2). A phone and its
+// current base station are colocated by the load balancer; as the phone
+// commutes, handover transactions touch the old and new station, migrating
+// ownership so that subsequent service requests are local again.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"zeus"
+)
+
+const (
+	phoneCtx = 100 // the phone's context object
+	stationA = 200 // base station on node 0's region
+	stationB = 201 // base station on node 1's region
+	stationC = 202 // base station on node 2's region
+)
+
+func main() {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+
+	// Initial sharding: the phone lives with station A on node 0; the
+	// other stations belong to their own regions.
+	c.Seed(phoneCtx, 0, ctx(0))
+	c.Seed(stationA, 0, ctx(0))
+	c.Seed(stationB, 1, ctx(0))
+	c.Seed(stationC, 2, ctx(0))
+
+	// Stationary phase: service requests and releases repeatedly touch the
+	// same (phone, station) pair — all local after the initial placement.
+	n0 := c.Node(0)
+	for i := 0; i < 5; i++ {
+		if err := serviceRequest(n0, stationA); err != nil {
+			log.Fatalf("service request: %v", err)
+		}
+	}
+	fmt.Printf("after stationary phase: node0 ownership moves = %d\n",
+		n0.Stats().OwnershipMoves)
+
+	// The commute: handovers A→B→C. Each handover is two transactions
+	// (leave the old station, join the new one); the stations' contexts
+	// migrate to the executing node exactly once.
+	for _, hop := range []struct{ from, to uint64 }{{stationA, stationB}, {stationB, stationC}} {
+		if err := handover(n0, hop.from, hop.to); err != nil {
+			log.Fatalf("handover: %v", err)
+		}
+		fmt.Printf("handover %d→%d done\n", hop.from, hop.to)
+	}
+
+	// Stationary again at station C: local once more, no further moves.
+	before := n0.Stats().OwnershipMoves
+	for i := 0; i < 5; i++ {
+		if err := serviceRequest(n0, stationC); err != nil {
+			log.Fatalf("service request at C: %v", err)
+		}
+	}
+	fmt.Printf("post-commute service requests caused %d extra moves (expect 0)\n",
+		n0.Stats().OwnershipMoves-before)
+}
+
+// serviceRequest is one control-plane write transaction over the phone and
+// its current station (§8.1).
+func serviceRequest(n *zeus.Node, station uint64) error {
+	return n.Update(0, func(tx *zeus.Tx) error {
+		p, err := tx.Get(phoneCtx)
+		if err != nil {
+			return err
+		}
+		s, err := tx.Get(station)
+		if err != nil {
+			return err
+		}
+		if err := tx.Set(phoneCtx, bump(p)); err != nil {
+			return err
+		}
+		return tx.Set(station, bump(s))
+	})
+}
+
+// handover is the two-transaction 3GPP flow.
+func handover(n *zeus.Node, oldStation, newStation uint64) error {
+	if err := serviceRequest(n, oldStation); err != nil {
+		return err
+	}
+	return serviceRequest(n, newStation)
+}
+
+func ctx(v uint64) []byte {
+	b := make([]byte, 400) // the paper's ~400B contexts
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func bump(b []byte) []byte {
+	v := binary.LittleEndian.Uint64(b)
+	out := make([]byte, len(b))
+	copy(out, b)
+	binary.LittleEndian.PutUint64(out, v+1)
+	return out
+}

@@ -1,0 +1,118 @@
+// Voter: live re-sharding (§8.4). Votes for a contestant execute on the
+// node owning its objects; when the contestant gets too popular, the example
+// migrates it — with its voters — to a fresh node while voting continues.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"zeus"
+)
+
+const (
+	contestantObj = 1
+	voterBase     = 1000
+	voters        = 400
+)
+
+func main() {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+
+	// The contestant and all its voters start on node 0.
+	c.Seed(contestantObj, 0, u64(0))
+	for v := 0; v < voters; v++ {
+		c.Seed(voterBase+uint64(v), 0, u64(0))
+	}
+
+	// Voting load on node 0.
+	var votes atomic.Uint64
+	var where atomic.Int32 // which node currently serves this contestant
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			node := c.Node(int(where.Load()))
+			v := voterBase + uint64(i%voters)
+			err := node.Update(0, func(tx *zeus.Tx) error {
+				hv, err := tx.Get(v)
+				if err != nil {
+					return err
+				}
+				cv, err := tx.Get(contestantObj)
+				if err != nil {
+					return err
+				}
+				if err := tx.Set(v, u64(val(hv)+1)); err != nil {
+					return err
+				}
+				return tx.Set(contestantObj, u64(val(cv)+1))
+			})
+			if err == nil {
+				votes.Add(1)
+			}
+			i++
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	before := votes.Load()
+	fmt.Printf("votes before migration: %d (served by node 0)\n", before)
+
+	// The contestant became too hot for node 0: migrate it and its voters
+	// to node 2 while the voting continues.
+	start := time.Now()
+	n2 := c.Node(2)
+	if err := n2.AcquireOwnership(contestantObj); err != nil {
+		log.Fatalf("move contestant: %v", err)
+	}
+	where.Store(2) // the load balancer reroutes votes to node 2
+	moved := 0
+	for v := 0; v < voters; v++ {
+		if err := n2.AcquireOwnership(voterBase + uint64(v)); err == nil {
+			moved++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("migrated contestant + %d voters to node 2 in %v (%.0f obj/s)\n",
+		moved, elapsed, float64(moved+1)/elapsed.Seconds())
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	<-done
+	fmt.Printf("votes after migration: %d (now served by node 2)\n", votes.Load()-before)
+
+	// Tally is exact despite the live migration: read it from node 2.
+	var total uint64
+	if err := n2.Update(0, func(tx *zeus.Tx) error {
+		v, err := tx.Get(contestantObj)
+		if err != nil {
+			return err
+		}
+		total = val(v)
+		return tx.Set(contestantObj, v)
+	}); err != nil {
+		log.Fatalf("tally: %v", err)
+	}
+	fmt.Printf("final tally: %d, committed votes: %d, match: %v\n",
+		total, votes.Load(), total == votes.Load())
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func val(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

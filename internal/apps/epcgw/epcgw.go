@@ -1,0 +1,279 @@
+// Package epcgw ports the control plane of a cellular packet gateway onto
+// the Zeus datastore, reproducing the paper's OpenEPC port (§8.5, Figure 13).
+//
+// The gateway keeps one UE (user equipment) session context and one bearer
+// context per subscriber. The control-plane operations are the ones from the
+// handover benchmark minus mobility: a *service request* moves the session
+// to CONNECTED and installs a bearer; a *release* moves it to IDLE. Each
+// operation is one write transaction over both contexts (§8.5: "Each of
+// these operations is one transaction").
+//
+// The gateway runs over any dbapi.DB, which yields the four Figure 13
+// configurations: local memory (no replication), a Redis-like blocking store
+// (every access a blocking RPC), Zeus with one active and one passive
+// replica, and Zeus with two active nodes.
+package epcgw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"zeus/internal/dbapi"
+)
+
+// Session states.
+const (
+	StateIdle uint64 = iota
+	StateConnected
+)
+
+// Config sizes one gateway instance.
+type Config struct {
+	// Node is this gateway's node index (its users are homed here).
+	Node int
+	// Nodes is the deployment size (for the id space).
+	Nodes int
+	// Users is the number of subscribers homed at this gateway.
+	Users int
+	// CtxSize is the per-context payload (~400 B, §8.1).
+	CtxSize int
+	// ParseWork models the signalling-parse cost that bottlenecks the real
+	// gateway (Figure 13: "the bottleneck is in parsing and processing the
+	// signalling messages, not in the datastore"); it is iterations of a
+	// small hash loop per operation.
+	ParseWork int
+}
+
+// DefaultConfig returns a simulation-scaled gateway. ParseWork is sized so
+// signalling parse dominates the per-operation cost, as the paper observes
+// of the real gateway ("the bottleneck is in parsing and processing the
+// signalling messages, not in the datastore access").
+func DefaultConfig(node, nodes int) Config {
+	return Config{Node: node, Nodes: nodes, Users: 2000, CtxSize: 400, ParseWork: 600}
+}
+
+// Gateway is one control-plane instance bound to a datastore node.
+type Gateway struct {
+	cfg Config
+	db  dbapi.DB
+}
+
+// New binds a gateway to its datastore.
+func New(cfg Config, db dbapi.DB) *Gateway {
+	if cfg.Users <= 0 {
+		cfg.Users = 2000
+	}
+	if cfg.CtxSize < 16 {
+		cfg.CtxSize = 400
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	return &Gateway{cfg: cfg, db: db}
+}
+
+// UEObj returns the UE context object id for subscriber ue at this gateway.
+func (g *Gateway) UEObj(ue int) uint64 {
+	return uint64(g.cfg.Nodes)*uint64(ue)*2 + uint64(g.cfg.Node%g.cfg.Nodes)
+}
+
+// BearerObj returns the bearer context object id for subscriber ue.
+func (g *Gateway) BearerObj(ue int) uint64 {
+	return uint64(g.cfg.Nodes)*(uint64(ue)*2+1) + uint64(g.cfg.Node%g.cfg.Nodes)
+}
+
+// SeedObjects enumerates (obj, home, initial value) for every context so a
+// cluster or baseline deployment can install the initial sharding.
+func (g *Gateway) SeedObjects(emit func(obj uint64, home int, data []byte)) {
+	for ue := 0; ue < g.cfg.Users; ue++ {
+		emit(g.UEObj(ue), g.cfg.Node, g.encode(StateIdle, 0))
+		emit(g.BearerObj(ue), g.cfg.Node, g.encode(0, 0))
+	}
+}
+
+func (g *Gateway) encode(state, seq uint64) []byte {
+	b := make([]byte, g.cfg.CtxSize)
+	binary.LittleEndian.PutUint64(b, state)
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	return b
+}
+
+func decode(b []byte) (state, seq uint64) {
+	if len(b) < 16 {
+		return 0, 0
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:])
+}
+
+// parse burns the configured signalling-parse cost.
+func (g *Gateway) parse(ue int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	acc := uint64(ue)
+	for i := 0; i < g.cfg.ParseWork; i++ {
+		binary.LittleEndian.PutUint64(buf[:], acc)
+		_, _ = h.Write(buf[:])
+		acc = h.Sum64()
+	}
+	return acc
+}
+
+// ServiceRequest processes a UE wake-up: one write transaction that marks
+// the session CONNECTED and installs the bearer.
+func (g *Gateway) ServiceRequest(worker, ue int) error {
+	if ue < 0 || ue >= g.cfg.Users {
+		return fmt.Errorf("epcgw: ue %d out of range", ue)
+	}
+	stamp := g.parse(ue)
+	ueObj, brObj := g.UEObj(ue), g.BearerObj(ue)
+	return dbapi.Run(g.db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(ueObj)
+		if err != nil {
+			return err
+		}
+		_, seq := decode(v)
+		if err := tx.Set(ueObj, g.encode(StateConnected, seq+1)); err != nil {
+			return err
+		}
+		return tx.Set(brObj, g.encode(stamp, seq+1))
+	})
+}
+
+// Release processes a UE sleep: one write transaction back to IDLE.
+func (g *Gateway) Release(worker, ue int) error {
+	if ue < 0 || ue >= g.cfg.Users {
+		return fmt.Errorf("epcgw: ue %d out of range", ue)
+	}
+	g.parse(ue)
+	ueObj, brObj := g.UEObj(ue), g.BearerObj(ue)
+	return dbapi.Run(g.db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(ueObj)
+		if err != nil {
+			return err
+		}
+		_, seq := decode(v)
+		if err := tx.Set(ueObj, g.encode(StateIdle, seq+1)); err != nil {
+			return err
+		}
+		return tx.Set(brObj, g.encode(0, seq+1))
+	})
+}
+
+// State returns a subscriber's session state via a read-only transaction.
+func (g *Gateway) State(worker, ue int) (uint64, error) {
+	var state uint64
+	err := dbapi.RunRO(g.db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(g.UEObj(ue))
+		if err != nil {
+			return err
+		}
+		state, _ = decode(v)
+		return nil
+	})
+	return state, err
+}
+
+// Drive runs the Figure 13 mix (alternating service requests and releases)
+// for ops operations and returns the number completed.
+func (g *Gateway) Drive(worker, ops int, rng *rand.Rand) (int, error) {
+	done := 0
+	for i := 0; i < ops; i++ {
+		ue := rng.Intn(g.cfg.Users)
+		var err error
+		if i%2 == 0 {
+			err = g.ServiceRequest(worker, ue)
+		} else {
+			err = g.Release(worker, ue)
+		}
+		if err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// LocalDB is the "local memory, no replication" datastore of Figure 13: a
+// process-local map with the dbapi interface and single-writer semantics per
+// object (no cross-node anything).
+type LocalDB struct {
+	objs map[uint64]*localObj
+}
+
+type localObj struct {
+	val []byte
+	ver uint64
+}
+
+// NewLocalDB creates an empty local store.
+func NewLocalDB() *LocalDB { return &LocalDB{objs: make(map[uint64]*localObj)} }
+
+// Seed installs an object.
+func (l *LocalDB) Seed(obj uint64, data []byte) {
+	l.objs[obj] = &localObj{val: append([]byte(nil), data...)}
+}
+
+type localTxn struct {
+	db     *LocalDB
+	reads  map[uint64]uint64
+	writes map[uint64][]byte
+	ro     bool
+}
+
+// Begin starts a write transaction. LocalDB is not thread-safe across
+// workers by design (the real gateway's local-memory mode is single-threaded
+// per UE partition); callers partition users per worker.
+func (l *LocalDB) Begin(worker int) dbapi.Txn {
+	return &localTxn{db: l, reads: map[uint64]uint64{}, writes: map[uint64][]byte{}}
+}
+
+// BeginRO starts a read-only transaction.
+func (l *LocalDB) BeginRO(worker int) dbapi.Txn {
+	t := l.Begin(worker).(*localTxn)
+	t.ro = true
+	return t
+}
+
+func (t *localTxn) Get(obj uint64) ([]byte, error) {
+	if w, ok := t.writes[obj]; ok {
+		return append([]byte(nil), w...), nil
+	}
+	o, ok := t.db.objs[obj]
+	if !ok {
+		return nil, dbapi.ErrNoReplica
+	}
+	t.reads[obj] = o.ver
+	return append([]byte(nil), o.val...), nil
+}
+
+func (t *localTxn) Set(obj uint64, val []byte) error {
+	if t.ro {
+		return fmt.Errorf("epcgw: Set on read-only txn")
+	}
+	t.writes[obj] = append([]byte(nil), val...)
+	return nil
+}
+
+func (t *localTxn) Commit() error {
+	for obj, ver := range t.reads {
+		if o, ok := t.db.objs[obj]; !ok || o.ver != ver {
+			return dbapi.ErrConflict
+		}
+	}
+	for obj, val := range t.writes {
+		o, ok := t.db.objs[obj]
+		if !ok {
+			o = &localObj{}
+			t.db.objs[obj] = o
+		}
+		o.val = val
+		o.ver++
+	}
+	return nil
+}
+
+func (t *localTxn) Abort() {}
+
+var _ dbapi.DB = (*LocalDB)(nil)

@@ -1,0 +1,7 @@
+package epcgw
+
+import "zeus/internal/wire"
+
+// Tiny conversion helpers keeping the test bodies readable.
+func wireObj(o uint64) wire.ObjectID { return wire.ObjectID(o) }
+func wireNode(n int) wire.NodeID     { return wire.NodeID(n) }

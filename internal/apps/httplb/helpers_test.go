@@ -1,0 +1,5 @@
+package httplb
+
+import "time"
+
+func cfg2s() time.Duration { return 2 * time.Second }

@@ -1,0 +1,126 @@
+// Package httplb ports an Nginx-style session-persistence HTTP load
+// balancer onto the Zeus datastore (§8.5, Figure 15). The proxy looks up a
+// session cookie in the replicated store: if present it routes the request
+// to the remembered backend (a local read-only transaction); if absent it
+// picks a backend and stores the assignment (a write transaction). Because
+// the mapping is replicated, proxies can be added and removed (scale-out /
+// scale-in) without losing session stickiness.
+package httplb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"zeus/internal/dbapi"
+)
+
+// Config shapes one proxy instance.
+type Config struct {
+	// Backends is the number of HTTP backend servers to spread over.
+	Backends int
+	// Sessions is the cookie space size (pre-created assignments).
+	Sessions int
+	// Node/Nodes locate this proxy's partition in the id space.
+	Node, Nodes int
+}
+
+// DefaultConfig returns a simulation-scaled proxy.
+func DefaultConfig(node, nodes int) Config {
+	return Config{Backends: 2, Sessions: 2000, Node: node, Nodes: nodes}
+}
+
+// Proxy is one HTTP load balancer instance.
+type Proxy struct {
+	cfg Config
+	db  dbapi.DB
+
+	handled atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// New binds a proxy to its datastore.
+func New(cfg Config, db dbapi.DB) *Proxy {
+	if cfg.Backends <= 0 {
+		cfg.Backends = 2
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 2000
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	return &Proxy{cfg: cfg, db: db}
+}
+
+// SessionObj maps a cookie to its object id (homed at the proxy's node).
+func (p *Proxy) SessionObj(cookie int) uint64 {
+	return uint64(p.cfg.Nodes)*uint64(cookie) + uint64(p.cfg.Node%p.cfg.Nodes)
+}
+
+// SeedObjects enumerates the unassigned session objects (value 0 = no
+// backend yet; backends are stored 1-based).
+func (p *Proxy) SeedObjects(emit func(obj uint64, home int, data []byte)) {
+	for s := 0; s < p.cfg.Sessions; s++ {
+		emit(p.SessionObj(s), p.cfg.Node, encodeBackend(0))
+	}
+}
+
+func encodeBackend(b int) []byte {
+	return []byte{byte(b), byte(b >> 8), 0, 0, 0, 0, 0, 0}
+}
+
+func decodeBackend(v []byte) int {
+	if len(v) < 2 {
+		return 0
+	}
+	return int(v[0]) | int(v[1])<<8
+}
+
+// Handle processes one HTTP request carrying the given cookie and returns
+// the backend it routes to (1-based).
+func (p *Proxy) Handle(worker, cookie int, rng *rand.Rand) (int, error) {
+	if cookie < 0 || cookie >= p.cfg.Sessions {
+		return 0, fmt.Errorf("httplb: cookie %d out of range", cookie)
+	}
+	obj := p.SessionObj(cookie)
+	// Fast path: sticky lookup with a local read-only transaction.
+	var backend int
+	err := dbapi.RunRO(p.db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(obj)
+		if err != nil {
+			return err
+		}
+		backend = decodeBackend(v)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if backend != 0 {
+		p.handled.Add(1)
+		return backend, nil
+	}
+	// Miss: assign a random backend and persist (replicated write).
+	p.misses.Add(1)
+	choice := 1 + rng.Intn(p.cfg.Backends)
+	err = dbapi.Run(p.db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(obj)
+		if err != nil {
+			return err
+		}
+		if b := decodeBackend(v); b != 0 {
+			choice = b // another proxy assigned concurrently: keep it
+			return nil
+		}
+		return tx.Set(obj, encodeBackend(choice))
+	})
+	if err != nil {
+		return 0, err
+	}
+	p.handled.Add(1)
+	return choice, nil
+}
+
+// Stats returns (requests handled, assignment misses).
+func (p *Proxy) Stats() (uint64, uint64) { return p.handled.Load(), p.misses.Load() }

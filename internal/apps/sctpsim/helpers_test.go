@@ -1,0 +1,5 @@
+package sctpsim
+
+import "time"
+
+const cfgTimeout = 2 * time.Second

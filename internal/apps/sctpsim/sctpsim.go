@@ -1,0 +1,257 @@
+// Package sctpsim ports an SCTP-like transport protocol onto the Zeus
+// datastore, reproducing the paper's usrsctp port (§8.5, Figure 14).
+//
+// The association state — TSNs, congestion window, RTO, in-flight
+// accounting — lives in a single large Zeus object (the paper reports
+// ~6.8 KB replicated per packet event). Every packet transmission, SACK
+// reception and timer expiry is one write transaction, so a node failure
+// looks to the peer like network loss and the surviving replica resumes the
+// association (the paper's motivation: current SCTP stacks cannot survive a
+// node failure).
+//
+// The simulation drives a single flow: DATA chunks are "sent" in
+// transactions; every SackEvery packets a SACK event acknowledges them. The
+// measured quantity is goodput (payload bytes per second) for a given packet
+// size, with and without replication — the Figure 14 comparison.
+package sctpsim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"zeus/internal/dbapi"
+)
+
+// Config shapes one association.
+type Config struct {
+	// StateSize is the serialized association state (~6.8 KB in §8.5).
+	StateSize int
+	// MTU bounds packet payloads.
+	MTU int
+	// InitialCwnd and MaxCwnd are in packets (simplified byte-less cwnd).
+	InitialCwnd int
+	MaxCwnd     int
+	// SackEvery is how many DATA packets one SACK acknowledges.
+	SackEvery int
+}
+
+// DefaultConfig mirrors the paper's experiment.
+func DefaultConfig() Config {
+	return Config{StateSize: 6800, MTU: 1500, InitialCwnd: 10, MaxCwnd: 1024, SackEvery: 2}
+}
+
+// State is the replicated association state.
+type State struct {
+	NextTSN   uint64 // next transmission sequence number
+	CumAck    uint64 // highest cumulatively acked TSN
+	Cwnd      uint64 // congestion window (packets)
+	SSThresh  uint64
+	InFlight  uint64 // unacked packets
+	RTOMillis uint64
+	Retrans   uint64 // retransmission count
+	BytesSent uint64
+	BytesAck  uint64
+}
+
+// Encode serializes the state padded to size.
+func (s State) Encode(size int) []byte {
+	if size < 72 {
+		size = 72
+	}
+	b := make([]byte, size)
+	binary.LittleEndian.PutUint64(b[0:], s.NextTSN)
+	binary.LittleEndian.PutUint64(b[8:], s.CumAck)
+	binary.LittleEndian.PutUint64(b[16:], s.Cwnd)
+	binary.LittleEndian.PutUint64(b[24:], s.SSThresh)
+	binary.LittleEndian.PutUint64(b[32:], s.InFlight)
+	binary.LittleEndian.PutUint64(b[40:], s.RTOMillis)
+	binary.LittleEndian.PutUint64(b[48:], s.Retrans)
+	binary.LittleEndian.PutUint64(b[56:], s.BytesSent)
+	binary.LittleEndian.PutUint64(b[64:], s.BytesAck)
+	return b
+}
+
+// DecodeState parses a serialized association state.
+func DecodeState(b []byte) (State, error) {
+	if len(b) < 72 {
+		return State{}, fmt.Errorf("sctpsim: state too short (%d bytes)", len(b))
+	}
+	return State{
+		NextTSN:   binary.LittleEndian.Uint64(b[0:]),
+		CumAck:    binary.LittleEndian.Uint64(b[8:]),
+		Cwnd:      binary.LittleEndian.Uint64(b[16:]),
+		SSThresh:  binary.LittleEndian.Uint64(b[24:]),
+		InFlight:  binary.LittleEndian.Uint64(b[32:]),
+		RTOMillis: binary.LittleEndian.Uint64(b[40:]),
+		Retrans:   binary.LittleEndian.Uint64(b[48:]),
+		BytesSent: binary.LittleEndian.Uint64(b[56:]),
+		BytesAck:  binary.LittleEndian.Uint64(b[64:]),
+	}, nil
+}
+
+// Assoc is one SCTP-like association whose state lives in a datastore.
+type Assoc struct {
+	cfg    Config
+	db     dbapi.DB
+	obj    uint64
+	worker int
+}
+
+// InitialState returns a fresh association state.
+func InitialState(cfg Config) State {
+	return State{
+		NextTSN: 1, CumAck: 0,
+		Cwnd: uint64(cfg.InitialCwnd), SSThresh: uint64(cfg.MaxCwnd / 2),
+		RTOMillis: 200,
+	}
+}
+
+// New binds an association to its datastore object. The object must already
+// exist holding InitialState(cfg).Encode(cfg.StateSize).
+func New(cfg Config, db dbapi.DB, obj uint64, worker int) *Assoc {
+	if cfg.StateSize < 72 {
+		cfg.StateSize = 6800
+	}
+	if cfg.SackEvery <= 0 {
+		cfg.SackEvery = 2
+	}
+	return &Assoc{cfg: cfg, db: db, obj: obj, worker: worker}
+}
+
+// update applies fn to the association state in one write transaction —
+// every packet, SACK and timer event goes through here (§8.5).
+func (a *Assoc) update(fn func(*State)) error {
+	return dbapi.Run(a.db, a.worker, func(tx dbapi.Txn) error {
+		raw, err := tx.Get(a.obj)
+		if err != nil {
+			return err
+		}
+		st, err := DecodeState(raw)
+		if err != nil {
+			return err
+		}
+		fn(&st)
+		return tx.Set(a.obj, st.Encode(a.cfg.StateSize))
+	})
+}
+
+// SendData transmits one DATA chunk of payload bytes (clipped to MTU);
+// returns false when the congestion window is full (caller should SACK or
+// expire a timer).
+func (a *Assoc) SendData(payload int) (bool, error) {
+	if payload > a.cfg.MTU {
+		payload = a.cfg.MTU
+	}
+	sent := false
+	err := a.update(func(s *State) {
+		if s.InFlight >= s.Cwnd {
+			sent = false
+			return
+		}
+		s.NextTSN++
+		s.InFlight++
+		s.BytesSent += uint64(payload)
+		sent = true
+	})
+	return sent, err
+}
+
+// RecvSack processes a cumulative SACK for n packets of payload bytes each:
+// in-flight shrinks and the congestion window grows (slow start below
+// ssthresh, congestion avoidance above).
+func (a *Assoc) RecvSack(n int, payload int) error {
+	return a.update(func(s *State) {
+		adv := uint64(n)
+		if adv > s.InFlight {
+			adv = s.InFlight
+		}
+		s.CumAck += adv
+		s.InFlight -= adv
+		s.BytesAck += adv * uint64(payload)
+		if s.Cwnd < s.SSThresh {
+			s.Cwnd += adv // slow start
+		} else if adv > 0 {
+			s.Cwnd++ // congestion avoidance (per-SACK approximation)
+		}
+		if s.Cwnd > uint64(a.cfg.MaxCwnd) {
+			s.Cwnd = uint64(a.cfg.MaxCwnd)
+		}
+	})
+}
+
+// TimerExpiry handles a retransmission timeout: multiplicative decrease,
+// RTO backoff, and one retransmission.
+func (a *Assoc) TimerExpiry() error {
+	return a.update(func(s *State) {
+		s.SSThresh = s.Cwnd / 2
+		if s.SSThresh < 2 {
+			s.SSThresh = 2
+		}
+		s.Cwnd = uint64(a.cfg.InitialCwnd)
+		s.RTOMillis *= 2
+		if s.RTOMillis > 60000 {
+			s.RTOMillis = 60000
+		}
+		s.Retrans++
+	})
+}
+
+// State reads the association state via a read-only transaction.
+func (a *Assoc) State() (State, error) {
+	var st State
+	err := dbapi.RunRO(a.db, a.worker, func(tx dbapi.Txn) error {
+		raw, err := tx.Get(a.obj)
+		if err != nil {
+			return err
+		}
+		var derr error
+		st, derr = DecodeState(raw)
+		return derr
+	})
+	return st, err
+}
+
+// TransferResult reports one measured transfer.
+type TransferResult struct {
+	Packets uint64
+	Bytes   uint64
+	Sacks   uint64
+	Stalls  uint64 // cwnd-full events resolved by an immediate SACK
+}
+
+// Transfer pushes packets DATA chunks of payload bytes through the
+// association, SACKing every SackEvery packets — the Figure 14 inner loop.
+func (a *Assoc) Transfer(packets int, payload int) (TransferResult, error) {
+	var res TransferResult
+	if payload > a.cfg.MTU {
+		payload = a.cfg.MTU
+	}
+	pendingSack := 0
+	for int(res.Packets) < packets {
+		ok, err := a.SendData(payload)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			// Window full: the peer's SACK arrives.
+			if err := a.RecvSack(pendingSack+1, payload); err != nil {
+				return res, err
+			}
+			res.Sacks++
+			res.Stalls++
+			pendingSack = 0
+			continue
+		}
+		res.Packets++
+		res.Bytes += uint64(payload)
+		pendingSack++
+		if pendingSack >= a.cfg.SackEvery {
+			if err := a.RecvSack(pendingSack, payload); err != nil {
+				return res, err
+			}
+			res.Sacks++
+			pendingSack = 0
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,330 @@
+// Package baseline implements the conventional distributed-transaction
+// design Zeus is compared against (§6.1): static sharding, remote object
+// accesses by RPC, and an OCC + two-phase commit in the style of FaRM/FaSST:
+//
+//	execute (remote reads) → LOCK write set at primaries (version-checked)
+//	→ VALIDATE read set → UPDATE BACKUPS → UPDATE PRIMARIES (apply+unlock)
+//
+// Every phase blocks the calling worker for a round trip — exactly the
+// behaviour the paper attributes to distributed commit ("a node cannot start
+// the next transaction on the same set of objects until the commit is
+// finished"). There is no dynamic re-sharding: when the access pattern
+// drifts, transactions simply become remote, which is the effect measured in
+// Figures 8 and 9.
+//
+// The same machinery with a single primary node doubles as the "Redis-like
+// blocking store" of Figure 13 (every access a blocking RPC, no replication).
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// NoVersion marks a lock request that does not check the version (blind
+// write without a preceding read).
+const NoVersion = ^uint64(0)
+
+// Config tunes the baseline deployment.
+type Config struct {
+	// Nodes is the deployment size; primary(obj) = obj mod Nodes.
+	Nodes int
+	// Degree is the replication degree (primary + Degree-1 backups).
+	Degree int
+	// RPCTimeout bounds each blocking phase.
+	RPCTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's baselines: 3-way replication.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, Degree: 3, RPCTimeout: time.Second}
+}
+
+// bobj is one object replica in the baseline store.
+type bobj struct {
+	mu     sync.Mutex
+	ver    uint64
+	data   []byte
+	locked uint64 // holding request id, 0 when free
+}
+
+// Node is one baseline server (and transaction coordinator).
+type Node struct {
+	id  wire.NodeID
+	cfg Config
+	tr  transport.Transport
+
+	storeMu sync.RWMutex
+	objs    map[wire.ObjectID]*bobj
+
+	nextReq atomic.Uint64
+	callMu  sync.Mutex
+	calls   map[uint64]chan wire.Msg
+
+	stCommits atomic.Uint64
+	stAborts  atomic.Uint64
+	stRemote  atomic.Uint64 // remote read RPCs issued
+}
+
+// Stats aggregates baseline counters.
+type Stats struct {
+	Commits     uint64
+	Aborts      uint64
+	RemoteReads uint64
+}
+
+// NewNode creates a baseline node on the transport and installs handlers on
+// the router.
+func NewNode(id wire.NodeID, tr transport.Transport, r *transport.Router, cfg Config) *Node {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 3
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = time.Second
+	}
+	n := &Node{
+		id:    id,
+		cfg:   cfg,
+		tr:    tr,
+		objs:  make(map[wire.ObjectID]*bobj),
+		calls: make(map[uint64]chan wire.Msg),
+	}
+	r.HandleMany(n.Handle,
+		wire.KindBReadReq, wire.KindBReadResp, wire.KindBLock, wire.KindBLockResp,
+		wire.KindBValidate, wire.KindBValidateResp, wire.KindBBackup,
+		wire.KindBBackupAck, wire.KindBCommit, wire.KindBCommitAck, wire.KindBAbort)
+	return n
+}
+
+// Stats returns a snapshot of counters.
+func (n *Node) Stats() Stats {
+	return Stats{Commits: n.stCommits.Load(), Aborts: n.stAborts.Load(), RemoteReads: n.stRemote.Load()}
+}
+
+// Primary returns the static home node of obj.
+func (n *Node) Primary(obj wire.ObjectID) wire.NodeID {
+	return wire.NodeID(uint64(obj) % uint64(n.cfg.Nodes))
+}
+
+// Backups returns the backup nodes of obj (the Degree-1 nodes after the
+// primary).
+func (n *Node) Backups(obj wire.ObjectID) []wire.NodeID {
+	out := make([]wire.NodeID, 0, n.cfg.Degree-1)
+	p := uint64(n.Primary(obj))
+	for i := 1; i < n.cfg.Degree && i < n.cfg.Nodes; i++ {
+		out = append(out, wire.NodeID((p+uint64(i))%uint64(n.cfg.Nodes)))
+	}
+	return out
+}
+
+// Seed installs an object replica at this node directly (initial sharding).
+func (n *Node) Seed(obj wire.ObjectID, ver uint64, data []byte) {
+	n.storeMu.Lock()
+	n.objs[obj] = &bobj{ver: ver, data: append([]byte(nil), data...)}
+	n.storeMu.Unlock()
+}
+
+func (n *Node) obj(id wire.ObjectID, create bool) *bobj {
+	n.storeMu.RLock()
+	o, ok := n.objs[id]
+	n.storeMu.RUnlock()
+	if ok || !create {
+		return o
+	}
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
+	if o, ok = n.objs[id]; ok {
+		return o
+	}
+	o = &bobj{}
+	n.objs[id] = o
+	return o
+}
+
+// call performs one blocking RPC.
+func (n *Node) call(to wire.NodeID, reqID uint64, m wire.Msg) (wire.Msg, bool) {
+	ch := make(chan wire.Msg, 1)
+	n.callMu.Lock()
+	n.calls[reqID] = ch
+	n.callMu.Unlock()
+	defer func() {
+		n.callMu.Lock()
+		delete(n.calls, reqID)
+		n.callMu.Unlock()
+	}()
+	if err := n.tr.Send(to, m); err != nil {
+		return nil, false
+	}
+	select {
+	case resp := <-ch:
+		return resp, true
+	case <-time.After(n.cfg.RPCTimeout):
+		return nil, false
+	}
+}
+
+func (n *Node) reply(reqID uint64, m wire.Msg) {
+	n.callMu.Lock()
+	ch, ok := n.calls[reqID]
+	n.callMu.Unlock()
+	if ok {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+}
+
+// Handle dispatches one inbound baseline message.
+func (n *Node) Handle(from wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.BReadReq:
+		n.handleRead(from, v)
+	case *wire.BLock:
+		n.handleLock(from, v)
+	case *wire.BValidate:
+		n.handleValidate(from, v)
+	case *wire.BBackup:
+		n.handleBackup(from, v)
+	case *wire.BCommit:
+		n.handleCommit(from, v)
+	case *wire.BAbort:
+		n.handleAbort(v)
+	case *wire.BReadResp:
+		n.reply(v.ReqID, v)
+	case *wire.BLockResp:
+		n.reply(v.ReqID, v)
+	case *wire.BValidateResp:
+		n.reply(v.ReqID, v)
+	case *wire.BBackupAck:
+		n.reply(v.ReqID, v)
+	case *wire.BCommitAck:
+		n.reply(v.ReqID, v)
+	}
+}
+
+func (n *Node) handleRead(from wire.NodeID, m *wire.BReadReq) {
+	resp := &wire.BReadResp{ReqID: m.ReqID, Obj: m.Obj}
+	if o := n.obj(m.Obj, false); o != nil {
+		o.mu.Lock()
+		if o.locked == 0 {
+			resp.OK = true
+			resp.Ver = o.ver
+			resp.Data = append([]byte(nil), o.data...)
+		}
+		o.mu.Unlock()
+	}
+	_ = n.tr.Send(from, resp)
+}
+
+func (n *Node) handleLock(from wire.NodeID, m *wire.BLock) {
+	ok := true
+	var taken []*bobj
+	for _, it := range m.Items {
+		o := n.obj(it.Obj, true)
+		o.mu.Lock()
+		free := o.locked == 0 || o.locked == m.ReqID
+		match := it.Ver == NoVersion || o.ver == it.Ver
+		if free && match {
+			o.locked = m.ReqID
+			taken = append(taken, o)
+			o.mu.Unlock()
+			continue
+		}
+		o.mu.Unlock()
+		ok = false
+		break
+	}
+	if !ok {
+		for _, o := range taken {
+			o.mu.Lock()
+			if o.locked == m.ReqID {
+				o.locked = 0
+			}
+			o.mu.Unlock()
+		}
+	}
+	_ = n.tr.Send(from, &wire.BLockResp{ReqID: m.ReqID, From: n.id, OK: ok})
+}
+
+func (n *Node) handleValidate(from wire.NodeID, m *wire.BValidate) {
+	ok := true
+	for _, it := range m.Items {
+		o := n.obj(it.Obj, false)
+		if o == nil {
+			ok = false
+			break
+		}
+		o.mu.Lock()
+		if o.ver != it.Ver || (o.locked != 0 && o.locked != m.ReqID) {
+			ok = false
+		}
+		o.mu.Unlock()
+		if !ok {
+			break
+		}
+	}
+	_ = n.tr.Send(from, &wire.BValidateResp{ReqID: m.ReqID, From: n.id, OK: ok})
+}
+
+func (n *Node) handleBackup(from wire.NodeID, m *wire.BBackup) {
+	for _, u := range m.Updates {
+		o := n.obj(u.Obj, true)
+		o.mu.Lock()
+		if u.Version > o.ver {
+			o.ver = u.Version
+			o.data = u.Data
+		}
+		o.mu.Unlock()
+	}
+	_ = n.tr.Send(from, &wire.BBackupAck{ReqID: m.ReqID, From: n.id})
+}
+
+func (n *Node) handleCommit(from wire.NodeID, m *wire.BCommit) {
+	for _, u := range m.Updates {
+		o := n.obj(u.Obj, true)
+		o.mu.Lock()
+		if u.Version > o.ver {
+			o.ver = u.Version
+			o.data = u.Data
+		}
+		if o.locked == m.ReqID {
+			o.locked = 0
+		}
+		o.mu.Unlock()
+	}
+	_ = n.tr.Send(from, &wire.BCommitAck{ReqID: m.ReqID, From: n.id})
+}
+
+func (n *Node) handleAbort(m *wire.BAbort) {
+	for _, id := range m.Objs {
+		if o := n.obj(id, false); o != nil {
+			o.mu.Lock()
+			if o.locked == m.ReqID {
+				o.locked = 0
+			}
+			o.mu.Unlock()
+		}
+	}
+}
+
+// localRead reads an object homed at this node.
+func (n *Node) localRead(obj wire.ObjectID) (uint64, []byte, bool) {
+	o := n.obj(obj, false)
+	if o == nil {
+		return 0, nil, false
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.locked != 0 {
+		return 0, nil, false
+	}
+	return o.ver, append([]byte(nil), o.data...), true
+}

@@ -1,0 +1,340 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"zeus/internal/dbapi"
+	"zeus/internal/wire"
+)
+
+// Txn is one OCC transaction coordinated by this node.
+type Txn struct {
+	n        *Node
+	ro       bool
+	reads    map[wire.ObjectID]uint64
+	readBuf  map[wire.ObjectID][]byte
+	writes   map[wire.ObjectID][]byte
+	finished bool
+}
+
+// Begin starts a write transaction (the worker argument exists for interface
+// parity; baseline transactions block their caller anyway).
+func (n *Node) Begin(worker int) dbapi.Txn { return n.newTxn(false) }
+
+// BeginRO starts a read-only transaction: reads + validation, no locks.
+func (n *Node) BeginRO(worker int) dbapi.Txn { return n.newTxn(true) }
+
+func (n *Node) newTxn(ro bool) *Txn {
+	return &Txn{
+		n:       n,
+		ro:      ro,
+		reads:   make(map[wire.ObjectID]uint64),
+		readBuf: make(map[wire.ObjectID][]byte),
+		writes:  make(map[wire.ObjectID][]byte),
+	}
+}
+
+// Get reads obj from its (possibly remote) primary.
+func (tx *Txn) Get(obj uint64) ([]byte, error) {
+	id := wire.ObjectID(obj)
+	if !tx.ro {
+		if w, ok := tx.writes[id]; ok {
+			return append([]byte(nil), w...), nil
+		}
+	}
+	if b, ok := tx.readBuf[id]; ok {
+		return append([]byte(nil), b...), nil
+	}
+	n := tx.n
+	p := n.Primary(id)
+	var ver uint64
+	var data []byte
+	var ok bool
+	if p == n.id {
+		ver, data, ok = n.localRead(id)
+	} else {
+		// Remote access: one blocking round trip (§6.1).
+		n.stRemote.Add(1)
+		reqID := n.nextReq.Add(1)
+		resp, got := n.call(p, reqID, &wire.BReadReq{ReqID: reqID, From: n.id, Obj: id})
+		if got {
+			if r, isRead := resp.(*wire.BReadResp); isRead && r.OK {
+				ver, data, ok = r.Ver, r.Data, true
+			}
+		}
+	}
+	if !ok {
+		return nil, dbapi.ErrConflict
+	}
+	tx.reads[id] = ver
+	tx.readBuf[id] = data
+	return append([]byte(nil), data...), nil
+}
+
+// Set buffers a write.
+func (tx *Txn) Set(obj uint64, val []byte) error {
+	if tx.ro {
+		return fmt.Errorf("baseline: Set on read-only transaction")
+	}
+	tx.writes[wire.ObjectID(obj)] = append([]byte(nil), val...)
+	return nil
+}
+
+// Abort abandons the transaction (nothing is locked before Commit).
+func (tx *Txn) Abort() {
+	if !tx.finished {
+		tx.finished = true
+		tx.n.stAborts.Add(1)
+	}
+}
+
+// Commit runs the FaRM-style distributed commit:
+// LOCK → VALIDATE → UPDATE BACKUPS → UPDATE PRIMARIES.
+func (tx *Txn) Commit() error {
+	if tx.finished {
+		return fmt.Errorf("baseline: transaction already finished")
+	}
+	tx.finished = true
+	n := tx.n
+
+	if tx.ro || len(tx.writes) == 0 {
+		// Read-only: re-validate versions at the primaries.
+		if err := tx.validateReads(nil); err != nil {
+			n.stAborts.Add(1)
+			return err
+		}
+		n.stCommits.Add(1)
+		return nil
+	}
+
+	reqID := n.nextReq.Add(1)
+	writeIDs := make([]wire.ObjectID, 0, len(tx.writes))
+	for id := range tx.writes {
+		writeIDs = append(writeIDs, id)
+	}
+	sort.Slice(writeIDs, func(i, j int) bool { return writeIDs[i] < writeIDs[j] })
+
+	// Phase 1: LOCK the write set at the primaries, checking read versions.
+	// Primaries are visited in node-id order (and objects within a request
+	// in id order, from the sort above) so concurrent transactions cannot
+	// livelock by locking in opposite orders.
+	byPrimary := map[wire.NodeID][]wire.BVer{}
+	var primaries []wire.NodeID
+	for _, id := range writeIDs {
+		ver := NoVersion
+		if v, wasRead := tx.reads[id]; wasRead {
+			ver = v
+		}
+		p := n.Primary(id)
+		if _, seen := byPrimary[p]; !seen {
+			primaries = append(primaries, p)
+		}
+		byPrimary[p] = append(byPrimary[p], wire.BVer{Obj: id, Ver: ver})
+	}
+	sort.Slice(primaries, func(i, j int) bool { return primaries[i] < primaries[j] })
+	locked := make([]wire.NodeID, 0, len(byPrimary))
+	abort := func() error {
+		for _, p := range locked {
+			objs := make([]wire.ObjectID, 0)
+			for _, it := range byPrimary[p] {
+				objs = append(objs, it.Obj)
+			}
+			if p == n.id {
+				n.handleAbort(&wire.BAbort{ReqID: reqID, From: n.id, Objs: objs})
+			} else {
+				_ = n.tr.Send(p, &wire.BAbort{ReqID: reqID, From: n.id, Objs: objs})
+			}
+		}
+		n.stAborts.Add(1)
+		return dbapi.ErrConflict
+	}
+	for _, p := range primaries {
+		items := byPrimary[p]
+		ok := false
+		if p == n.id {
+			ok = n.lockLocal(reqID, items)
+		} else {
+			resp, got := n.call(p, reqID, &wire.BLock{ReqID: reqID, From: n.id, Items: items})
+			if got {
+				if r, isLock := resp.(*wire.BLockResp); isLock {
+					ok = r.OK
+				}
+			}
+		}
+		if !ok {
+			return abort()
+		}
+		locked = append(locked, p)
+	}
+
+	// Phase 2: VALIDATE the read set (objects not written).
+	if err := tx.validateReads(reqID2set(reqID)); err != nil {
+		return abort()
+	}
+
+	// Phase 3: UPDATE BACKUPS.
+	byBackup := map[wire.NodeID][]wire.Update{}
+	byPrimaryU := map[wire.NodeID][]wire.Update{}
+	for _, id := range writeIDs {
+		newVer := tx.reads[id] + 1
+		if _, wasRead := tx.reads[id]; !wasRead {
+			newVer = tx.versionAfterLock(id) + 1
+		}
+		u := wire.Update{Obj: id, Version: newVer, Data: tx.writes[id]}
+		for _, b := range n.Backups(id) {
+			byBackup[b] = append(byBackup[b], u)
+		}
+		byPrimaryU[n.Primary(id)] = append(byPrimaryU[n.Primary(id)], u)
+	}
+	for b, ups := range byBackup {
+		if b == n.id {
+			n.handleBackupLocal(ups)
+			continue
+		}
+		if _, got := n.call(b, reqID, &wire.BBackup{ReqID: reqID, From: n.id, Updates: ups}); !got {
+			return abort()
+		}
+	}
+
+	// Phase 4: UPDATE PRIMARIES (apply + unlock).
+	for p, ups := range byPrimaryU {
+		if p == n.id {
+			n.commitLocal(reqID, ups)
+			continue
+		}
+		if _, got := n.call(p, reqID, &wire.BCommit{ReqID: reqID, From: n.id, Updates: ups}); !got {
+			// Locks are held remotely; the primary applies when the
+			// retransmitted message arrives. We report success-unknown
+			// as conflict (simplification; the paper's baselines
+			// recover via their own logs).
+			n.stAborts.Add(1)
+			return dbapi.ErrConflict
+		}
+	}
+	n.stCommits.Add(1)
+	return nil
+}
+
+// versionAfterLock returns the current version of a locked, never-read
+// object at its primary (local only; remote blind writes re-read).
+func (tx *Txn) versionAfterLock(id wire.ObjectID) uint64 {
+	if o := tx.n.obj(id, false); o != nil {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return o.ver
+	}
+	return 0
+}
+
+func reqID2set(reqID uint64) *uint64 { return &reqID }
+
+// validateReads re-checks read versions at the primaries. holder, when
+// non-nil, is the lock-holding request id (write commits validate while
+// holding their own locks).
+func (tx *Txn) validateReads(holder *uint64) error {
+	n := tx.n
+	byPrimary := map[wire.NodeID][]wire.BVer{}
+	for id, ver := range tx.reads {
+		if _, written := tx.writes[id]; written {
+			continue
+		}
+		byPrimary[n.Primary(id)] = append(byPrimary[n.Primary(id)], wire.BVer{Obj: id, Ver: ver})
+	}
+	reqID := uint64(0)
+	if holder != nil {
+		reqID = *holder
+	} else {
+		reqID = n.nextReq.Add(1)
+	}
+	for p, items := range byPrimary {
+		ok := false
+		if p == n.id {
+			ok = n.validateLocal(reqID, items)
+		} else {
+			resp, got := n.call(p, reqID, &wire.BValidate{ReqID: reqID, From: n.id, Items: items})
+			if got {
+				if r, isVal := resp.(*wire.BValidateResp); isVal {
+					ok = r.OK
+				}
+			}
+		}
+		if !ok {
+			return dbapi.ErrConflict
+		}
+	}
+	return nil
+}
+
+// Local fast paths (the coordinator is also a primary/backup).
+
+func (n *Node) lockLocal(reqID uint64, items []wire.BVer) bool {
+	var taken []*bobj
+	for _, it := range items {
+		o := n.obj(it.Obj, true)
+		o.mu.Lock()
+		free := o.locked == 0 || o.locked == reqID
+		match := it.Ver == NoVersion || o.ver == it.Ver
+		if free && match {
+			o.locked = reqID
+			taken = append(taken, o)
+			o.mu.Unlock()
+			continue
+		}
+		o.mu.Unlock()
+		for _, t := range taken {
+			t.mu.Lock()
+			if t.locked == reqID {
+				t.locked = 0
+			}
+			t.mu.Unlock()
+		}
+		return false
+	}
+	return true
+}
+
+func (n *Node) validateLocal(reqID uint64, items []wire.BVer) bool {
+	for _, it := range items {
+		o := n.obj(it.Obj, false)
+		if o == nil {
+			return false
+		}
+		o.mu.Lock()
+		ok := o.ver == it.Ver && (o.locked == 0 || o.locked == reqID)
+		o.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) handleBackupLocal(ups []wire.Update) {
+	for _, u := range ups {
+		o := n.obj(u.Obj, true)
+		o.mu.Lock()
+		if u.Version > o.ver {
+			o.ver = u.Version
+			o.data = u.Data
+		}
+		o.mu.Unlock()
+	}
+}
+
+func (n *Node) commitLocal(reqID uint64, ups []wire.Update) {
+	for _, u := range ups {
+		o := n.obj(u.Obj, true)
+		o.mu.Lock()
+		if u.Version > o.ver {
+			o.ver = u.Version
+			o.data = u.Data
+		}
+		if o.locked == reqID {
+			o.locked = 0
+		}
+		o.mu.Unlock()
+	}
+}
+
+var _ dbapi.DB = (*Node)(nil)

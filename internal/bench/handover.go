@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+
+	"zeus/internal/dbapi"
+	"zeus/internal/mobility"
+)
+
+// Handovers is the cellular control-plane benchmark introduced by the paper
+// (§8.1; Table 2: 5 tables, 36 columns, 4 transaction types, 0 % reads,
+// ~400 B committed per transaction). The entities are UE (phone) contexts
+// and base-station contexts; the operations are:
+//
+//   - service request — the phone wakes up: one write transaction over the
+//     UE context and its current station's context;
+//   - release — the phone sleeps: same shape;
+//   - handover — the phone moves: two write transactions (start at the old
+//     station, finish at the new one), per the 3GPP flow.
+//
+// Mobility follows internal/mobility: a handover is remote (requires an
+// ownership change in Zeus) when the two stations live on different nodes.
+// Ideal mode keeps every handover within the local partition — the
+// "all-local (ideal)" line of Figure 7.
+type Handovers struct {
+	cfg HandoverConfig
+	ids IDSpace
+	mob *mobility.Model
+
+	// userState tracks each user's current station, partitioned per
+	// (node, worker) so workers never share users (the load balancer
+	// guarantees per-user locality, §3.1).
+	mu          sync.Mutex
+	userStation map[int]mobility.StationID
+}
+
+// HandoverConfig sizes the benchmark.
+type HandoverConfig struct {
+	Nodes        int
+	UsersPerNode int
+	// HandoverRatio is the fraction of operations that are handovers
+	// (2.5 % typical, 5 % doubled mobility, §8.1).
+	HandoverRatio float64
+	// Ideal pins every handover inside the local partition (Figure 7's
+	// all-local ideal).
+	Ideal bool
+	// CtxSize is the committed payload per transaction (~400 B, §8.1).
+	CtxSize int
+	// Mobility drives station choices; defaults to the Boston-like model.
+	Mobility mobility.Config
+}
+
+// DefaultHandoverConfig returns a simulation-scaled configuration.
+func DefaultHandoverConfig(nodes int) HandoverConfig {
+	return HandoverConfig{
+		Nodes:         nodes,
+		UsersPerNode:  5000,
+		HandoverRatio: 0.025,
+		CtxSize:       400,
+		Mobility:      mobility.DefaultConfig(nodes),
+	}
+}
+
+// Object kinds.
+const (
+	hoUserCtx = iota
+	hoStationCtx
+)
+
+// NewHandovers builds the workload.
+func NewHandovers(cfg HandoverConfig) *Handovers {
+	if cfg.UsersPerNode <= 0 {
+		cfg.UsersPerNode = 5000
+	}
+	if cfg.CtxSize < 8 {
+		cfg.CtxSize = 400
+	}
+	cfg.Mobility.Nodes = cfg.Nodes
+	return &Handovers{
+		cfg:         cfg,
+		ids:         IDSpace{Nodes: cfg.Nodes},
+		mob:         mobility.New(cfg.Mobility),
+		userStation: make(map[int]mobility.StationID),
+	}
+}
+
+// Mobility exposes the underlying model (the locality analysis uses it).
+func (h *Handovers) Mobility() *mobility.Model { return h.mob }
+
+// stationHome returns the node hosting a station under the geographic
+// sharding.
+func (h *Handovers) stationHome(s mobility.StationID) int { return h.mob.NodeOf(s) }
+
+// stationObj maps a station to its context object, homed geographically.
+func (h *Handovers) stationObj(s mobility.StationID) uint64 {
+	return h.ids.Obj(hoStationCtx, int(s), h.stationHome(s))
+}
+
+// userObj maps a user to its context object, homed at its original node.
+func (h *Handovers) userObj(node, u int) uint64 {
+	return h.ids.Obj(hoUserCtx, u, node)
+}
+
+// Seed installs every user context (homed at its node) and every station
+// context (homed geographically).
+func (h *Handovers) Seed(seed Seeder) {
+	for node := 0; node < h.cfg.Nodes; node++ {
+		for u := 0; u < h.cfg.UsersPerNode; u++ {
+			seed(h.userObj(node, u), node, Pad(uint64(u), h.cfg.CtxSize))
+		}
+	}
+	for s := 0; s < h.mob.Stations(); s++ {
+		st := mobility.StationID(s)
+		seed(h.stationObj(st), h.stationHome(st), Pad(uint64(s), h.cfg.CtxSize))
+	}
+}
+
+// localStations returns a station on the given node's partition.
+func (h *Handovers) localStation(node int, rng *rand.Rand) mobility.StationID {
+	for {
+		s := mobility.StationID(rng.Intn(h.mob.Stations()))
+		if h.stationHome(s) == node {
+			return s
+		}
+	}
+}
+
+// curStation returns (and lazily initializes) a user's current station.
+func (h *Handovers) curStation(node, u int, rng *rand.Rand) mobility.StationID {
+	key := node*h.cfg.UsersPerNode + u
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.userStation[key]
+	if !ok {
+		s = h.localStation(node, rng)
+		h.userStation[key] = s
+	}
+	return s
+}
+
+func (h *Handovers) setStation(node, u int, s mobility.StationID) {
+	h.mu.Lock()
+	h.userStation[node*h.cfg.UsersPerNode+u] = s
+	h.mu.Unlock()
+}
+
+// nextStation picks the station a handover moves to: a random neighbour in
+// the mobility grid normally; in Ideal mode, a station on the same node.
+func (h *Handovers) nextStation(node int, cur mobility.StationID, rng *rand.Rand) mobility.StationID {
+	if h.cfg.Ideal {
+		return h.localStation(node, rng)
+	}
+	// One step of a commute: move to an adjacent station (any direction).
+	w := h.mob.Stations()
+	gw := 32
+	x, y := int(cur)%gw, int(cur)/gw
+	for i := 0; i < 8; i++ {
+		nx := x + rng.Intn(3) - 1
+		ny := y + rng.Intn(3) - 1
+		if nx < 0 || ny < 0 || nx >= gw || ny*gw+nx >= w {
+			continue
+		}
+		next := mobility.StationID(ny*gw + nx)
+		if next != cur {
+			return next
+		}
+	}
+	return cur
+}
+
+// MakeOp returns the handover operation mix for one node. Users are
+// partitioned per worker; every op is a write transaction (Table 2: 0 %
+// reads).
+func (h *Handovers) MakeOp(node int, db dbapi.DB) Op {
+	return func(worker int, rng *rand.Rand) error {
+		u := rng.Intn(h.cfg.UsersPerNode)
+		cur := h.curStation(node, u, rng)
+		if rng.Float64() < h.cfg.HandoverRatio {
+			next := h.nextStation(node, cur, rng)
+			if err := h.handover(db, node, worker, u, cur, next, rng); err != nil {
+				return err
+			}
+			h.setStation(node, u, next)
+			return nil
+		}
+		// Service request or release: same transactional shape.
+		return h.touch(db, worker, h.userObj(node, u), h.stationObj(cur), rng)
+	}
+}
+
+// handover is the two-transaction 3GPP flow: detach from the old station,
+// attach to the new one.
+func (h *Handovers) handover(db dbapi.DB, node, worker, u int, oldS, newS mobility.StationID, rng *rand.Rand) error {
+	if err := h.touch(db, worker, h.userObj(node, u), h.stationObj(oldS), rng); err != nil {
+		return err
+	}
+	return h.touch(db, worker, h.userObj(node, u), h.stationObj(newS), rng)
+}
+
+// touch is one control-plane write transaction over a UE context and a
+// station context (~400 B each).
+func (h *Handovers) touch(db dbapi.DB, worker int, userObj, stationObj uint64, rng *rand.Rand) error {
+	stamp := rng.Uint64()
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(userObj); err != nil {
+			return err
+		}
+		if _, err := tx.Get(stationObj); err != nil {
+			return err
+		}
+		if err := tx.Set(userObj, Pad(stamp, h.cfg.CtxSize)); err != nil {
+			return err
+		}
+		return tx.Set(stationObj, Pad(stamp+1, h.cfg.CtxSize))
+	})
+}

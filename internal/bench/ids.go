@@ -1,0 +1,28 @@
+package bench
+
+// IDSpace maps workload entities onto object ids such that the *initial home
+// node* of an object is recoverable as obj mod Nodes. The distributed-commit
+// baseline statically shards by exactly that function, so seeding Zeus's
+// initial owner to the same node gives both systems the identical initial
+// sharding the paper prescribes ("The initial sharding of all systems is the
+// same", §8).
+type IDSpace struct {
+	Nodes int
+}
+
+// kindSpan separates object kinds within one home's id sequence.
+const kindSpan = 1 << 32
+
+// Obj returns the object id for entity (kind, idx) homed at node home.
+func (s IDSpace) Obj(kind, idx, home int) uint64 {
+	return uint64(s.Nodes)*(uint64(kind)*kindSpan+uint64(idx)) + uint64(home%s.Nodes)
+}
+
+// Home returns the initial home node of an object id.
+func (s IDSpace) Home(obj uint64) int {
+	return int(obj % uint64(s.Nodes))
+}
+
+// Seeder installs one object with its initial home and value into a
+// deployment (Zeus cluster or baseline nodes).
+type Seeder func(obj uint64, home int, data []byte)

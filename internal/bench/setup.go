@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"time"
+
+	"zeus/internal/baseline"
+	"zeus/internal/cluster"
+	"zeus/internal/core"
+	"zeus/internal/dbapi"
+	"zeus/internal/netsim"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// ZeusSeeder adapts a Zeus cluster to the Seeder interface (bulk initial
+// sharding, bypassing the protocols).
+func ZeusSeeder(c *cluster.Cluster) Seeder {
+	return func(obj uint64, home int, data []byte) {
+		c.SeedAt(wire.ObjectID(obj), wire.NodeID(home), data)
+	}
+}
+
+// ZeusDBs returns the dbapi view of every node in the cluster.
+func ZeusDBs(c *cluster.Cluster, n int) []dbapi.DB {
+	out := make([]dbapi.DB, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Node(i).DB()
+	}
+	return out
+}
+
+// BaselineDeployment is a self-contained baseline cluster.
+type BaselineDeployment struct {
+	Nodes []*baseline.Node
+	hub   *transport.Hub
+	net   *netsim.Network
+	trs   []transport.Transport
+}
+
+// NewBaselineDeployment builds n baseline nodes over the in-memory fabric.
+func NewBaselineDeployment(n, degree int) *BaselineDeployment {
+	hub := transport.NewHub()
+	d := &BaselineDeployment{hub: hub}
+	cfg := baseline.Config{Nodes: n, Degree: degree}
+	for i := 0; i < n; i++ {
+		tr := hub.Node(wire.NodeID(i))
+		r := transport.NewRouter()
+		d.Nodes = append(d.Nodes, baseline.NewNode(wire.NodeID(i), tr, r, cfg))
+		tr.SetHandler(r.Dispatch)
+		d.trs = append(d.trs, tr)
+	}
+	return d
+}
+
+// NewBaselineDeploymentSim builds n baseline nodes over the simulated fabric
+// (with real per-message latency), so the cost of remote accesses and the
+// blocking distributed commit is visible — the comparison substrate for
+// Figures 8/9/13.
+func NewBaselineDeploymentSim(n, degree int, netCfg netsim.Config) *BaselineDeployment {
+	nw := netsim.New(netCfg)
+	d := &BaselineDeployment{net: nw}
+	cfg := baseline.Config{Nodes: n, Degree: degree}
+	rc := transport.DefaultReliableConfig()
+	if rto := 4*netCfg.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
+		rc.RTO = rto
+	}
+	for i := 0; i < n; i++ {
+		tr := transport.NewReliable(nw.Endpoint(wire.NodeID(i)), rc)
+		r := transport.NewRouter()
+		d.Nodes = append(d.Nodes, baseline.NewNode(wire.NodeID(i), tr, r, cfg))
+		tr.SetHandler(r.Dispatch)
+		d.trs = append(d.trs, tr)
+	}
+	return d
+}
+
+// Close releases transports.
+func (d *BaselineDeployment) Close() {
+	for _, tr := range d.trs {
+		_ = tr.Close()
+	}
+	if d.net != nil {
+		d.net.Close()
+	}
+}
+
+// DBs returns the dbapi view of the deployment.
+func (d *BaselineDeployment) DBs() []dbapi.DB {
+	out := make([]dbapi.DB, len(d.Nodes))
+	for i, n := range d.Nodes {
+		out[i] = n
+	}
+	return out
+}
+
+// Seeder installs objects at their static primary and backups. The home
+// argument must equal obj mod nodes (IDSpace guarantees it), so Zeus and the
+// baseline start from the identical sharding.
+func (d *BaselineDeployment) Seeder() Seeder {
+	return func(obj uint64, home int, data []byte) {
+		id := wire.ObjectID(obj)
+		p := d.Nodes[0].Primary(id)
+		d.Nodes[p].Seed(id, 1, data)
+		for _, b := range d.Nodes[0].Backups(id) {
+			d.Nodes[b].Seed(id, 1, data)
+		}
+	}
+}
+
+// MigrationResult reports a bulk ownership migration (Figures 10–12).
+type MigrationResult struct {
+	Moved    int
+	Failed   int
+	Duration time.Duration
+}
+
+// Rate returns objects moved per second.
+func (m MigrationResult) Rate() float64 {
+	if m.Duration <= 0 {
+		return 0
+	}
+	return float64(m.Moved) / m.Duration.Seconds()
+}
+
+// MoveObjects acquires ownership of every object at dst, sequentially on one
+// worker — the paper's measurement unit ("a single worker thread can move
+// 25k objects per second", §8.4). Run several concurrently for aggregate
+// rates.
+func MoveObjects(dst *core.Node, objs []uint64) MigrationResult {
+	start := time.Now()
+	var res MigrationResult
+	for _, o := range objs {
+		if err := dst.OwnershipEngine().AcquireOwnership(wire.ObjectID(o)); err != nil {
+			res.Failed++
+			continue
+		}
+		res.Moved++
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// MoveObjectsParallel splits objs across workers concurrent movers.
+func MoveObjectsParallel(dst *core.Node, objs []uint64, workers int) MigrationResult {
+	if workers <= 1 {
+		return MoveObjects(dst, objs)
+	}
+	start := time.Now()
+	type part struct{ moved, failed int }
+	results := make(chan part, workers)
+	chunk := (len(objs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(objs) {
+			hi = len(objs)
+		}
+		go func(sub []uint64) {
+			var p part
+			for _, o := range sub {
+				if err := dst.OwnershipEngine().AcquireOwnership(wire.ObjectID(o)); err != nil {
+					p.failed++
+				} else {
+					p.moved++
+				}
+			}
+			results <- p
+		}(objs[lo:hi])
+	}
+	var res MigrationResult
+	for w := 0; w < workers; w++ {
+		p := <-results
+		res.Moved += p.moved
+		res.Failed += p.failed
+	}
+	res.Duration = time.Since(start)
+	return res
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"math/rand"
+
+	"zeus/internal/dbapi"
+)
+
+// Smallbank is the financial-transaction benchmark of §8.2 (Table 2: 3
+// tables, 6 columns, 6 transaction types, 15 % read transactions). Each
+// account has a checking and a savings object. The "% remote write
+// transactions" knob reproduces the x-axis of Figure 8: a remote write picks
+// its accounts from another node's partition, forcing an ownership change in
+// Zeus and remote accesses + distributed commit in the baseline.
+type Smallbank struct {
+	cfg SmallbankConfig
+	ids IDSpace
+}
+
+// SmallbankConfig sizes the benchmark.
+type SmallbankConfig struct {
+	Nodes           int
+	AccountsPerNode int
+	// RemoteWriteFrac is the fraction of write transactions whose accounts
+	// live on another node (Figure 8's x-axis).
+	RemoteWriteFrac float64
+	// HotFrac/HotAccounts model the FaSST-style access skew: HotFrac of
+	// account picks land on the first HotAccounts accounts of a partition.
+	HotFrac     float64
+	HotAccounts int
+	// PayloadSize is the per-object value size.
+	PayloadSize int
+}
+
+// DefaultSmallbankConfig returns a simulation-scaled configuration.
+func DefaultSmallbankConfig(nodes int) SmallbankConfig {
+	return SmallbankConfig{
+		Nodes:           nodes,
+		AccountsPerNode: 20000,
+		RemoteWriteFrac: 0,
+		HotFrac:         0.25,
+		HotAccounts:     100,
+		PayloadSize:     64,
+	}
+}
+
+// Object kinds.
+const (
+	sbChecking = iota
+	sbSavings
+)
+
+// NewSmallbank builds the workload.
+func NewSmallbank(cfg SmallbankConfig) *Smallbank {
+	if cfg.AccountsPerNode <= 0 {
+		cfg.AccountsPerNode = 20000
+	}
+	if cfg.PayloadSize < 8 {
+		cfg.PayloadSize = 64
+	}
+	return &Smallbank{cfg: cfg, ids: IDSpace{Nodes: cfg.Nodes}}
+}
+
+// Seed installs every account with an initial balance of 1000.
+func (s *Smallbank) Seed(seed Seeder) {
+	for home := 0; home < s.cfg.Nodes; home++ {
+		for i := 0; i < s.cfg.AccountsPerNode; i++ {
+			seed(s.ids.Obj(sbChecking, i, home), home, Pad(1000, s.cfg.PayloadSize))
+			seed(s.ids.Obj(sbSavings, i, home), home, Pad(1000, s.cfg.PayloadSize))
+		}
+	}
+}
+
+// pickAccount selects an account index with the configured hot-set skew.
+func (s *Smallbank) pickAccount(rng *rand.Rand) int {
+	if s.cfg.HotFrac > 0 && rng.Float64() < s.cfg.HotFrac {
+		return rng.Intn(s.cfg.HotAccounts)
+	}
+	return rng.Intn(s.cfg.AccountsPerNode)
+}
+
+// pickHome returns the partition a write transaction targets: the local node
+// usually, another node with probability RemoteWriteFrac.
+func (s *Smallbank) pickHome(node int, rng *rand.Rand) int {
+	if s.cfg.Nodes > 1 && rng.Float64() < s.cfg.RemoteWriteFrac {
+		h := rng.Intn(s.cfg.Nodes - 1)
+		if h >= node {
+			h++
+		}
+		return h
+	}
+	return node
+}
+
+// MakeOp returns the Smallbank operation mix for one node: 15 % balance
+// (read-only), 25 % send-payment, 15 % each amalgamate / deposit-checking /
+// transact-savings / write-check.
+func (s *Smallbank) MakeOp(node int, db dbapi.DB) Op {
+	return func(worker int, rng *rand.Rand) error {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.15:
+			return s.balance(db, node, worker, rng)
+		case roll < 0.40:
+			return s.sendPayment(db, node, worker, rng)
+		case roll < 0.55:
+			return s.amalgamate(db, node, worker, rng)
+		case roll < 0.70:
+			return s.depositChecking(db, node, worker, rng)
+		case roll < 0.85:
+			return s.transactSavings(db, node, worker, rng)
+		default:
+			return s.writeCheck(db, node, worker, rng)
+		}
+	}
+}
+
+// balance reads both balances of one local account (read-only, 3 objects in
+// the paper's accounting: account row + both balances).
+func (s *Smallbank) balance(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	a := s.pickAccount(rng)
+	return dbapi.RunRO(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(s.ids.Obj(sbChecking, a, node)); err != nil {
+			return err
+		}
+		_, err := tx.Get(s.ids.Obj(sbSavings, a, node))
+		return err
+	})
+}
+
+// sendPayment moves money between the checking objects of two accounts
+// (2 modified objects — the 30 % bucket of §8.2).
+func (s *Smallbank) sendPayment(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := s.pickHome(node, rng)
+	from := s.ids.Obj(sbChecking, s.pickAccount(rng), home)
+	to := s.ids.Obj(sbChecking, s.pickAccount(rng), home)
+	if from == to {
+		return nil
+	}
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		fv, err := tx.Get(from)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Get(to)
+		if err != nil {
+			return err
+		}
+		amount := uint64(1 + rng.Intn(10))
+		bal := FromU64(fv)
+		if bal < amount {
+			amount = 0 // insufficient funds: commit a no-op transfer
+		}
+		if err := tx.Set(from, Pad(bal-amount, s.cfg.PayloadSize)); err != nil {
+			return err
+		}
+		return tx.Set(to, Pad(FromU64(tv)+amount, s.cfg.PayloadSize))
+	})
+}
+
+// amalgamate zeroes one account's balances into another's checking
+// (4 modified objects — the ≥3 bucket of §8.2).
+func (s *Smallbank) amalgamate(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := s.pickHome(node, rng)
+	a := s.pickAccount(rng)
+	b := s.pickAccount(rng)
+	if a == b {
+		return nil
+	}
+	ac := s.ids.Obj(sbChecking, a, home)
+	as := s.ids.Obj(sbSavings, a, home)
+	bc := s.ids.Obj(sbChecking, b, home)
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		cv, err := tx.Get(ac)
+		if err != nil {
+			return err
+		}
+		sv, err := tx.Get(as)
+		if err != nil {
+			return err
+		}
+		bv, err := tx.Get(bc)
+		if err != nil {
+			return err
+		}
+		total := FromU64(cv) + FromU64(sv)
+		if err := tx.Set(ac, Pad(0, s.cfg.PayloadSize)); err != nil {
+			return err
+		}
+		if err := tx.Set(as, Pad(0, s.cfg.PayloadSize)); err != nil {
+			return err
+		}
+		return tx.Set(bc, Pad(FromU64(bv)+total, s.cfg.PayloadSize))
+	})
+}
+
+// depositChecking adds to one checking object.
+func (s *Smallbank) depositChecking(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := s.pickHome(node, rng)
+	obj := s.ids.Obj(sbChecking, s.pickAccount(rng), home)
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(obj)
+		if err != nil {
+			return err
+		}
+		return tx.Set(obj, Pad(FromU64(v)+5, s.cfg.PayloadSize))
+	})
+}
+
+// transactSavings adds to one savings object.
+func (s *Smallbank) transactSavings(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := s.pickHome(node, rng)
+	obj := s.ids.Obj(sbSavings, s.pickAccount(rng), home)
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		v, err := tx.Get(obj)
+		if err != nil {
+			return err
+		}
+		return tx.Set(obj, Pad(FromU64(v)+7, s.cfg.PayloadSize))
+	})
+}
+
+// writeCheck reads both balances and debits checking.
+func (s *Smallbank) writeCheck(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := s.pickHome(node, rng)
+	a := s.pickAccount(rng)
+	ac := s.ids.Obj(sbChecking, a, home)
+	as := s.ids.Obj(sbSavings, a, home)
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		cv, err := tx.Get(ac)
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Get(as); err != nil {
+			return err
+		}
+		bal := FromU64(cv)
+		if bal == 0 {
+			return tx.Set(ac, Pad(0, s.cfg.PayloadSize))
+		}
+		return tx.Set(ac, Pad(bal-1, s.cfg.PayloadSize))
+	})
+}
+
+// TotalMoney sums all balances via read-only transactions on one node —
+// the serializability invariant used by tests (transfers conserve money;
+// deposits grow it deterministically per committed op).
+func (s *Smallbank) Objects() []uint64 {
+	var out []uint64
+	for home := 0; home < s.cfg.Nodes; home++ {
+		for i := 0; i < s.cfg.AccountsPerNode; i++ {
+			out = append(out, s.ids.Obj(sbChecking, i, home), s.ids.Obj(sbSavings, i, home))
+		}
+	}
+	return out
+}

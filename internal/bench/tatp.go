@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"math/rand"
+
+	"zeus/internal/dbapi"
+)
+
+// TATP is the telecom benchmark of §8.3 (Table 2: 4 tables, 51 columns, 7
+// transaction types, 80 % read transactions). Each subscriber owns four
+// objects: the subscriber row, access-info, special-facility and
+// call-forwarding. The "% remote write transactions" knob reproduces
+// Figure 9's x-axis.
+type TATP struct {
+	cfg TATPConfig
+	ids IDSpace
+}
+
+// TATPConfig sizes the benchmark.
+type TATPConfig struct {
+	Nodes              int
+	SubscribersPerNode int
+	RemoteWriteFrac    float64
+	PayloadSize        int
+}
+
+// DefaultTATPConfig returns a simulation-scaled configuration (the paper
+// uses 1 M subscribers per server).
+func DefaultTATPConfig(nodes int) TATPConfig {
+	return TATPConfig{Nodes: nodes, SubscribersPerNode: 20000, PayloadSize: 64}
+}
+
+// Object kinds (the four TATP tables).
+const (
+	tatpSubscriber = iota
+	tatpAccessInfo
+	tatpSpecialFacility
+	tatpCallForwarding
+)
+
+// NewTATP builds the workload.
+func NewTATP(cfg TATPConfig) *TATP {
+	if cfg.SubscribersPerNode <= 0 {
+		cfg.SubscribersPerNode = 20000
+	}
+	if cfg.PayloadSize < 8 {
+		cfg.PayloadSize = 64
+	}
+	return &TATP{cfg: cfg, ids: IDSpace{Nodes: cfg.Nodes}}
+}
+
+// Seed installs all four objects per subscriber.
+func (t *TATP) Seed(seed Seeder) {
+	for home := 0; home < t.cfg.Nodes; home++ {
+		for i := 0; i < t.cfg.SubscribersPerNode; i++ {
+			for kind := tatpSubscriber; kind <= tatpCallForwarding; kind++ {
+				seed(t.ids.Obj(kind, i, home), home, Pad(uint64(i), t.cfg.PayloadSize))
+			}
+		}
+	}
+}
+
+func (t *TATP) pickSub(rng *rand.Rand) int { return rng.Intn(t.cfg.SubscribersPerNode) }
+
+func (t *TATP) pickHome(node int, rng *rand.Rand) int {
+	if t.cfg.Nodes > 1 && rng.Float64() < t.cfg.RemoteWriteFrac {
+		h := rng.Intn(t.cfg.Nodes - 1)
+		if h >= node {
+			h++
+		}
+		return h
+	}
+	return node
+}
+
+// MakeOp returns the standard TATP mix: reads 80 % (get-subscriber-data
+// 35 %, get-access-data 35 %, get-new-destination 10 %) and writes 20 %
+// (update-location 14 %, update-subscriber-data 2 %, insert-call-forwarding
+// 2 %, delete-call-forwarding 2 %).
+func (t *TATP) MakeOp(node int, db dbapi.DB) Op {
+	return func(worker int, rng *rand.Rand) error {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.35:
+			return t.getSubscriberData(db, node, worker, rng)
+		case roll < 0.70:
+			return t.getAccessData(db, node, worker, rng)
+		case roll < 0.80:
+			return t.getNewDestination(db, node, worker, rng)
+		case roll < 0.94:
+			return t.updateLocation(db, node, worker, rng)
+		case roll < 0.96:
+			return t.updateSubscriberData(db, node, worker, rng)
+		case roll < 0.98:
+			return t.insertCallForwarding(db, node, worker, rng)
+		default:
+			return t.deleteCallForwarding(db, node, worker, rng)
+		}
+	}
+}
+
+func (t *TATP) getSubscriberData(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	obj := t.ids.Obj(tatpSubscriber, t.pickSub(rng), node)
+	return dbapi.RunRO(db, worker, func(tx dbapi.Txn) error {
+		_, err := tx.Get(obj)
+		return err
+	})
+}
+
+func (t *TATP) getAccessData(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	obj := t.ids.Obj(tatpAccessInfo, t.pickSub(rng), node)
+	return dbapi.RunRO(db, worker, func(tx dbapi.Txn) error {
+		_, err := tx.Get(obj)
+		return err
+	})
+}
+
+func (t *TATP) getNewDestination(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	sub := t.pickSub(rng)
+	sf := t.ids.Obj(tatpSpecialFacility, sub, node)
+	cf := t.ids.Obj(tatpCallForwarding, sub, node)
+	return dbapi.RunRO(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(sf); err != nil {
+			return err
+		}
+		_, err := tx.Get(cf)
+		return err
+	})
+}
+
+func (t *TATP) updateLocation(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := t.pickHome(node, rng)
+	obj := t.ids.Obj(tatpSubscriber, t.pickSub(rng), home)
+	loc := rng.Uint64()
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(obj); err != nil {
+			return err
+		}
+		return tx.Set(obj, Pad(loc, t.cfg.PayloadSize))
+	})
+}
+
+func (t *TATP) updateSubscriberData(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := t.pickHome(node, rng)
+	sub := t.pickSub(rng)
+	s := t.ids.Obj(tatpSubscriber, sub, home)
+	sf := t.ids.Obj(tatpSpecialFacility, sub, home)
+	bit := rng.Uint64()
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		if err := tx.Set(s, Pad(bit, t.cfg.PayloadSize)); err != nil {
+			return err
+		}
+		return tx.Set(sf, Pad(bit+1, t.cfg.PayloadSize))
+	})
+}
+
+func (t *TATP) insertCallForwarding(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := t.pickHome(node, rng)
+	sub := t.pickSub(rng)
+	sf := t.ids.Obj(tatpSpecialFacility, sub, home)
+	cf := t.ids.Obj(tatpCallForwarding, sub, home)
+	dst := rng.Uint64()
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(sf); err != nil {
+			return err
+		}
+		return tx.Set(cf, Pad(dst, t.cfg.PayloadSize))
+	})
+}
+
+func (t *TATP) deleteCallForwarding(db dbapi.DB, node, worker int, rng *rand.Rand) error {
+	home := t.pickHome(node, rng)
+	cf := t.ids.Obj(tatpCallForwarding, t.pickSub(rng), home)
+	return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+		if _, err := tx.Get(cf); err != nil {
+			return err
+		}
+		return tx.Set(cf, Pad(0, t.cfg.PayloadSize))
+	})
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"math/rand"
+
+	"zeus/internal/dbapi"
+)
+
+// Voter is the phone-voting benchmark of §8.4 (Table 2: 3 tables, 9 columns,
+// 1 transaction type, popularity skew). A vote updates two objects: the
+// voter's history (vote-count limit) and the contestant's running total. The
+// load balancer routes votes by contestant, so each contestant's votes
+// execute on its owner node; moving a popular contestant (and its voters) to
+// another node is the object-migration experiment of Figures 10–12.
+type Voter struct {
+	cfg VoterConfig
+	ids IDSpace
+}
+
+// VoterConfig sizes the benchmark.
+type VoterConfig struct {
+	Nodes         int
+	Contestants   int
+	VotersPerNode int
+	// VoteLimit caps votes per voter (per the benchmark's phone rules);
+	// 0 means unlimited.
+	VoteLimit uint64
+	// HotContestant, when ≥ 0, receives HotFrac of all votes (popularity
+	// skew; the Figure 11 experiment).
+	HotContestant int
+	HotFrac       float64
+	PayloadSize   int
+}
+
+// DefaultVoterConfig returns a simulation-scaled configuration (the paper
+// uses 20 contestants, 1 M voters).
+func DefaultVoterConfig(nodes int) VoterConfig {
+	return VoterConfig{
+		Nodes:         nodes,
+		Contestants:   20,
+		VotersPerNode: 20000,
+		HotContestant: -1,
+		PayloadSize:   32,
+	}
+}
+
+// Object kinds.
+const (
+	vtContestant = iota
+	vtVoter
+)
+
+// NewVoter builds the workload.
+func NewVoter(cfg VoterConfig) *Voter {
+	if cfg.Contestants <= 0 {
+		cfg.Contestants = 20
+	}
+	if cfg.VotersPerNode <= 0 {
+		cfg.VotersPerNode = 20000
+	}
+	if cfg.PayloadSize < 8 {
+		cfg.PayloadSize = 32
+	}
+	return &Voter{cfg: cfg, ids: IDSpace{Nodes: cfg.Nodes}}
+}
+
+// ContestantObj returns the contestant's total object; contestants are
+// homed round-robin.
+func (v *Voter) ContestantObj(c int) uint64 {
+	return v.ids.Obj(vtContestant, c, c%v.cfg.Nodes)
+}
+
+// ContestantHome returns a contestant's initial home node.
+func (v *Voter) ContestantHome(c int) int { return c % v.cfg.Nodes }
+
+// VoterObj returns a voter's history object. Voters are homed with the
+// contestant they (mostly) vote for, which is what the load balancer's
+// sticky routing produces.
+func (v *Voter) VoterObj(node, i int) uint64 {
+	return v.ids.Obj(vtVoter, i, node)
+}
+
+// VoterObjects lists every voter object homed at node — the bulk-migration
+// experiments (Figures 10 and 11) move these between nodes.
+func (v *Voter) VoterObjects(node int) []uint64 {
+	out := make([]uint64, 0, v.cfg.VotersPerNode)
+	for i := 0; i < v.cfg.VotersPerNode; i++ {
+		out = append(out, v.VoterObj(node, i))
+	}
+	return out
+}
+
+// Seed installs contestants and voters.
+func (v *Voter) Seed(seed Seeder) {
+	for c := 0; c < v.cfg.Contestants; c++ {
+		seed(v.ContestantObj(c), v.ContestantHome(c), Pad(0, v.cfg.PayloadSize))
+	}
+	for node := 0; node < v.cfg.Nodes; node++ {
+		for i := 0; i < v.cfg.VotersPerNode; i++ {
+			seed(v.VoterObj(node, i), node, Pad(0, v.cfg.PayloadSize))
+		}
+	}
+}
+
+// pickContestant applies the popularity skew: contestants homed at this
+// node, with the hot contestant (if configured and homed here) favoured.
+func (v *Voter) pickContestant(node int, rng *rand.Rand) int {
+	if v.cfg.HotContestant >= 0 && v.ContestantHome(v.cfg.HotContestant) == node &&
+		rng.Float64() < v.cfg.HotFrac {
+		return v.cfg.HotContestant
+	}
+	// A contestant whose home is this node (LB routes votes by contestant).
+	n := v.cfg.Contestants
+	for i := 0; i < 32; i++ {
+		c := rng.Intn(n)
+		if v.ContestantHome(c) == node {
+			return c
+		}
+	}
+	return node % n
+}
+
+// MakeOp returns the single vote transaction: bump the voter's history and
+// the contestant's total (2 objects, §8.4).
+func (v *Voter) MakeOp(node int, db dbapi.DB) Op {
+	return func(worker int, rng *rand.Rand) error {
+		c := v.pickContestant(node, rng)
+		voter := v.VoterObj(node, rng.Intn(v.cfg.VotersPerNode))
+		contestant := v.ContestantObj(c)
+		return dbapi.Run(db, worker, func(tx dbapi.Txn) error {
+			hv, err := tx.Get(voter)
+			if err != nil {
+				return err
+			}
+			votes := FromU64(hv)
+			if v.cfg.VoteLimit > 0 && votes >= v.cfg.VoteLimit {
+				return nil // over the limit: vote rejected, tx still commits
+			}
+			cv, err := tx.Get(contestant)
+			if err != nil {
+				return err
+			}
+			if err := tx.Set(voter, Pad(votes+1, v.cfg.PayloadSize)); err != nil {
+				return err
+			}
+			return tx.Set(contestant, Pad(FromU64(cv)+1, v.cfg.PayloadSize))
+		})
+	}
+}

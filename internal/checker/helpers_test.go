@@ -1,0 +1,5 @@
+package checker_test
+
+import "zeus/internal/wire"
+
+func wireObj(o uint64) wire.ObjectID { return wire.ObjectID(o) }

@@ -1,0 +1,334 @@
+// Package cluster assembles an in-process Zeus deployment: N core nodes over
+// either the perfect in-memory fabric (Hub) or the lossy simulated network
+// (netsim + reliable transport), one membership manager, and helpers for
+// failure injection, scale-out and bulk data seeding.
+//
+// This is the substitute for the paper's six-server testbed: benchmarks and
+// experiments run against a Cluster.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"zeus/internal/core"
+	"zeus/internal/membership"
+	"zeus/internal/netsim"
+	"zeus/internal/ownership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// FabricKind selects the network substrate.
+type FabricKind int
+
+const (
+	// FabricMem is the perfect in-process hub (fast; unit tests, benches).
+	FabricMem FabricKind = iota
+	// FabricSim is the lossy simulated network under the reliable
+	// transport (protocol stress, fault injection).
+	FabricSim
+)
+
+// Options configures a cluster.
+type Options struct {
+	Nodes   int
+	Degree  int
+	Workers int
+	Fabric  FabricKind
+	// Net configures the simulated fabric (FabricSim only).
+	Net netsim.Config
+	// Lease is the membership lease duration.
+	Lease time.Duration
+	// DirNodes overrides the directory placement (default: first 3 nodes).
+	DirNodes wire.Bitmap
+	// TrimReplicas / AutoAcquireRead forward to core.Config.
+	TrimReplicas    bool
+	AutoAcquireRead bool
+	// OwnershipDeadline bounds blocking ownership acquisitions.
+	OwnershipDeadline time.Duration
+	// OnOwnershipLatency observes ownership request latencies (Fig. 12).
+	OnOwnershipLatency func(time.Duration)
+}
+
+// DefaultOptions mirrors the paper's setup: 3-way replication, directory on
+// the first three nodes.
+func DefaultOptions(nodes int) Options {
+	return Options{
+		Nodes:           nodes,
+		Degree:          3,
+		Workers:         8,
+		Fabric:          FabricMem,
+		Lease:           2 * time.Millisecond,
+		TrimReplicas:    true,
+		AutoAcquireRead: true,
+	}
+}
+
+// Cluster is an in-process Zeus deployment.
+type Cluster struct {
+	opts  Options
+	hub   *transport.Hub
+	net   *netsim.Network
+	mgr   *membership.Manager
+	nodes map[wire.NodeID]*core.Node
+	trs   map[wire.NodeID]transport.Transport
+	dirs  wire.Bitmap
+}
+
+// New builds and starts a cluster.
+func New(opts Options) *Cluster {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Degree <= 0 {
+		opts.Degree = 3
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Lease <= 0 {
+		opts.Lease = 2 * time.Millisecond
+	}
+	var members wire.Bitmap
+	for i := 0; i < opts.Nodes; i++ {
+		members = members.Add(wire.NodeID(i))
+	}
+	dirs := opts.DirNodes
+	if dirs == 0 {
+		n := 3
+		if opts.Nodes < 3 {
+			n = opts.Nodes
+		}
+		for i := 0; i < n; i++ {
+			dirs = dirs.Add(wire.NodeID(i))
+		}
+	}
+	c := &Cluster{
+		opts:  opts,
+		mgr:   membership.NewManager(membership.Config{Lease: opts.Lease}, members),
+		nodes: make(map[wire.NodeID]*core.Node),
+		trs:   make(map[wire.NodeID]transport.Transport),
+		dirs:  dirs,
+	}
+	switch opts.Fabric {
+	case FabricSim:
+		c.net = netsim.New(opts.Net)
+	default:
+		c.hub = transport.NewHub()
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		c.startNode(wire.NodeID(i))
+	}
+	return c
+}
+
+func (c *Cluster) startNode(id wire.NodeID) *core.Node {
+	var tr transport.Transport
+	if c.net != nil {
+		rc := transport.DefaultReliableConfig()
+		// Scale the retransmission timeout with the fabric's latency so
+		// slow-motion fabrics do not trigger spurious retransmits.
+		if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
+			rc.RTO = rto
+		}
+		tr = transport.NewReliable(c.net.Endpoint(id), rc)
+	} else {
+		tr = c.hub.Node(id)
+	}
+	ocfg := ownership.DefaultConfig(c.dirs)
+	if c.opts.OwnershipDeadline > 0 {
+		ocfg.Deadline = c.opts.OwnershipDeadline
+	}
+	ocfg.OnLatency = c.opts.OnOwnershipLatency
+	cfg := core.Config{
+		Degree:          c.opts.Degree,
+		Workers:         c.opts.Workers,
+		TrimReplicas:    c.opts.TrimReplicas,
+		AutoAcquireRead: c.opts.AutoAcquireRead,
+		Ownership:       ocfg,
+	}
+	n := core.NewNode(id, tr, c.mgr.Agent(id), cfg)
+	c.nodes[id] = n
+	c.trs[id] = tr
+	return n
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *core.Node { return c.nodes[wire.NodeID(i)] }
+
+// Nodes returns the number of nodes ever started.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Manager exposes the membership manager.
+func (c *Cluster) Manager() *membership.Manager { return c.mgr }
+
+// Live returns the current live set.
+func (c *Cluster) Live() wire.Bitmap { return c.mgr.View().Live }
+
+// Dirs returns the directory node set.
+func (c *Cluster) Dirs() wire.Bitmap { return c.dirs }
+
+// Kill crash-stops node i and waits for the view change and the recovery
+// barrier to complete.
+func (c *Cluster) Kill(i int) error {
+	id := wire.NodeID(i)
+	if c.net != nil {
+		c.net.SetDown(id, true)
+	} else {
+		c.hub.SetDown(id, true)
+	}
+	before := c.mgr.View().Epoch
+	c.mgr.Fail(id)
+	if !c.mgr.WaitEpoch(before+1, 5*time.Second) {
+		return fmt.Errorf("cluster: view change after killing %d timed out", i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.mgr.RecoveryPending() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: recovery barrier after killing %d timed out", i)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// AddNode starts a fresh node with the next id and joins it to the
+// membership (scale-out, Fig. 15).
+func (c *Cluster) AddNode() *core.Node {
+	id := wire.NodeID(len(c.nodes))
+	n := c.startNode(id)
+	c.mgr.Join(id)
+	return n
+}
+
+// Leave removes node i gracefully (scale-in) and waits for recovery.
+func (c *Cluster) Leave(i int) error {
+	id := wire.NodeID(i)
+	before := c.mgr.View().Epoch
+	c.mgr.Leave(id)
+	if !c.mgr.WaitEpoch(before+1, 5*time.Second) {
+		return fmt.Errorf("cluster: leave view change timed out")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.mgr.RecoveryPending() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: recovery barrier after leave timed out")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if c.net != nil {
+		c.net.SetDown(id, true)
+	} else {
+		c.hub.SetDown(id, true)
+	}
+	return nil
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	if c.net != nil {
+		c.net.Close()
+	}
+}
+
+// Messages returns total messages carried (FabricMem only; 0 otherwise).
+func (c *Cluster) Messages() uint64 {
+	if c.hub != nil {
+		return c.hub.Messages()
+	}
+	if c.net != nil {
+		return c.net.Stats().Sent
+	}
+	return 0
+}
+
+// Bytes returns total payload bytes carried.
+func (c *Cluster) Bytes() uint64 {
+	if c.hub != nil {
+		return c.hub.Bytes()
+	}
+	if c.net != nil {
+		return c.net.Stats().Bytes
+	}
+	return 0
+}
+
+// Seed bulk-installs an object without running the protocols: the replica
+// set is written into the owner, the readers and the directory, and the
+// initial value into every replica. This models the benchmarks' initial
+// sharding (the paper: "The initial sharding of all systems is the same").
+func (c *Cluster) Seed(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap, data []byte) {
+	reps := wire.ReplicaSet{Owner: owner, Readers: readers.Remove(owner)}
+	ts := wire.OTS{Ver: 1, Node: owner}
+	targets := reps.All().Union(c.dirs)
+	for _, id := range targets.Nodes() {
+		n, ok := c.nodes[id]
+		if !ok {
+			continue
+		}
+		o, _ := n.Store().GetOrCreate(obj)
+		o.Mu.Lock()
+		o.Replicas = reps
+		o.OTS = ts
+		o.OState = store.OValid
+		o.Level = reps.LevelOf(id)
+		if o.Level != wire.NonReplica {
+			o.Data = append([]byte(nil), data...)
+			o.TVersion = 1
+			o.TState = store.TValid
+		}
+		o.Mu.Unlock()
+	}
+}
+
+// SeedRange seeds objects [from, from+count) round-robin across owners with
+// the default degree-1 readers after each owner, all with the same value.
+func (c *Cluster) SeedRange(from wire.ObjectID, count int, data []byte) {
+	live := c.Live().Nodes()
+	for i := 0; i < count; i++ {
+		obj := from + wire.ObjectID(i)
+		owner := live[i%len(live)]
+		c.Seed(obj, owner, c.defaultReaders(owner), data)
+	}
+}
+
+// SeedAt seeds one object at an explicit owner with default readers.
+func (c *Cluster) SeedAt(obj wire.ObjectID, owner wire.NodeID, data []byte) {
+	c.Seed(obj, owner, c.defaultReaders(owner), data)
+}
+
+func (c *Cluster) defaultReaders(owner wire.NodeID) wire.Bitmap {
+	live := c.Live().Nodes()
+	var readers wire.Bitmap
+	start := 0
+	for i, nd := range live {
+		if nd == owner {
+			start = i + 1
+			break
+		}
+	}
+	for i := 0; i < len(live) && readers.Count() < c.opts.Degree-1; i++ {
+		cand := live[(start+i)%len(live)]
+		if cand != owner {
+			readers = readers.Add(cand)
+		}
+	}
+	return readers
+}
+
+// WaitIdle waits for every node's commit pipelines to drain.
+func (c *Cluster) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for _, n := range c.nodes {
+		left := time.Until(deadline)
+		if left <= 0 || !n.CommitEngine().WaitIdle(left) {
+			return false
+		}
+	}
+	return true
+}

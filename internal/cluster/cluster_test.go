@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"zeus/internal/dbapi"
+	"zeus/internal/netsim"
+	"zeus/internal/store"
+	"zeus/internal/wire"
+)
+
+func TestDefaultsAndAccessors(t *testing.T) {
+	c := New(DefaultOptions(4))
+	defer c.Close()
+	if c.Nodes() != 4 {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+	if c.Dirs() != wire.BitmapOf(0, 1, 2) {
+		t.Fatalf("dirs = %v", c.Dirs())
+	}
+	if c.Live().Count() != 4 {
+		t.Fatalf("live = %v", c.Live())
+	}
+	if c.Node(0) == nil || c.Node(0).ID() != 0 {
+		t.Fatal("node accessor broken")
+	}
+	if c.Manager() == nil {
+		t.Fatal("no manager")
+	}
+}
+
+func TestSmallClusterDirsClamped(t *testing.T) {
+	c := New(DefaultOptions(2))
+	defer c.Close()
+	if c.Dirs().Count() != 2 {
+		t.Fatalf("dirs on 2-node cluster = %v", c.Dirs())
+	}
+}
+
+func TestSeedEstablishesReplicasAndDirectory(t *testing.T) {
+	c := New(DefaultOptions(4))
+	defer c.Close()
+	c.Seed(5, 3, wire.BitmapOf(0, 1), []byte("seeded"))
+	// Owner.
+	o, ok := c.Node(3).Store().Get(5)
+	if !ok {
+		t.Fatal("owner has no object")
+	}
+	o.Mu.Lock()
+	if o.Level != wire.Owner || string(o.Data) != "seeded" || o.TState != store.TValid {
+		t.Fatalf("owner state: %v %q %v", o.Level, o.Data, o.TState)
+	}
+	o.Mu.Unlock()
+	// Readers.
+	for _, r := range []int{0, 1} {
+		ro, ok := c.Node(r).Store().Get(5)
+		if !ok {
+			t.Fatalf("reader %d missing object", r)
+		}
+		ro.Mu.Lock()
+		if ro.Level != wire.Reader || string(ro.Data) != "seeded" {
+			t.Fatalf("reader %d state: %v %q", r, ro.Level, ro.Data)
+		}
+		ro.Mu.Unlock()
+	}
+	// Directory entry exists on node 2 even though it is a non-replica.
+	d, ok := c.Node(2).Store().Get(5)
+	if !ok {
+		t.Fatal("dir node missing entry")
+	}
+	d.Mu.Lock()
+	defer d.Mu.Unlock()
+	if d.Replicas.Owner != 3 || d.Level != wire.NonReplica {
+		t.Fatalf("dir entry: %+v", d.Replicas)
+	}
+}
+
+func TestSeedRangeRoundRobin(t *testing.T) {
+	c := New(DefaultOptions(3))
+	defer c.Close()
+	c.SeedRange(100, 9, []byte("rr"))
+	for i := 0; i < 9; i++ {
+		owner := wire.NodeID(i % 3)
+		o, ok := c.Node(int(owner)).Store().Get(wire.ObjectID(100 + i))
+		if !ok {
+			t.Fatalf("obj %d missing at node %d", 100+i, owner)
+		}
+		o.Mu.Lock()
+		lvl := o.Level
+		o.Mu.Unlock()
+		if lvl != wire.Owner {
+			t.Fatalf("obj %d level %v at node %d", 100+i, lvl, owner)
+		}
+	}
+}
+
+func TestKillRunsRecoveryBarrier(t *testing.T) {
+	c := New(DefaultOptions(4))
+	defer c.Close()
+	c.SeedAt(7, 3, []byte("k"))
+	if err := c.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Live().Contains(3) {
+		t.Fatal("killed node still live")
+	}
+	if c.Manager().RecoveryPending() {
+		t.Fatal("recovery barrier still open")
+	}
+	// Survivors can take over the ownerless object.
+	err := dbapi.Run(c.Node(0).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(7, []byte("taken"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNodeJoinsAndWorks(t *testing.T) {
+	c := New(DefaultOptions(3))
+	defer c.Close()
+	c.SeedAt(9, 0, []byte("j"))
+	n := c.AddNode()
+	if n.ID() != 3 || !c.Live().Contains(3) {
+		t.Fatalf("join failed: id=%d live=%v", n.ID(), c.Live())
+	}
+	err := dbapi.Run(n.DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(9, []byte("from-joiner"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveDrainsAndRemoves(t *testing.T) {
+	c := New(DefaultOptions(4))
+	defer c.Close()
+	c.SeedAt(11, 3, []byte("l"))
+	if err := dbapi.Run(c.Node(3).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(11, []byte("l2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Node(3).WaitReplication(2 * time.Second)
+	if err := c.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Live().Contains(3) {
+		t.Fatal("left node still live")
+	}
+	// Remaining nodes serve the data.
+	var got []byte
+	err := dbapi.Run(c.Node(0).DB(), 0, func(tx dbapi.Txn) error {
+		v, err := tx.Get(11)
+		got = v
+		if err != nil {
+			return err
+		}
+		return tx.Set(11, v)
+	})
+	if err != nil || string(got) != "l2" {
+		t.Fatalf("post-leave read: %q %v", got, err)
+	}
+}
+
+func TestWaitIdleAndTrafficCounters(t *testing.T) {
+	c := New(DefaultOptions(3))
+	defer c.Close()
+	c.SeedAt(13, 0, []byte("w"))
+	if err := dbapi.Run(c.Node(0).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(13, []byte("w2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitIdle(2 * time.Second) {
+		t.Fatal("WaitIdle timed out")
+	}
+	if c.Messages() == 0 || c.Bytes() == 0 {
+		t.Fatal("no traffic recorded on mem fabric")
+	}
+}
+
+func TestSimFabricCluster(t *testing.T) {
+	opts := DefaultOptions(3)
+	opts.Fabric = FabricSim
+	opts.Net = netsim.Config{Seed: 5, MaxLatency: 30 * time.Microsecond, LossProb: 0.02, InboxDepth: 1 << 14}
+	c := New(opts)
+	defer c.Close()
+	c.SeedAt(15, 0, []byte("sim"))
+	if err := dbapi.Run(c.Node(1).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(15, []byte("sim2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() == 0 {
+		t.Fatal("sim fabric carried no messages")
+	}
+}
+
+func TestOwnershipLatencyHookWiring(t *testing.T) {
+	var n int
+	opts := DefaultOptions(3)
+	opts.OnOwnershipLatency = func(time.Duration) { n++ }
+	c := New(opts)
+	defer c.Close()
+	c.SeedAt(17, 0, []byte("h"))
+	if err := dbapi.Run(c.Node(2).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(17, []byte("h2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("latency hook never fired")
+	}
+}

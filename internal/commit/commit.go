@@ -1,0 +1,621 @@
+// Package commit implements Zeus' reliable commit protocol (§5): the
+// propagation of a locally committed write transaction to its followers (the
+// readers of all modified objects) via idempotent invalidations.
+//
+// Failure-free flow (Figure 4): after the local commit, the coordinator
+// broadcasts R-INV {tx_id, e_id, followers, updates} and keeps it; followers
+// apply newer versions, flip the objects to Invalid, store the R-INV and
+// R-ACK. Once all followers ACKed, the coordinator validates locally and
+// broadcasts R-VAL; followers validate (iff the version is unchanged) and
+// discard the stored R-INV.
+//
+// Pipelining (§5.2, Figure 5): the coordinator never waits for replication —
+// tx_id = ⟨local_tx_id, node_id⟩ (extended per worker thread, §7) orders the
+// slots of one pipeline; followers apply an R-INV only once the previous slot
+// of that pipe is applied or validated, with the prev-VAL bit / R-VAL
+// inclusion rule covering followers that see only part of a pipe's stream.
+//
+// Recovery (§5.1): after an epoch bump, every live node replays the stored
+// R-INVs of dead coordinators (epoch rewritten, dead followers pruned). All
+// R-INVs of a transaction are idempotent — same tx_id and t_versions — so
+// concurrent replayers are harmless. When a node has no pending commits left
+// from dead nodes it reports recovery-done; the ownership protocol resumes
+// only after every live node has reported (the membership barrier).
+package commit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/membership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Committed       uint64 // slots fully validated at this coordinator
+	Invalidations   uint64 // R-INVs applied as a follower
+	Replays         uint64 // slots replayed for dead coordinators
+	BytesReplicated uint64
+}
+
+// MaxPipelineDepth bounds the unvalidated slots per pipeline. The paper's
+// pipelines are implicitly bounded by NIC queues; here the bound provides
+// backpressure so a coordinator cannot outrun its followers indefinitely
+// (which would keep objects pending forever and starve ownership requests).
+const MaxPipelineDepth = 256
+
+// Engine runs the reliable commit protocol on one node.
+type Engine struct {
+	self  wire.NodeID
+	st    *store.Store
+	tr    transport.Transport
+	agent *membership.Agent
+
+	mu           sync.Mutex
+	outPipes     map[wire.Worker]*outPipe
+	inPipes      map[wire.PipeID]*inPipe
+	pendingByObj map[wire.ObjectID]int
+	replays      map[wire.TxID]*replaySlot
+	replayEpoch  wire.Epoch
+
+	stCommitted atomic.Uint64
+	stInvals    atomic.Uint64
+	stReplays   atomic.Uint64
+	stBytes     atomic.Uint64
+}
+
+// outPipe is a coordinator-side pipeline (one per worker thread, §7).
+type outPipe struct {
+	id wire.PipeID
+
+	mu        sync.Mutex
+	nextLocal uint64
+	slots     map[uint64]*outSlot
+}
+
+type outSlot struct {
+	tx        wire.TxID
+	inv       *wire.CommitInv
+	followers wire.Bitmap
+	acked     wire.Bitmap
+	// extraVal are nodes to include in this slot's R-VAL broadcast even
+	// though they were not followers: they follow the *next* slot and need
+	// the R-VAL to apply it (§5.2).
+	extraVal wire.Bitmap
+	valed    bool
+	done     chan struct{}
+}
+
+// inPipe tracks one remote coordinator pipeline at a follower.
+type inPipe struct {
+	mu sync.Mutex
+	// stored holds applied-but-unvalidated R-INVs (pending commits).
+	stored map[uint64]*wire.CommitInv
+	// done marks slots applied or validated, compacted via watermark.
+	done      map[uint64]bool
+	watermark uint64
+	// waiting buffers R-INVs whose predecessor has not been seen yet.
+	waiting map[uint64]*wire.CommitInv
+}
+
+// New creates a reliable-commit engine.
+func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membership.Agent) *Engine {
+	return &Engine{
+		self:         self,
+		st:           st,
+		tr:           tr,
+		agent:        agent,
+		outPipes:     make(map[wire.Worker]*outPipe),
+		inPipes:      make(map[wire.PipeID]*inPipe),
+		pendingByObj: make(map[wire.ObjectID]int),
+		replays:      make(map[wire.TxID]*replaySlot),
+	}
+}
+
+// Register installs the engine's handlers on the router.
+func (e *Engine) Register(r *transport.Router) {
+	r.HandleMany(e.Handle, wire.KindCommitInv, wire.KindCommitAck, wire.KindCommitVal)
+}
+
+// Handle dispatches one inbound reliable-commit message.
+func (e *Engine) Handle(from wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.CommitInv:
+		e.handleInv(from, v)
+	case *wire.CommitAck:
+		e.handleAck(v)
+	case *wire.CommitVal:
+		e.handleVal(v)
+	}
+}
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Committed:       e.stCommitted.Load(),
+		Invalidations:   e.stInvals.Load(),
+		Replays:         e.stReplays.Load(),
+		BytesReplicated: e.stBytes.Load(),
+	}
+}
+
+func (e *Engine) pipe(w wire.Worker) *outPipe {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.outPipes[w]
+	if !ok {
+		p = &outPipe{id: wire.PipeID{Node: e.self, Worker: w}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
+		e.outPipes[w] = p
+	}
+	return p
+}
+
+func (e *Engine) inPipe(id wire.PipeID) *inPipe {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.inPipes[id]
+	if !ok {
+		p = &inPipe{stored: make(map[uint64]*wire.CommitInv), done: make(map[uint64]bool), waiting: make(map[uint64]*wire.CommitInv)}
+		e.inPipes[id] = p
+	}
+	return p
+}
+
+// HasPending reports whether reliable commits involving obj are in flight at
+// this coordinator. The ownership protocol NACKs transfers while true (§4.1).
+func (e *Engine) HasPending(obj wire.ObjectID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pendingByObj[obj] > 0
+}
+
+// PendingSlots returns the number of unvalidated coordinator slots.
+func (e *Engine) PendingSlots() int {
+	e.mu.Lock()
+	pipes := make([]*outPipe, 0, len(e.outPipes))
+	for _, p := range e.outPipes {
+		pipes = append(pipes, p)
+	}
+	e.mu.Unlock()
+	n := 0
+	for _, p := range pipes {
+		p.mu.Lock()
+		n += len(p.slots)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// WaitIdle blocks until every coordinator slot validated or timeout elapses.
+func (e *Engine) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for e.PendingSlots() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return true
+}
+
+// Commit starts the reliable commit of a locally committed transaction on
+// worker w's pipeline and returns immediately (the pipeline never blocks the
+// application, §5.2). The store must already hold the new t_data/t_version
+// with t_state = Write; PendingCommits must already be incremented by the
+// caller under the object locks. The returned channel closes when the slot is
+// validated (tests and drain paths wait on it; applications do not).
+func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bitmap) (wire.TxID, <-chan struct{}) {
+	p := e.pipe(w)
+	live := e.agent.View().Live
+	epoch := e.agent.Epoch()
+	followers = followers.Remove(e.self).Intersect(live)
+
+	// Backpressure: a full pipeline means the followers lag; yield until
+	// R-ACKs drain some slots. This bounds memory and keeps the pending
+	// window of every object finite.
+	for {
+		p.mu.Lock()
+		if len(p.slots) < MaxPipelineDepth {
+			break
+		}
+		p.mu.Unlock()
+		time.Sleep(20 * time.Microsecond)
+	}
+	local := p.nextLocal
+	p.nextLocal++
+	tx := wire.TxID{Pipe: p.id, Local: local}
+
+	// prev-VAL rule (§5.2): if the previous slot's R-VAL has already been
+	// broadcast (or there is no previous slot), piggyback the bit so
+	// followers seeing only part of the stream can apply immediately.
+	// Otherwise make sure this slot's followers receive the previous
+	// slot's R-VAL by adding them to its broadcast set.
+	prevVal := true
+	if prev, ok := p.slots[local-1]; ok && !prev.valed {
+		prevVal = false
+		prev.extraVal = prev.extraVal.Union(followers.Remove(e.self))
+	}
+
+	inv := &wire.CommitInv{Tx: tx, Epoch: epoch, Followers: followers, PrevVal: prevVal, Updates: updates}
+	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{})}
+	p.slots[local] = slot
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	for _, u := range updates {
+		e.pendingByObj[u.Obj]++
+	}
+	e.mu.Unlock()
+
+	if followers.Count() == 0 {
+		// No live followers (replication degree 1 or all backups dead):
+		// the commit is trivially reliable.
+		e.completeSlot(p, slot)
+		return tx, slot.done
+	}
+	size := uint64(len(wire.Marshal(inv)))
+	for _, n := range followers.Nodes() {
+		_ = e.tr.Send(n, inv)
+		e.stBytes.Add(size)
+	}
+	return tx, slot.done
+}
+
+// completeSlot validates a coordinator slot: flip local objects whose version
+// is unchanged back to Valid, release pending counts, broadcast R-VAL.
+func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
+	p.mu.Lock()
+	if s.valed {
+		p.mu.Unlock()
+		return
+	}
+	s.valed = true
+	extra := s.extraVal
+	delete(p.slots, s.tx.Local)
+	p.mu.Unlock()
+
+	for _, u := range s.inv.Updates {
+		if o, ok := e.st.Get(u.Obj); ok {
+			o.Mu.Lock()
+			if o.TVersion == u.Version && o.TState == store.TWrite {
+				o.TState = store.TValid
+			}
+			if o.PendingCommits > 0 {
+				o.PendingCommits--
+			}
+			o.Mu.Unlock()
+		}
+	}
+	e.mu.Lock()
+	for _, u := range s.inv.Updates {
+		if e.pendingByObj[u.Obj] > 0 {
+			e.pendingByObj[u.Obj]--
+		}
+		if e.pendingByObj[u.Obj] == 0 {
+			delete(e.pendingByObj, u.Obj)
+		}
+	}
+	e.mu.Unlock()
+
+	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
+	for _, n := range s.followers.Union(extra).Nodes() {
+		if n != e.self {
+			_ = e.tr.Send(n, val)
+		}
+	}
+	e.stCommitted.Add(1)
+	close(s.done)
+}
+
+// ---------------------------------------------------------------------------
+// Follower side.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) handleInv(from wire.NodeID, m *wire.CommitInv) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	p := e.inPipe(m.Tx.Pipe)
+	p.mu.Lock()
+	if p.isDone(m.Tx.Local) || p.stored[m.Tx.Local] != nil {
+		// Already applied (replay or duplicate): just re-ACK (§5.1).
+		p.mu.Unlock()
+		e.ack(from, m)
+		return
+	}
+	// Pipeline ordering (§5.2): apply iff the previous slot was applied or
+	// validated here, or the coordinator vouched via the prev-VAL bit.
+	// Replayed R-INVs apply immediately: version checks keep them safe and
+	// affected objects stay Invalid until their own R-VAL anyway.
+	ready := m.Tx.Local == 1 || m.PrevVal || m.Replay ||
+		p.isDone(m.Tx.Local-1) || p.stored[m.Tx.Local-1] != nil
+	if !ready {
+		p.waiting[m.Tx.Local] = m
+		p.mu.Unlock()
+		return
+	}
+	e.applyInvLocked(p, from, m)
+	p.mu.Unlock()
+}
+
+// applyInvLocked applies one R-INV (p.mu held), ACKs, and drains any waiting
+// successors that became applicable.
+func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) {
+	for _, u := range m.Updates {
+		o, _ := e.st.GetOrCreate(u.Obj)
+		o.Mu.Lock()
+		if u.Version > o.TVersion {
+			o.Data = u.Data
+			o.TVersion = u.Version
+			o.TState = store.TInvalid
+		}
+		o.Mu.Unlock()
+	}
+	p.stored[m.Tx.Local] = m
+	e.stInvals.Add(1)
+	e.ack(from, m)
+
+	// A successor may have been waiting on this slot.
+	for {
+		next, ok := p.waiting[m.Tx.Local+1]
+		if !ok {
+			break
+		}
+		delete(p.waiting, m.Tx.Local+1)
+		m = next
+		for _, u := range m.Updates {
+			o, _ := e.st.GetOrCreate(u.Obj)
+			o.Mu.Lock()
+			if u.Version > o.TVersion {
+				o.Data = u.Data
+				o.TVersion = u.Version
+				o.TState = store.TInvalid
+			}
+			o.Mu.Unlock()
+		}
+		p.stored[m.Tx.Local] = m
+		e.stInvals.Add(1)
+		e.ack(m.Tx.Pipe.Node, m)
+	}
+}
+
+func (e *Engine) ack(to wire.NodeID, m *wire.CommitInv) {
+	if to == e.self {
+		return
+	}
+	_ = e.tr.Send(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
+}
+
+func (e *Engine) handleVal(m *wire.CommitVal) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	p := e.inPipe(m.Tx.Pipe)
+	p.mu.Lock()
+	inv := p.stored[m.Tx.Local]
+	delete(p.stored, m.Tx.Local)
+	p.markDone(m.Tx.Local)
+	// The R-VAL may unblock a waiting successor (prev-VAL inclusion rule).
+	if next, ok := p.waiting[m.Tx.Local+1]; ok {
+		delete(p.waiting, m.Tx.Local+1)
+		e.applyInvLocked(p, next.Tx.Pipe.Node, next)
+	}
+	p.mu.Unlock()
+	if inv == nil {
+		return // VAL for a slot this node did not follow: ordering-only
+	}
+	for _, u := range inv.Updates {
+		if o, ok := e.st.Get(u.Obj); ok {
+			o.Mu.Lock()
+			if o.TVersion == u.Version && o.TState == store.TInvalid {
+				o.TState = store.TValid
+			}
+			o.Mu.Unlock()
+		}
+	}
+}
+
+func (p *inPipe) isDone(local uint64) bool {
+	if local == 0 {
+		return true
+	}
+	return local <= p.watermark || p.done[local]
+}
+
+func (p *inPipe) markDone(local uint64) {
+	p.done[local] = true
+	for p.done[p.watermark+1] {
+		p.watermark++
+		delete(p.done, p.watermark)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator ACK collection.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) handleAck(m *wire.CommitAck) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	if m.Tx.Pipe.Node == e.self {
+		e.mu.Lock()
+		p := e.outPipes[m.Tx.Pipe.Worker]
+		e.mu.Unlock()
+		if p == nil {
+			return
+		}
+		p.mu.Lock()
+		s := p.slots[m.Tx.Local]
+		if s == nil {
+			p.mu.Unlock()
+			return
+		}
+		s.acked = s.acked.Add(m.From)
+		live := e.agent.View().Live
+		complete := s.acked.Union(wire.BitmapOf(e.self)).Intersect(s.followers.Intersect(live)) == s.followers.Intersect(live)
+		p.mu.Unlock()
+		if complete {
+			e.completeSlot(p, s)
+		}
+		return
+	}
+	// ACK for a transaction this node is replaying (dead coordinator).
+	e.mu.Lock()
+	rs := e.replays[m.Tx]
+	if rs != nil {
+		rs.acked = rs.acked.Add(m.From)
+		if rs.acked.Intersect(rs.followers) == rs.followers && !rs.finished {
+			rs.finished = true
+			e.finishReplayLocked(rs)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: replaying pending reliable commits of dead coordinators (§5.1).
+// ---------------------------------------------------------------------------
+
+type replaySlot struct {
+	inv       *wire.CommitInv
+	followers wire.Bitmap
+	acked     wire.Bitmap
+	finished  bool
+}
+
+// OnViewChange prunes dead followers from this coordinator's open slots and
+// replays every stored R-INV of dead coordinators. It reports recovery-done
+// to the membership agent once all replays validate.
+func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
+	if removed.Count() == 0 {
+		return
+	}
+	live := next.Live
+	epoch := next.Epoch
+
+	// 1. Own open slots: rewrite epochs, drop dead followers, re-send to
+	// the survivors (they may have missed the original in the old epoch).
+	e.mu.Lock()
+	pipes := make([]*outPipe, 0, len(e.outPipes))
+	for _, p := range e.outPipes {
+		pipes = append(pipes, p)
+	}
+	e.mu.Unlock()
+	var toComplete []struct {
+		p *outPipe
+		s *outSlot
+	}
+	for _, p := range pipes {
+		p.mu.Lock()
+		for _, s := range p.slots {
+			s.followers = s.followers.Intersect(live)
+			// Copy-on-write: the original R-INV may still be in flight
+			// on transport goroutines.
+			inv := *s.inv
+			inv.Followers = s.followers
+			inv.Epoch = epoch
+			inv.Replay = true
+			s.inv = &inv
+			if s.acked.Intersect(s.followers) == s.followers {
+				toComplete = append(toComplete, struct {
+					p *outPipe
+					s *outSlot
+				}{p, s})
+			} else {
+				for _, n := range s.followers.Nodes() {
+					if !s.acked.Contains(n) {
+						_ = e.tr.Send(n, s.inv)
+					}
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+	for _, c := range toComplete {
+		e.completeSlot(c.p, c.s)
+	}
+
+	// 2. Stored R-INVs of dead coordinators: replay them.
+	e.mu.Lock()
+	e.replayEpoch = epoch
+	type item struct {
+		pipe wire.PipeID
+		inv  *wire.CommitInv
+	}
+	var items []item
+	for id, p := range e.inPipes {
+		if live.Contains(id.Node) {
+			continue
+		}
+		p.mu.Lock()
+		for _, inv := range p.stored {
+			items = append(items, item{pipe: id, inv: inv})
+		}
+		p.mu.Unlock()
+	}
+	for _, it := range items {
+		inv := *it.inv // shallow copy; updates shared (immutable)
+		inv.Epoch = epoch
+		inv.Replay = true
+		inv.Followers = it.inv.Followers.Intersect(live).Remove(e.self)
+		rs := &replaySlot{inv: &inv, followers: inv.Followers}
+		e.replays[inv.Tx] = rs
+		e.stReplays.Add(1)
+	}
+	replays := make([]*replaySlot, 0, len(e.replays))
+	for _, rs := range e.replays {
+		replays = append(replays, rs)
+	}
+	e.mu.Unlock()
+
+	for _, rs := range replays {
+		if rs.followers.Count() == 0 {
+			e.mu.Lock()
+			if !rs.finished {
+				rs.finished = true
+				e.finishReplayLocked(rs)
+			}
+			e.mu.Unlock()
+			continue
+		}
+		for _, n := range rs.followers.Nodes() {
+			_ = e.tr.Send(n, rs.inv)
+		}
+	}
+	e.maybeReportDone()
+}
+
+// finishReplayLocked validates a replayed transaction (e.mu held): the local
+// stored copy flips Valid, survivors get R-VAL.
+func (e *Engine) finishReplayLocked(rs *replaySlot) {
+	tx := rs.inv.Tx
+	delete(e.replays, tx)
+	epoch := rs.inv.Epoch
+	followers := rs.followers
+	go func() {
+		// Validate locally exactly like a follower receiving R-VAL.
+		e.handleVal(&wire.CommitVal{Tx: tx, Epoch: epoch})
+		for _, n := range followers.Nodes() {
+			if n != e.self {
+				_ = e.tr.Send(n, &wire.CommitVal{Tx: tx, Epoch: epoch})
+			}
+		}
+		e.maybeReportDone()
+	}()
+}
+
+// maybeReportDone reports recovery completion once no replays remain.
+func (e *Engine) maybeReportDone() {
+	e.mu.Lock()
+	n := len(e.replays)
+	epoch := e.replayEpoch
+	e.mu.Unlock()
+	if n == 0 && epoch != 0 {
+		e.agent.ReportRecoveryDone(epoch)
+	}
+}

@@ -1,0 +1,485 @@
+package commit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zeus/internal/membership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+type tnode struct {
+	id    wire.NodeID
+	st    *store.Store
+	eng   *Engine
+	tr    *transport.MemTransport
+	agent *membership.Agent
+}
+
+type tcluster struct {
+	hub   *transport.Hub
+	mgr   *membership.Manager
+	nodes []*tnode
+}
+
+func newTestCluster(t *testing.T, n int) *tcluster {
+	t.Helper()
+	var members wire.Bitmap
+	for i := 0; i < n; i++ {
+		members = members.Add(wire.NodeID(i))
+	}
+	hub := transport.NewHub()
+	mgr := membership.NewManager(membership.Config{Lease: 2 * time.Millisecond}, members)
+	c := &tcluster{hub: hub, mgr: mgr}
+	for i := 0; i < n; i++ {
+		id := wire.NodeID(i)
+		st := store.New()
+		tr := hub.Node(id)
+		agent := mgr.Agent(id)
+		eng := New(id, st, tr, agent)
+		r := transport.NewRouter()
+		eng.Register(r)
+		tr.SetHandler(r.Dispatch)
+		agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
+			eng.OnViewChange(next, removed)
+		})
+		c.nodes = append(c.nodes, &tnode{id: id, st: st, eng: eng, tr: tr, agent: agent})
+		t.Cleanup(func() { tr.Close() })
+	}
+	return c
+}
+
+// seedObject installs an object at the owner and its readers with version 0.
+func (c *tcluster) seedObject(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap) {
+	reps := wire.ReplicaSet{Owner: owner, Readers: readers.Remove(owner)}
+	for _, nd := range c.nodes {
+		lvl := reps.LevelOf(nd.id)
+		if lvl == wire.NonReplica {
+			continue
+		}
+		o, _ := nd.st.GetOrCreate(obj)
+		o.Mu.Lock()
+		o.Level = lvl
+		o.Replicas = reps
+		o.TState = store.TValid
+		o.Mu.Unlock()
+	}
+}
+
+// localWrite performs the local-commit part of a write transaction at the
+// owner (what internal/core does) and hands it to the reliable commit.
+func (c *tcluster) localWrite(owner wire.NodeID, w wire.Worker, objs []wire.ObjectID, val string) (wire.TxID, <-chan struct{}) {
+	nd := c.nodes[owner]
+	var updates []wire.Update
+	var followers wire.Bitmap
+	for _, id := range objs {
+		o, _ := nd.st.Get(id)
+		o.Mu.Lock()
+		o.TVersion++
+		o.Data = []byte(val)
+		o.TState = store.TWrite
+		o.PendingCommits++
+		updates = append(updates, wire.Update{Obj: id, Version: o.TVersion, Data: []byte(val)})
+		followers = followers.Union(o.Replicas.Readers)
+		o.Mu.Unlock()
+	}
+	return nd.eng.Commit(w, updates, followers)
+}
+
+func (c *tcluster) waitValid(t *testing.T, node wire.NodeID, obj wire.ObjectID, wantVer uint64, wantData string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if o, ok := c.nodes[node].st.Get(obj); ok {
+			o.Mu.Lock()
+			st, ver, data := o.TState, o.TVersion, string(o.Data)
+			o.Mu.Unlock()
+			if st == store.TValid && ver == wantVer && data == wantData {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			o, _ := c.nodes[node].st.Get(obj)
+			o.Mu.Lock()
+			t.Fatalf("node %d obj %d never reached Valid v%d %q (now %v v%d %q)",
+				node, obj, wantVer, wantData, o.TState, o.TVersion, o.Data)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestReliableCommitReplicates(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(1, 0, wire.BitmapOf(1, 2))
+	_, done := c.localWrite(0, 0, []wire.ObjectID{1}, "v1")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit never validated")
+	}
+	for _, n := range []wire.NodeID{0, 1, 2} {
+		c.waitValid(t, n, 1, 1, "v1")
+	}
+	if c.nodes[0].eng.HasPending(1) {
+		t.Fatal("pending flag stuck after validation")
+	}
+}
+
+func TestMultiObjectCommitUnionFollowers(t *testing.T) {
+	c := newTestCluster(t, 4)
+	c.seedObject(1, 0, wire.BitmapOf(1))
+	c.seedObject(2, 0, wire.BitmapOf(2))
+	_, done := c.localWrite(0, 0, []wire.ObjectID{1, 2}, "both")
+	<-done
+	c.waitValid(t, 1, 1, 1, "both")
+	c.waitValid(t, 2, 2, 1, "both")
+	// Node 3 is not a replica of either object.
+	if _, ok := c.nodes[3].st.Get(1); ok {
+		t.Fatal("non-replica received data")
+	}
+}
+
+func TestPipelineOrderAndPendingCounts(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(5, 0, wire.BitmapOf(1, 2))
+	const N = 50
+	var last <-chan struct{}
+	for i := 1; i <= N; i++ {
+		_, done := c.localWrite(0, 0, []wire.ObjectID{5}, fmt.Sprintf("v%d", i))
+		last = done
+	}
+	select {
+	case <-last:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline never drained")
+	}
+	if !c.nodes[0].eng.WaitIdle(2 * time.Second) {
+		t.Fatal("WaitIdle timed out")
+	}
+	for _, n := range []wire.NodeID{0, 1, 2} {
+		c.waitValid(t, n, 5, N, fmt.Sprintf("v%d", N))
+	}
+	if c.nodes[0].eng.HasPending(5) {
+		t.Fatal("pending count leaked")
+	}
+}
+
+func TestPipeliningDoesNotBlockCoordinator(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(9, 0, wire.BitmapOf(1, 2))
+	// Issue 100 commits back-to-back; all Commit calls must return without
+	// waiting for any R-ACK round trip.
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		c.localWrite(0, 0, []wire.ObjectID{9}, "x")
+	}
+	elapsed := time.Since(start)
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("coordinator blocked: 100 commits took %v", elapsed)
+	}
+	c.nodes[0].eng.WaitIdle(5 * time.Second)
+}
+
+func TestPerWorkerPipelinesIndependent(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(11, 0, wire.BitmapOf(1))
+	c.seedObject(12, 0, wire.BitmapOf(2))
+	var wg sync.WaitGroup
+	for w := wire.Worker(0); w < 4; w++ {
+		wg.Add(1)
+		go func(w wire.Worker) {
+			defer wg.Done()
+			obj := wire.ObjectID(11)
+			if w%2 == 1 {
+				obj = 12
+			}
+			for i := 0; i < 20; i++ {
+				c.localWrite(0, w, []wire.ObjectID{obj}, "w")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !c.nodes[0].eng.WaitIdle(5 * time.Second) {
+		t.Fatal("pipes never drained")
+	}
+	st := c.nodes[0].eng.Stats()
+	if st.Committed != 80 {
+		t.Fatalf("committed = %d, want 80", st.Committed)
+	}
+}
+
+func TestFollowerInvalidationWindow(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(7, 0, wire.BitmapOf(1, 2))
+	// Block ACK traffic from node 2 so the commit cannot validate.
+	c.hub.SetDown(2, true)
+	_, done := c.localWrite(0, 0, []wire.ObjectID{7}, "pending")
+	// Node 1 must be Invalid (applied, not validated).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		o, ok := c.nodes[1].st.Get(7)
+		if ok {
+			o.Mu.Lock()
+			st := o.TState
+			o.Mu.Unlock()
+			if st == store.TInvalid {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never invalidated")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if c.nodes[0].eng.HasPending(7) != true {
+		t.Fatal("coordinator must report pending while unacked")
+	}
+	select {
+	case <-done:
+		t.Fatal("commit validated without all ACKs")
+	default:
+	}
+	// Revive node 2; it missed the R-INV (down endpoints drop traffic), so
+	// the view-change path re-sends: simulate by failing node 2 instead.
+	c.mgr.Fail(2)
+	if !c.mgr.WaitEpoch(2, 2*time.Second) {
+		t.Fatal("no view change")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit never validated after pruning dead follower")
+	}
+	c.waitValid(t, 1, 7, 1, "pending")
+}
+
+func TestCoordinatorDeathFollowerReplays(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.seedObject(21, 0, wire.BitmapOf(1, 2))
+	// Deliver the R-INV straight to the followers, as if the coordinator
+	// crashed right after broadcasting it and before any R-VAL.
+	inv := &wire.CommitInv{
+		Tx:        wire.TxID{Pipe: wire.PipeID{Node: 0, Worker: 0}, Local: 1},
+		Epoch:     1,
+		Followers: wire.BitmapOf(1, 2),
+		PrevVal:   true,
+		Updates:   []wire.Update{{Obj: 21, Version: 1, Data: []byte("orphan")}},
+	}
+	c.nodes[1].eng.Handle(0, inv)
+	c.nodes[2].eng.Handle(0, inv)
+	c.hub.SetDown(0, true)
+	c.mgr.Fail(0)
+	if !c.mgr.WaitEpoch(2, 2*time.Second) {
+		t.Fatal("no view change")
+	}
+	// Followers replay the pending commit among themselves and validate.
+	c.waitValid(t, 1, 21, 1, "orphan")
+	c.waitValid(t, 2, 21, 1, "orphan")
+	// The recovery barrier closes (both survivors report done).
+	deadline := time.Now().Add(2 * time.Second)
+	for c.mgr.RecoveryPending() {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery barrier never closed")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if c.nodes[1].eng.Stats().Replays == 0 && c.nodes[2].eng.Stats().Replays == 0 {
+		t.Fatal("no replays recorded")
+	}
+}
+
+func TestIdempotentDuplicateInv(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(31, 0, wire.BitmapOf(1))
+	inv := &wire.CommitInv{
+		Tx:        wire.TxID{Pipe: wire.PipeID{Node: 0, Worker: 0}, Local: 1},
+		Epoch:     1,
+		Followers: wire.BitmapOf(1),
+		PrevVal:   true,
+		Updates:   []wire.Update{{Obj: 31, Version: 1, Data: []byte("once")}},
+	}
+	// Deliver the same R-INV three times.
+	for i := 0; i < 3; i++ {
+		c.nodes[1].eng.Handle(0, inv)
+	}
+	o, _ := c.nodes[1].st.Get(31)
+	o.Mu.Lock()
+	ver, data := o.TVersion, string(o.Data)
+	o.Mu.Unlock()
+	if ver != 1 || data != "once" {
+		t.Fatalf("duplicate INV mis-applied: v%d %q", ver, data)
+	}
+	c.nodes[1].eng.Handle(0, &wire.CommitVal{Tx: inv.Tx, Epoch: 1})
+	o.Mu.Lock()
+	st := o.TState
+	o.Mu.Unlock()
+	if st != store.TValid {
+		t.Fatalf("state after VAL: %v", st)
+	}
+	// Late duplicate after VAL: re-ACKed, not re-applied.
+	c.nodes[1].eng.Handle(0, inv)
+	o.Mu.Lock()
+	st = o.TState
+	o.Mu.Unlock()
+	if st != store.TValid {
+		t.Fatalf("late duplicate flipped state: %v", st)
+	}
+}
+
+func TestStaleVersionSkipped(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(41, 0, wire.BitmapOf(1))
+	o, _ := c.nodes[1].st.Get(41)
+	o.Mu.Lock()
+	o.TVersion = 5
+	o.Data = []byte("newer")
+	o.Mu.Unlock()
+	inv := &wire.CommitInv{
+		Tx:    wire.TxID{Pipe: wire.PipeID{Node: 0, Worker: 0}, Local: 1},
+		Epoch: 1, Followers: wire.BitmapOf(1), PrevVal: true,
+		Updates: []wire.Update{{Obj: 41, Version: 3, Data: []byte("older")}},
+	}
+	c.nodes[1].eng.Handle(0, inv)
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.TVersion != 5 || string(o.Data) != "newer" {
+		t.Fatalf("stale INV applied: v%d %q", o.TVersion, o.Data)
+	}
+}
+
+func TestOutOfOrderSlotWaitsForPredecessor(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(51, 0, wire.BitmapOf(1))
+	pipe := wire.PipeID{Node: 0, Worker: 0}
+	// Slot 2 arrives first without the prev-VAL bit: must be buffered.
+	inv2 := &wire.CommitInv{
+		Tx: wire.TxID{Pipe: pipe, Local: 2}, Epoch: 1,
+		Followers: wire.BitmapOf(1),
+		Updates:   []wire.Update{{Obj: 51, Version: 2, Data: []byte("two")}},
+	}
+	c.nodes[1].eng.Handle(0, inv2)
+	o, _ := c.nodes[1].st.Get(51)
+	o.Mu.Lock()
+	ver := o.TVersion
+	o.Mu.Unlock()
+	if ver != 0 {
+		t.Fatalf("slot 2 applied before slot 1: v%d", ver)
+	}
+	// Slot 1 arrives: both apply in order.
+	inv1 := &wire.CommitInv{
+		Tx: wire.TxID{Pipe: pipe, Local: 1}, Epoch: 1,
+		Followers: wire.BitmapOf(1),
+		Updates:   []wire.Update{{Obj: 51, Version: 1, Data: []byte("one")}},
+	}
+	c.nodes[1].eng.Handle(0, inv1)
+	o.Mu.Lock()
+	ver, data := o.TVersion, string(o.Data)
+	o.Mu.Unlock()
+	if ver != 2 || data != "two" {
+		t.Fatalf("drain failed: v%d %q", ver, data)
+	}
+}
+
+func TestPrevValBitAllowsGap(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(61, 0, wire.BitmapOf(1))
+	pipe := wire.PipeID{Node: 0, Worker: 0}
+	// Node 1 was not a follower of slot 1; slot 2 carries prev-VAL.
+	inv2 := &wire.CommitInv{
+		Tx: wire.TxID{Pipe: pipe, Local: 2}, Epoch: 1, PrevVal: true,
+		Followers: wire.BitmapOf(1),
+		Updates:   []wire.Update{{Obj: 61, Version: 1, Data: []byte("gap")}},
+	}
+	c.nodes[1].eng.Handle(0, inv2)
+	o, _ := c.nodes[1].st.Get(61)
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.TVersion != 1 || string(o.Data) != "gap" {
+		t.Fatalf("prev-VAL gap not applied: v%d %q", o.TVersion, o.Data)
+	}
+}
+
+func TestRValInclusionUnblocksPartialFollower(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(71, 0, wire.BitmapOf(1))
+	pipe := wire.PipeID{Node: 0, Worker: 0}
+	// Slot 2 without prev-VAL: waits. Then the R-VAL of slot 1 arrives
+	// (the coordinator included this node in slot 1's R-VAL broadcast).
+	inv2 := &wire.CommitInv{
+		Tx: wire.TxID{Pipe: pipe, Local: 2}, Epoch: 1,
+		Followers: wire.BitmapOf(1),
+		Updates:   []wire.Update{{Obj: 71, Version: 1, Data: []byte("late")}},
+	}
+	c.nodes[1].eng.Handle(0, inv2)
+	c.nodes[1].eng.Handle(0, &wire.CommitVal{Tx: wire.TxID{Pipe: pipe, Local: 1}, Epoch: 1})
+	o, _ := c.nodes[1].st.Get(71)
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.TVersion != 1 || string(o.Data) != "late" {
+		t.Fatalf("R-VAL inclusion did not unblock: v%d %q", o.TVersion, o.Data)
+	}
+}
+
+func TestWrongEpochIgnored(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.seedObject(81, 0, wire.BitmapOf(1))
+	inv := &wire.CommitInv{
+		Tx:    wire.TxID{Pipe: wire.PipeID{Node: 0, Worker: 0}, Local: 1},
+		Epoch: 99, PrevVal: true, Followers: wire.BitmapOf(1),
+		Updates: []wire.Update{{Obj: 81, Version: 1, Data: []byte("stale-epoch")}},
+	}
+	c.nodes[1].eng.Handle(0, inv)
+	o, _ := c.nodes[1].st.Get(81)
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.TVersion != 0 {
+		t.Fatal("stale-epoch INV applied")
+	}
+}
+
+func TestConcurrentCommitsManyObjects(t *testing.T) {
+	c := newTestCluster(t, 3)
+	const objs = 32
+	for i := 0; i < objs; i++ {
+		c.seedObject(wire.ObjectID(100+i), 0, wire.BitmapOf(1, 2))
+	}
+	var wg sync.WaitGroup
+	for w := wire.Worker(0); w < 8; w++ {
+		wg.Add(1)
+		go func(w wire.Worker) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				obj := wire.ObjectID(100 + (int(w)*25+i)%objs)
+				nd := c.nodes[0]
+				o, _ := nd.st.Get(obj)
+				o.Mu.Lock()
+				o.TVersion++
+				ver := o.TVersion
+				o.TState = store.TWrite
+				o.PendingCommits++
+				followers := o.Replicas.Readers
+				o.Mu.Unlock()
+				nd.eng.Commit(w, []wire.Update{{Obj: obj, Version: ver, Data: []byte("c")}}, followers)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !c.nodes[0].eng.WaitIdle(10 * time.Second) {
+		t.Fatal("pipes never drained")
+	}
+	// All replicas converge to the coordinator's versions.
+	for i := 0; i < objs; i++ {
+		obj := wire.ObjectID(100 + i)
+		o0, _ := c.nodes[0].st.Get(obj)
+		o0.Mu.Lock()
+		ver := o0.TVersion
+		o0.Mu.Unlock()
+		for _, n := range []wire.NodeID{1, 2} {
+			c.waitValid(t, n, obj, ver, "c")
+		}
+	}
+}

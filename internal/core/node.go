@@ -1,0 +1,581 @@
+// Package core assembles a Zeus datastore node: the object store, the
+// reliable ownership engine (§4), the reliable commit engine (§5), and the
+// transactional memory API of §7 (tr_create / tr_r_create / tr_open_read /
+// tr_open_write / tr_commit / tr_abort — here Begin / BeginRO / Get / Set /
+// Commit / Abort).
+//
+// Transactions follow the three steps of §3.2:
+//
+//  1. Prepare & Execute — before accessing an object the worker verifies it
+//     holds the needed ownership level, acquiring it via the ownership
+//     protocol otherwise (blocking, the only blocking step). The first
+//     update creates a private copy (opacity, §6.2).
+//  2. Local Commit — contention across local workers is resolved with a
+//     local version of the ownership protocol: per-object local ownership
+//     taken by try-lock, conflicts abort and retry with back-off (§7).
+//  3. Reliable Commit — the validated updates enter the worker's pipeline
+//     and replicate in the background; the application never blocks (§5.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/commit"
+	"zeus/internal/dbapi"
+	"zeus/internal/membership"
+	"zeus/internal/ownership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Config tunes a node.
+type Config struct {
+	// Degree is the replication degree: replicas per object including the
+	// owner. The paper evaluates 3-way replication.
+	Degree int
+	// Workers is the number of worker threads; each owns a commit pipeline.
+	Workers int
+	// TrimReplicas restores the replication degree out of the critical
+	// path after a non-replica acquired ownership (§6.2).
+	TrimReplicas bool
+	// AutoAcquireRead lets read accesses on non-replica nodes acquire
+	// reader level via the ownership protocol (first access only).
+	AutoAcquireRead bool
+	// Ownership configures the ownership engine (directory nodes etc).
+	Ownership ownership.Config
+}
+
+// DefaultConfig mirrors the paper's evaluation setup: 3-way replication, the
+// directory on the first three nodes.
+func DefaultConfig() Config {
+	return Config{
+		Degree:          3,
+		Workers:         8,
+		TrimReplicas:    true,
+		AutoAcquireRead: true,
+		Ownership:       ownership.DefaultConfig(wire.BitmapOf(0, 1, 2)),
+	}
+}
+
+// Stats aggregates transaction counters for one node.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	ROCommits uint64
+	ROAborts  uint64
+}
+
+// Node is one Zeus datastore server.
+type Node struct {
+	id     wire.NodeID
+	cfg    Config
+	st     *store.Store
+	tr     transport.Transport
+	router *transport.Router
+	agent  *membership.Agent
+	own    *ownership.Engine
+	cmt    *commit.Engine
+
+	nextWorker atomic.Uint32
+
+	stCommits   atomic.Uint64
+	stAborts    atomic.Uint64
+	stROCommits atomic.Uint64
+	stROAborts  atomic.Uint64
+}
+
+// NewNode builds and wires a node on the given transport and membership
+// agent. The node installs its message handler on the transport; extra
+// handlers (e.g. the load balancer's Hermes KV) can be registered on
+// Router() before traffic flows.
+func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cfg Config) *Node {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	st := store.New()
+	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent}
+	n.router = transport.NewRouter()
+	n.cmt = commit.New(id, st, tr, agent)
+	n.own = ownership.New(id, st, tr, agent, cfg.Ownership)
+	// The owner refuses ownership transfers while the object is involved
+	// in a pending reliable commit (§4.1). Executing local transactions
+	// (local ownership held) are detected by the ownership engine itself
+	// via Object.LocalOwner — this hook must not lock the object.
+	n.own.HasPendingCommit = n.cmt.HasPending
+	n.own.Register(n.router)
+	n.cmt.Register(n.router)
+	tr.SetHandler(n.router.Dispatch)
+
+	agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
+		if removed.Count() == 0 {
+			return
+		}
+		n.own.Pause()
+		n.own.PruneDead(next.Live)
+		n.cmt.OnViewChange(next, removed) // reports recovery-done when drained
+	})
+	agent.OnRecovered(func(wire.Epoch) { n.own.Resume() })
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Store exposes the object store (tests and tooling).
+func (n *Node) Store() *store.Store { return n.st }
+
+// Router exposes the message router for co-located services.
+func (n *Node) Router() *transport.Router { return n.router }
+
+// OwnershipEngine exposes the ownership engine (experiments measure it).
+func (n *Node) OwnershipEngine() *ownership.Engine { return n.own }
+
+// CommitEngine exposes the reliable-commit engine.
+func (n *Node) CommitEngine() *commit.Engine { return n.cmt }
+
+// Agent returns the membership agent.
+func (n *Node) Agent() *membership.Agent { return n.agent }
+
+// Stats returns this node's transaction counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Commits:   n.stCommits.Load(),
+		Aborts:    n.stAborts.Load(),
+		ROCommits: n.stROCommits.Load(),
+		ROAborts:  n.stROAborts.Load(),
+	}
+}
+
+// Close shuts down the node's engines.
+func (n *Node) Close() {
+	n.own.Close()
+	_ = n.tr.Close()
+}
+
+// WaitReplication blocks until all pending reliable commits validated.
+func (n *Node) WaitReplication(timeout time.Duration) bool {
+	return n.cmt.WaitIdle(timeout)
+}
+
+// ---------------------------------------------------------------------------
+// Object lifecycle (malloc / free, §7).
+// ---------------------------------------------------------------------------
+
+// Placement returns the default replica set for a new object: this node as
+// owner plus Degree-1 readers chosen round-robin from the live view.
+func (n *Node) Placement(obj wire.ObjectID) wire.Bitmap {
+	live := n.agent.View().Live.Nodes()
+	var readers wire.Bitmap
+	if len(live) == 0 {
+		return readers
+	}
+	// Start after self, offset by the object id for spread.
+	start := 0
+	for i, nd := range live {
+		if nd == n.id {
+			start = i + 1
+			break
+		}
+	}
+	need := n.cfg.Degree - 1
+	for i := 0; i < len(live) && readers.Count() < need; i++ {
+		cand := live[(start+i)%len(live)]
+		if cand != n.id {
+			readers = readers.Add(cand)
+		}
+	}
+	return readers
+}
+
+// CreateObject registers obj with this node as owner and default placement,
+// then reliably replicates the initial value.
+func (n *Node) CreateObject(obj wire.ObjectID, data []byte) error {
+	return n.CreateObjectWithReaders(obj, data, n.Placement(obj))
+}
+
+// CreateObjectWithReaders is CreateObject with an explicit reader set.
+func (n *Node) CreateObjectWithReaders(obj wire.ObjectID, data []byte, readers wire.Bitmap) error {
+	if err := n.own.Create(obj, readers); err != nil {
+		return err
+	}
+	o, _ := n.st.GetOrCreate(obj)
+	o.Mu.Lock()
+	o.TVersion++
+	o.Data = append([]byte(nil), data...)
+	o.TState = store.TWrite
+	o.PendingCommits++
+	followers := o.Replicas.Readers
+	ver := o.TVersion
+	o.Mu.Unlock()
+	n.cmt.Commit(wire.Worker(0), []wire.Update{{Obj: obj, Version: ver, Data: append([]byte(nil), data...)}}, followers)
+	return nil
+}
+
+// DeleteObject unregisters obj deployment-wide (free).
+func (n *Node) DeleteObject(obj wire.ObjectID) error { return n.own.Delete(obj) }
+
+// ---------------------------------------------------------------------------
+// Transactions.
+// ---------------------------------------------------------------------------
+
+// Tx is one transaction (see package comment for the lifecycle).
+type Tx struct {
+	n        *Node
+	worker   int
+	ro       bool
+	reads    map[wire.ObjectID]uint64 // version observed at first read
+	readBuf  map[wire.ObjectID][]byte // stable snapshot of reads
+	writes   map[wire.ObjectID][]byte // private copies (opacity)
+	held     map[wire.ObjectID]*store.Object
+	finished bool
+	durable  <-chan struct{}
+}
+
+// Begin starts a write transaction on an automatically assigned worker.
+func (n *Node) Begin() *Tx {
+	return n.BeginOn(int(n.nextWorker.Add(1)) % n.cfg.Workers)
+}
+
+// BeginOn starts a write transaction on a specific worker thread. Worker ids
+// map 1:1 onto reliable-commit pipelines (§5.2, §7).
+func (n *Node) BeginOn(worker int) *Tx {
+	return &Tx{
+		n: n, worker: worker % n.cfg.Workers,
+		reads:   make(map[wire.ObjectID]uint64),
+		readBuf: make(map[wire.ObjectID][]byte),
+		writes:  make(map[wire.ObjectID][]byte),
+		held:    make(map[wire.ObjectID]*store.Object),
+	}
+}
+
+// BeginRO starts a read-only transaction: local, strictly serializable on
+// any replica, no network traffic (§5.3).
+func (n *Node) BeginRO() *Tx {
+	tx := n.BeginOn(int(n.nextWorker.Add(1)))
+	tx.ro = true
+	return tx
+}
+
+// errNeedOwnership is an internal marker: the access level must be acquired.
+var errNeedOwnership = fmt.Errorf("core: ownership level missing")
+
+// Get returns the value of obj as seen by the transaction (tr_open_read).
+func (tx *Tx) Get(obj uint64) ([]byte, error) {
+	id := wire.ObjectID(obj)
+	if !tx.ro {
+		if w, ok := tx.writes[id]; ok {
+			return append([]byte(nil), w...), nil
+		}
+	}
+	if b, ok := tx.readBuf[id]; ok {
+		return append([]byte(nil), b...), nil
+	}
+	if err := tx.ensureReadable(id); err != nil {
+		return nil, err
+	}
+	o, ok := tx.n.st.Get(id)
+	if !ok {
+		return nil, dbapi.ErrNoReplica
+	}
+	o.Mu.Lock()
+	st, ver := o.TState, o.TVersion
+	var data []byte
+	if o.Data != nil {
+		data = append([]byte(nil), o.Data...)
+	}
+	lvl := o.Level
+	o.Mu.Unlock()
+
+	// Invalidated objects cannot be read (§5.3); the owner may read its
+	// own locally committed (Write-state) values thanks to pipelining.
+	switch {
+	case st == store.TValid:
+	case st == store.TWrite && lvl == wire.Owner && !tx.ro:
+	default:
+		tx.release()
+		return nil, dbapi.ErrConflict
+	}
+	// Opacity (§6.2): every prior read must still be valid, so the
+	// transaction always observes a consistent snapshot, even if it will
+	// abort later.
+	if !tx.validateReadsLocked() {
+		tx.release()
+		return nil, dbapi.ErrConflict
+	}
+	tx.reads[id] = ver
+	tx.readBuf[id] = data
+	return append([]byte(nil), data...), nil
+}
+
+// Set buffers a full-object write in the transaction's private copy
+// (tr_open_write + update).
+func (tx *Tx) Set(obj uint64, val []byte) error {
+	if tx.ro {
+		return fmt.Errorf("core: Set on read-only transaction")
+	}
+	id := wire.ObjectID(obj)
+	if _, ok := tx.held[id]; !ok {
+		if err := tx.ensureWritable(id); err != nil {
+			return err
+		}
+		// If the object was read before being locked, it must not have
+		// changed in between (snapshot consistency).
+		if ver, wasRead := tx.reads[id]; wasRead {
+			o, _ := tx.n.st.Get(id)
+			o.Mu.Lock()
+			cur := o.TVersion
+			o.Mu.Unlock()
+			if cur != ver {
+				tx.release()
+				return dbapi.ErrConflict
+			}
+		}
+	}
+	tx.writes[id] = append([]byte(nil), val...)
+	return nil
+}
+
+// ensureReadable secures reader (or owner) level for the object.
+func (tx *Tx) ensureReadable(id wire.ObjectID) error {
+	n := tx.n
+	if o, ok := n.st.Get(id); ok {
+		o.Mu.Lock()
+		lvl, ost := o.Level, o.OState
+		o.Mu.Unlock()
+		if lvl != wire.NonReplica && (ost == store.OValid || ost == store.ORequest) {
+			return nil
+		}
+	}
+	if tx.ro && !n.cfg.AutoAcquireRead {
+		return dbapi.ErrNoReplica
+	}
+	if err := n.own.AcquireRead(id); err != nil {
+		return ownershipErr(err)
+	}
+	return nil
+}
+
+// ensureWritable secures exclusive write access: owner level via the
+// ownership protocol (remote) plus local ownership via try-lock (§7).
+func (tx *Tx) ensureWritable(id wire.ObjectID) error {
+	n := tx.n
+	o, _ := n.st.GetOrCreate(id)
+	for attempt := 0; attempt < 3; attempt++ {
+		o.Mu.Lock()
+		if o.Level == wire.Owner && (o.OState == store.OValid || o.OState == store.ORequest) {
+			if o.LocalOwner != store.NoLocalOwner && o.LocalOwner != int32(tx.worker) {
+				o.Mu.Unlock()
+				tx.release()
+				return dbapi.ErrConflict // local contention: abort + retry
+			}
+			o.LocalOwner = int32(tx.worker)
+			tx.held[id] = o
+			o.Mu.Unlock()
+			return nil
+		}
+		o.Mu.Unlock()
+		if err := n.own.AcquireOwnership(id); err != nil {
+			tx.release()
+			return ownershipErr(err)
+		}
+		n.maybeTrim(id)
+	}
+	tx.release()
+	return dbapi.ErrConflict
+}
+
+// ownershipErr maps ownership failures to the retryable conflict error,
+// keeping permanent errors (unknown object) intact.
+func ownershipErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ownership.ErrUnknownObject):
+		return err
+	default:
+		return dbapi.ErrConflict
+	}
+}
+
+// maybeTrim restores the replication degree after ownership grew the replica
+// set, out of the critical path (§6.2).
+func (n *Node) maybeTrim(id wire.ObjectID) {
+	if !n.cfg.TrimReplicas {
+		return
+	}
+	o, ok := n.st.Get(id)
+	if !ok {
+		return
+	}
+	o.Mu.Lock()
+	var drop wire.NodeID = wire.NoNode
+	if o.Level == wire.Owner && o.Replicas.All().Count() > n.cfg.Degree {
+		// Drop the lowest-id reader; deterministic and simple.
+		if rd := o.Replicas.Readers.Nodes(); len(rd) > 0 {
+			drop = rd[0]
+		}
+	}
+	o.Mu.Unlock()
+	if drop != wire.NoNode {
+		go func() { _ = n.own.DropReader(id, drop) }()
+	}
+}
+
+// validateReadsLocked re-checks every read version (caller holds no locks;
+// each object is locked briefly).
+func (tx *Tx) validateReadsLocked() bool {
+	for id, ver := range tx.reads {
+		if _, written := tx.writes[id]; written {
+			continue // protected by local ownership
+		}
+		o, ok := tx.n.st.Get(id)
+		if !ok {
+			return false
+		}
+		o.Mu.Lock()
+		okv := o.TVersion == ver && (o.TState == store.TValid ||
+			(o.TState == store.TWrite && o.Level == wire.Owner && !tx.ro))
+		o.Mu.Unlock()
+		if !okv {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit finishes the transaction: read-only transactions verify their
+// snapshot (§5.3); write transactions perform the local commit and hand the
+// updates to the reliable-commit pipeline without blocking (§5.2).
+func (tx *Tx) Commit() error {
+	if tx.finished {
+		return fmt.Errorf("core: transaction already finished")
+	}
+	tx.finished = true
+	n := tx.n
+
+	if tx.ro || len(tx.writes) == 0 {
+		ok := tx.validateReadsLocked()
+		tx.release()
+		if !ok {
+			if tx.ro {
+				n.stROAborts.Add(1)
+			} else {
+				n.stAborts.Add(1)
+			}
+			return dbapi.ErrConflict
+		}
+		if tx.ro {
+			n.stROCommits.Add(1)
+		} else {
+			n.stCommits.Add(1)
+		}
+		return nil
+	}
+
+	// Local commit: verify ownership of the write set (still held), then
+	// validate the read snapshot.
+	ids := make([]wire.ObjectID, 0, len(tx.writes))
+	for id := range tx.writes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := tx.held[id]
+		if o == nil {
+			tx.release()
+			n.stAborts.Add(1)
+			return dbapi.ErrConflict
+		}
+		o.Mu.Lock()
+		ok := o.Level == wire.Owner &&
+			(o.OState == store.OValid || o.OState == store.ORequest) &&
+			o.LocalOwner == int32(tx.worker)
+		o.Mu.Unlock()
+		if !ok {
+			tx.release()
+			n.stAborts.Add(1)
+			return dbapi.ErrConflict
+		}
+	}
+	if !tx.validateReadsLocked() {
+		tx.release()
+		n.stAborts.Add(1)
+		return dbapi.ErrConflict
+	}
+
+	// Apply: install private copies, bump versions, mark Write state.
+	updates := make([]wire.Update, 0, len(ids))
+	var followers wire.Bitmap
+	for _, id := range ids {
+		o := tx.held[id]
+		data := tx.writes[id]
+		o.Mu.Lock()
+		o.Data = data
+		o.TVersion++
+		o.TState = store.TWrite
+		o.PendingCommits++
+		updates = append(updates, wire.Update{Obj: id, Version: o.TVersion, Data: data})
+		followers = followers.Union(o.Replicas.Readers)
+		o.Mu.Unlock()
+	}
+	tx.release()
+
+	// Reliable commit: pipelined, never blocks the worker (§5.2).
+	_, done := n.cmt.Commit(wire.Worker(tx.worker), updates, followers)
+	tx.durable = done
+	n.stCommits.Add(1)
+	return nil
+}
+
+// Abort abandons the transaction and releases local ownership (tr_abort).
+func (tx *Tx) Abort() {
+	if tx.finished {
+		return
+	}
+	tx.finished = true
+	tx.release()
+	if tx.ro {
+		tx.n.stROAborts.Add(1)
+	} else {
+		tx.n.stAborts.Add(1)
+	}
+}
+
+// Durable returns a channel closed once the transaction's reliable commit
+// validated on all followers (nil if the transaction wrote nothing).
+// Applications do not wait on it — the pipeline guarantees ordering — but
+// tests and drain paths do.
+func (tx *Tx) Durable() <-chan struct{} { return tx.durable }
+
+func (tx *Tx) release() {
+	for id, o := range tx.held {
+		o.ReleaseLocal(int32(tx.worker))
+		delete(tx.held, id)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// dbapi adapters.
+// ---------------------------------------------------------------------------
+
+type dbAdapter struct{ n *Node }
+
+// DB returns the node as a dbapi.DB for the shared benchmark workloads.
+func (n *Node) DB() dbapi.DB { return dbAdapter{n} }
+
+func (a dbAdapter) Begin(worker int) dbapi.Txn { return a.n.BeginOn(worker) }
+func (a dbAdapter) BeginRO(worker int) dbapi.Txn {
+	tx := a.n.BeginOn(worker)
+	tx.ro = true
+	return tx
+}
+
+var _ dbapi.Txn = (*Tx)(nil)

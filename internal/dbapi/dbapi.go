@@ -1,0 +1,87 @@
+// Package dbapi defines the minimal transactional interface shared by the
+// Zeus datastore (internal/core) and the distributed-commit baseline
+// (internal/baseline), so that every benchmark workload runs unchanged
+// against both systems — mirroring how the paper compares Zeus with
+// FaRM/FaSST/DrTM on identical workloads.
+package dbapi
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrConflict is the retryable abort error: the transaction lost a conflict
+// (local contention, lost ownership, failed OCC validation, or a read of an
+// invalidated object) and should be retried by the application.
+var ErrConflict = errors.New("db: transaction conflict, retry")
+
+// ErrNoReplica reports a read-only access on a node that stores no replica
+// and could not (or was configured not to) acquire one.
+var ErrNoReplica = errors.New("db: object has no local replica")
+
+// Txn is one transaction: reads and writes of whole objects, finished by
+// exactly one Commit or Abort.
+type Txn interface {
+	// Get returns the object's value. In a write transaction the value
+	// reflects the transaction's own pending writes.
+	Get(obj uint64) ([]byte, error)
+	// Set buffers a full-object write (invalid on read-only transactions).
+	Set(obj uint64, val []byte) error
+	// Commit attempts to commit; ErrConflict means retry.
+	Commit() error
+	// Abort abandons the transaction.
+	Abort()
+}
+
+// DB is a transactional datastore node.
+type DB interface {
+	// Begin starts a write transaction on the given worker thread.
+	Begin(worker int) Txn
+	// BeginRO starts a read-only transaction (§5.3 in Zeus: local and
+	// strictly serializable on any replica).
+	BeginRO(worker int) Txn
+}
+
+// Run executes fn inside a write transaction with retry-on-conflict and
+// exponential back-off, the standard application loop.
+func Run(db DB, worker int, fn func(Txn) error) error {
+	return run(db, worker, fn, false)
+}
+
+// RunRO is Run for read-only transactions.
+func RunRO(db DB, worker int, fn func(Txn) error) error {
+	return run(db, worker, fn, true)
+}
+
+func run(db DB, worker int, fn func(Txn) error, ro bool) error {
+	backoff := 2 * time.Microsecond
+	const maxBackoff = 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var tx Txn
+		if ro {
+			tx = db.BeginRO(worker)
+		} else {
+			tx = db.Begin(worker)
+		}
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Abort()
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		if attempt > 1000 {
+			return err
+		}
+		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}

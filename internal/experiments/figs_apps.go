@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"zeus/internal/apps/epcgw"
+	"zeus/internal/apps/httplb"
+	"zeus/internal/apps/sctpsim"
+	"zeus/internal/bench"
+	"zeus/internal/cluster"
+	"zeus/internal/wire"
+)
+
+// Fig13Result is the packet-gateway control-plane comparison (§8.5,
+// Figure 13): throughput of the four datastore configurations.
+type Fig13Result struct {
+	LocalTps       float64 // local memory, no replication
+	BlockingTps    float64 // Redis-like blocking store (remote RPC per access)
+	Zeus1ActiveTps float64 // Zeus, 1 active + 1 passive replica
+	Zeus2ActiveTps float64 // Zeus, 2 active nodes (paper: +60 %)
+}
+
+// Fig13 runs the gateway on all four backends.
+func Fig13(s Scale) Fig13Result {
+	users := s.UsersPerNode
+	ops := s.OpsPerWorker
+
+	run := func(gws []*epcgw.Gateway, workers int) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		total := 0
+		var mu sync.Mutex
+		for gi, g := range gws {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(g *epcgw.Gateway, gi, w int) {
+					defer wg.Done()
+					done, _ := g.Drive(w, ops, rand.New(rand.NewSource(int64(gi*100+w))))
+					mu.Lock()
+					total += done
+					mu.Unlock()
+				}(g, gi, w)
+			}
+		}
+		wg.Wait()
+		return float64(total) / time.Since(start).Seconds()
+	}
+
+	// 1. Local memory: one gateway, one worker per user partition (the
+	// real gateway's single-threaded local mode).
+	ldb := epcgw.NewLocalDB()
+	lcfg := epcgw.DefaultConfig(0, 1)
+	lcfg.Users = users
+	lg := epcgw.New(lcfg, ldb)
+	lg.SeedObjects(func(obj uint64, home int, data []byte) { ldb.Seed(obj, data) })
+	localTps := run([]*epcgw.Gateway{lg}, 1)
+
+	// 2. Blocking store: baseline with a single primary (node 0) and the
+	// gateway running on node 1 — every access is a blocking RPC over the
+	// simulated fabric (real round-trip latency, like the paper's Redis).
+	d := bench.NewBaselineDeploymentSim(2, 1, simNetConfig())
+	bcfg := epcgw.DefaultConfig(0, 1)
+	bcfg.Users = users
+	bg := epcgw.New(bcfg, d.Nodes[1])
+	bg.SeedObjects(func(obj uint64, home int, data []byte) {
+		d.Nodes[0].Seed(wire.ObjectID(obj), 1, data)
+	})
+	blockingTps := run([]*epcgw.Gateway{bg}, 1)
+	d.Close()
+
+	// 3. Zeus, 1 active + 1 passive.
+	c1 := clusterFor(2, s.Workers)
+	zcfg := epcgw.DefaultConfig(0, 2)
+	zcfg.Users = users
+	zg := epcgw.New(zcfg, c1.Node(0).DB())
+	zg.SeedObjects(func(obj uint64, home int, data []byte) {
+		c1.SeedAt(wire.ObjectID(obj), wire.NodeID(home), data)
+	})
+	zeus1Tps := run([]*epcgw.Gateway{zg}, 1)
+	c1.Close()
+
+	// 4. Zeus, 2 active nodes, each the other's replica.
+	c2 := clusterFor(2, s.Workers)
+	var gws []*epcgw.Gateway
+	for n := 0; n < 2; n++ {
+		cfg := epcgw.DefaultConfig(n, 2)
+		cfg.Users = users
+		g := epcgw.New(cfg, c2.Node(n).DB())
+		g.SeedObjects(func(obj uint64, home int, data []byte) {
+			c2.SeedAt(wire.ObjectID(obj), wire.NodeID(home), data)
+		})
+		gws = append(gws, g)
+	}
+	zeus2Tps := run(gws, 1)
+	c2.Close()
+
+	return Fig13Result{
+		LocalTps: localTps, BlockingTps: blockingTps,
+		Zeus1ActiveTps: zeus1Tps, Zeus2ActiveTps: zeus2Tps,
+	}
+}
+
+func clusterFor(nodes, workers int) *cluster.Cluster {
+	opts := cluster.DefaultOptions(nodes)
+	opts.Degree = 2
+	opts.Workers = workers
+	return cluster.New(opts)
+}
+
+// Print renders the comparison.
+func (r Fig13Result) Print(w io.Writer) {
+	printHeader(w, "Figure 13: cellular packet gateway control plane")
+	fmt.Fprintf(w, "  local memory        : %s\n", fmtTps(r.LocalTps))
+	fmt.Fprintf(w, "  blocking store      : %s   (paper: well below local)\n", fmtTps(r.BlockingTps))
+	fmt.Fprintf(w, "  Zeus 1 active+1 pass: %s   (paper: ≈ local memory)\n", fmtTps(r.Zeus1ActiveTps))
+	fmt.Fprintf(w, "  Zeus 2 active       : %s   (paper: ≈ +60%% over 1 active)\n", fmtTps(r.Zeus2ActiveTps))
+}
+
+// Fig14Result is the SCTP port measurement (§8.5, Figure 14): goodput with
+// and without replication for two packet sizes.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Fig14Row is one packet-size group.
+type Fig14Row struct {
+	PacketBytes int
+	NoReplMbps  float64
+	ZeusMbps    float64
+}
+
+// Fig14 transfers a single flow through the SCTP-like association.
+func Fig14(s Scale) Fig14Result {
+	var rows []Fig14Row
+	for _, pkt := range []int{150, 1440} {
+		row := Fig14Row{PacketBytes: pkt}
+		for _, degree := range []int{1, 2} {
+			opts := cluster.DefaultOptions(2)
+			opts.Degree = degree
+			opts.Workers = s.Workers
+			c := cluster.New(opts)
+			cfg := sctpsim.DefaultConfig()
+			c.SeedAt(wire.ObjectID(1), 0, sctpsim.InitialState(cfg).Encode(cfg.StateSize))
+			a := sctpsim.New(cfg, c.Node(0).DB(), 1, 0)
+			start := time.Now()
+			res, err := a.Transfer(s.Packets, pkt)
+			elapsed := time.Since(start)
+			c.Close()
+			if err != nil {
+				continue
+			}
+			mbps := float64(res.Bytes) * 8 / elapsed.Seconds() / 1e6
+			if degree == 1 {
+				row.NoReplMbps = mbps
+			} else {
+				row.ZeusMbps = mbps
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Fig14Result{Rows: rows}
+}
+
+// Print renders the comparison.
+func (r Fig14Result) Print(w io.Writer) {
+	printHeader(w, "Figure 14: SCTP throughput (single flow, per-packet state transactions)")
+	for _, row := range r.Rows {
+		drop := 0.0
+		if row.NoReplMbps > 0 {
+			drop = 100 * (row.NoReplMbps - row.ZeusMbps) / row.NoReplMbps
+		}
+		fmt.Fprintf(w, "  %4dB packets: no-repl %8.1f Mbps   zeus %8.1f Mbps   (drop %.0f%%; paper: ~40%% @1440B)\n",
+			row.PacketBytes, row.NoReplMbps, row.ZeusMbps, drop)
+	}
+}
+
+// Fig15Result is the Nginx-style scale-out/in timeline (§8.5, Figure 15).
+type Fig15Result struct {
+	Interval time.Duration
+	// Phases: rate with 1 proxy, with 2 proxies (scale-out), back to 1.
+	OneProxyTps  float64
+	TwoProxyTps  float64
+	BackToOneTps float64
+	Misses       uint64
+}
+
+// Fig15 measures session-persistent HTTP routing through Zeus while scaling
+// a second proxy node out and back in.
+func Fig15(s Scale) Fig15Result {
+	opts := cluster.DefaultOptions(2)
+	opts.Degree = 2
+	opts.Workers = s.Workers
+	c := cluster.New(opts)
+	defer c.Close()
+
+	cfg := httplb.DefaultConfig(0, 2)
+	cfg.Sessions = s.Sessions
+	p0 := httplb.New(cfg, c.Node(0).DB())
+	p0.SeedObjects(func(obj uint64, home int, data []byte) {
+		c.SeedAt(wire.ObjectID(obj), wire.NodeID(home), data)
+	})
+	p1 := httplb.New(cfg, c.Node(1).DB())
+
+	drive := func(proxies []*httplb.Proxy, d time.Duration) float64 {
+		var total uint64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		time.AfterFunc(d, func() { close(stop) })
+		start := time.Now()
+		for pi, p := range proxies {
+			for w := 0; w < s.Workers; w++ {
+				wg.Add(1)
+				go func(p *httplb.Proxy, pi, w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(pi*100 + w)))
+					n := uint64(0)
+					for {
+						select {
+						case <-stop:
+							mu.Lock()
+							total += n
+							mu.Unlock()
+							return
+						default:
+						}
+						if _, err := p.Handle(w, rng.Intn(s.Sessions), rng); err == nil {
+							n++
+						}
+					}
+				}(p, pi, w)
+			}
+		}
+		wg.Wait()
+		return float64(total) / time.Since(start).Seconds()
+	}
+
+	third := s.Duration / 3
+	one := drive([]*httplb.Proxy{p0}, third)
+	two := drive([]*httplb.Proxy{p0, p1}, third) // scale-out
+	back := drive([]*httplb.Proxy{p0}, third)    // scale-in
+	_, misses := p0.Stats()
+	return Fig15Result{
+		Interval: s.Interval, OneProxyTps: one, TwoProxyTps: two,
+		BackToOneTps: back, Misses: misses,
+	}
+}
+
+// Print renders the phases.
+func (r Fig15Result) Print(w io.Writer) {
+	printHeader(w, "Figure 15: Nginx-style session persistence under scale-out/in")
+	fmt.Fprintf(w, "  1 proxy : %s\n", fmtTps(r.OneProxyTps))
+	fmt.Fprintf(w, "  2 proxies (scale-out): %s\n", fmtTps(r.TwoProxyTps))
+	fmt.Fprintf(w, "  1 proxy (scale-in)  : %s\n", fmtTps(r.BackToOneTps))
+	fmt.Fprintf(w, "  assignment misses=%d (sessions assigned once, sticky after)\n", r.Misses)
+}

@@ -1,0 +1,328 @@
+// Package membership implements Zeus' reliable membership (§3.1): a
+// logically-centralized, lease-protected view service in the style of
+// ZooKeeper-with-leases. Each membership update carries a monotonically
+// increasing epoch id (e_id) and is applied across the deployment only after
+// the leases of departed nodes have expired, giving all live nodes consistent
+// views despite unreliable failure detection.
+//
+// The Manager plays the role of the external membership service; Agents live
+// inside each node. After a view change that removed nodes, the ownership
+// protocol pauses until every live node has replayed the pending reliable
+// commits of the dead ones and reported done (§5.1); the Manager implements
+// that barrier and notifies agents when recovery completes.
+package membership
+
+import (
+	"sync"
+	"time"
+
+	"zeus/internal/wire"
+)
+
+// Config controls lease behaviour.
+type Config struct {
+	// Lease is how long a failed node's lease remains valid; the view
+	// change is deferred until it expires.
+	Lease time.Duration
+}
+
+// DefaultConfig uses a short lease suitable for simulation.
+func DefaultConfig() Config { return Config{Lease: 10 * time.Millisecond} }
+
+// ChangeFunc observes a view change. removed is the set of nodes that left
+// between the two views (non-empty ⇒ failure recovery is required).
+type ChangeFunc func(old, new wire.View, removed wire.Bitmap)
+
+// RecoveredFunc observes completion of the post-failure recovery barrier.
+type RecoveredFunc func(epoch wire.Epoch)
+
+// Manager is the membership service for one deployment.
+type Manager struct {
+	cfg Config
+
+	mu              sync.Mutex
+	epoch           wire.Epoch
+	live            wire.Bitmap
+	failed          map[wire.NodeID]time.Time
+	agents          map[wire.NodeID]*Agent
+	pendingRecovery map[wire.Epoch]wire.Bitmap // nodes yet to report done
+	renewals        map[wire.NodeID]time.Time
+}
+
+// NewManager creates a manager with the given initial members, all live, at
+// epoch 1.
+func NewManager(cfg Config, members wire.Bitmap) *Manager {
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultConfig().Lease
+	}
+	now := time.Now()
+	renew := make(map[wire.NodeID]time.Time, members.Count())
+	for _, n := range members.Nodes() {
+		renew[n] = now
+	}
+	return &Manager{
+		cfg:             cfg,
+		epoch:           1,
+		live:            members,
+		failed:          make(map[wire.NodeID]time.Time),
+		agents:          make(map[wire.NodeID]*Agent),
+		pendingRecovery: make(map[wire.Epoch]wire.Bitmap),
+		renewals:        renew,
+	}
+}
+
+// View returns the current view.
+func (m *Manager) View() wire.View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return wire.View{Epoch: m.epoch, Live: m.live}
+}
+
+// Agent creates (or returns) the agent embedded in node id. The agent starts
+// with the manager's current view.
+func (m *Manager) Agent(id wire.NodeID) *Agent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a, ok := m.agents[id]; ok {
+		return a
+	}
+	a := &Agent{self: id, mgr: m, view: wire.View{Epoch: m.epoch, Live: m.live}}
+	m.agents[id] = a
+	return a
+}
+
+// Renew records a lease renewal from node id. Renewals from failed nodes are
+// ignored (their epoch has moved on).
+func (m *Manager) Renew(id wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.live.Contains(id) {
+		m.renewals[id] = time.Now()
+	}
+}
+
+// Fail reports that node id crashed. The view change is published after the
+// node's lease expires. Returns immediately; use WaitEpoch or agent callbacks
+// to observe the change.
+func (m *Manager) Fail(id wire.NodeID) {
+	m.mu.Lock()
+	if !m.live.Contains(id) {
+		m.mu.Unlock()
+		return
+	}
+	if _, already := m.failed[id]; already {
+		m.mu.Unlock()
+		return
+	}
+	m.failed[id] = time.Now()
+	last := m.renewals[id]
+	wait := time.Until(last.Add(m.cfg.Lease))
+	if wait < 0 {
+		wait = 0
+	}
+	m.mu.Unlock()
+	time.AfterFunc(wait, func() { m.completeFailure(id) })
+}
+
+func (m *Manager) completeFailure(id wire.NodeID) {
+	m.mu.Lock()
+	if !m.live.Contains(id) {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.failed, id)
+	old := wire.View{Epoch: m.epoch, Live: m.live}
+	m.epoch++
+	m.live = m.live.Remove(id)
+	next := wire.View{Epoch: m.epoch, Live: m.live}
+	m.pendingRecovery[m.epoch] = m.live
+	agents := m.liveAgentsLocked()
+	m.mu.Unlock()
+	for _, a := range agents {
+		a.apply(old, next, wire.BitmapOf(id))
+	}
+}
+
+// Join adds node id to the deployment (scale-out). No recovery barrier is
+// needed since nothing was lost.
+func (m *Manager) Join(id wire.NodeID) {
+	m.mu.Lock()
+	if m.live.Contains(id) {
+		m.mu.Unlock()
+		return
+	}
+	old := wire.View{Epoch: m.epoch, Live: m.live}
+	m.epoch++
+	m.live = m.live.Add(id)
+	m.renewals[id] = time.Now()
+	next := wire.View{Epoch: m.epoch, Live: m.live}
+	agents := m.liveAgentsLocked()
+	m.mu.Unlock()
+	for _, a := range agents {
+		a.apply(old, next, 0)
+	}
+}
+
+// Leave removes node id gracefully (scale-in). Unlike Fail there is no lease
+// wait — the node coordinated its departure — but the recovery barrier still
+// runs so its pending reliable commits are replayed by the survivors.
+func (m *Manager) Leave(id wire.NodeID) {
+	m.mu.Lock()
+	if !m.live.Contains(id) {
+		m.mu.Unlock()
+		return
+	}
+	old := wire.View{Epoch: m.epoch, Live: m.live}
+	m.epoch++
+	m.live = m.live.Remove(id)
+	next := wire.View{Epoch: m.epoch, Live: m.live}
+	m.pendingRecovery[m.epoch] = m.live
+	agents := m.liveAgentsLocked()
+	m.mu.Unlock()
+	for _, a := range agents {
+		a.apply(old, next, wire.BitmapOf(id))
+	}
+}
+
+func (m *Manager) liveAgentsLocked() []*Agent {
+	out := make([]*Agent, 0, len(m.agents))
+	for id, a := range m.agents {
+		if m.live.Contains(id) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// recoveryDone records that node from finished replaying pending reliable
+// commits for epoch. When all live nodes have reported, agents are notified
+// and the ownership protocol may resume (§5.1).
+func (m *Manager) recoveryDone(epoch wire.Epoch, from wire.NodeID) {
+	m.mu.Lock()
+	pending, ok := m.pendingRecovery[epoch]
+	if !ok || epoch != m.epoch {
+		m.mu.Unlock()
+		return
+	}
+	pending = pending.Remove(from)
+	if pending.Count() > 0 {
+		m.pendingRecovery[epoch] = pending
+		m.mu.Unlock()
+		return
+	}
+	delete(m.pendingRecovery, epoch)
+	agents := m.liveAgentsLocked()
+	m.mu.Unlock()
+	for _, a := range agents {
+		a.notifyRecovered(epoch)
+	}
+}
+
+// WaitEpoch blocks until the manager's epoch reaches at least e or the
+// timeout elapses; reports whether the epoch was reached.
+func (m *Manager) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		cur := m.epoch
+		m.mu.Unlock()
+		if cur >= e {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// RecoveryPending reports whether the barrier for the current epoch is open.
+func (m *Manager) RecoveryPending() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.pendingRecovery[m.epoch]
+	return ok
+}
+
+// Agent is a node's local view of the membership.
+type Agent struct {
+	self wire.NodeID
+	mgr  *Manager
+
+	mu          sync.Mutex
+	view        wire.View
+	onChange    []ChangeFunc
+	onRecovered []RecoveredFunc
+}
+
+// Self returns the node id this agent belongs to.
+func (a *Agent) Self() wire.NodeID { return a.self }
+
+// View returns the agent's current view.
+func (a *Agent) View() wire.View {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.view
+}
+
+// Epoch returns the agent's current epoch id.
+func (a *Agent) Epoch() wire.Epoch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.view.Epoch
+}
+
+// IsLive reports whether node n is live in the agent's view.
+func (a *Agent) IsLive(n wire.NodeID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.view.Live.Contains(n)
+}
+
+// OnChange registers a view-change callback (engines register here).
+func (a *Agent) OnChange(fn ChangeFunc) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onChange = append(a.onChange, fn)
+}
+
+// OnRecovered registers a recovery-barrier-complete callback.
+func (a *Agent) OnRecovered(fn RecoveredFunc) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onRecovered = append(a.onRecovered, fn)
+}
+
+// ReportRecoveryDone tells the membership service that this node has no more
+// pending reliable commits from dead coordinators for the given epoch.
+func (a *Agent) ReportRecoveryDone(epoch wire.Epoch) {
+	a.mgr.recoveryDone(epoch, a.self)
+}
+
+// Renew renews this node's lease.
+func (a *Agent) Renew() { a.mgr.Renew(a.self) }
+
+func (a *Agent) apply(old, next wire.View, removed wire.Bitmap) {
+	a.mu.Lock()
+	if next.Epoch <= a.view.Epoch {
+		a.mu.Unlock()
+		return
+	}
+	a.view = next
+	fns := make([]ChangeFunc, len(a.onChange))
+	copy(fns, a.onChange)
+	a.mu.Unlock()
+	for _, fn := range fns {
+		fn(old, next, removed)
+	}
+}
+
+func (a *Agent) notifyRecovered(epoch wire.Epoch) {
+	a.mu.Lock()
+	fns := make([]RecoveredFunc, len(a.onRecovered))
+	copy(fns, a.onRecovered)
+	a.mu.Unlock()
+	for _, fn := range fns {
+		fn(epoch)
+	}
+}

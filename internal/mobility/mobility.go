@@ -1,0 +1,196 @@
+// Package mobility models the cellular-handover geography of §2.2 and §8:
+// base stations spread on a 1 km grid over a metro area (the paper's Boston
+// model [12]), users that are mostly stationary plus a mobile minority
+// commuting on straight-line trips (5 one-way trips/day; 100 km/day for
+// drivers, 20 km/day for non-drivers), and stations sharded across Zeus
+// nodes in contiguous geographic tiles.
+//
+// A handover between consecutive stations on a trip is *remote* when the two
+// stations belong to different nodes. The paper reports up to 6.2 % remote
+// handovers on six nodes; RemoteHandoverFraction reproduces that analysis.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+)
+
+// StationID identifies one base station.
+type StationID int
+
+// Config describes the metro area and deployment.
+type Config struct {
+	// GridW × GridH base stations at 1 km spacing (the paper provisions
+	// ~1000 stations for 2 M users).
+	GridW, GridH int
+	// Nodes is the number of Zeus servers the stations are sharded over.
+	Nodes int
+	// DriverFrac is the fraction of mobile users that drive (100 km/day);
+	// the rest are non-drivers (20 km/day).
+	DriverFrac float64
+	// TripsPerDay is the average number of one-way trips per person.
+	TripsPerDay int
+	// Seed makes analyses reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's setup: ~1000 stations, 5 trips/day.
+func DefaultConfig(nodes int) Config {
+	return Config{GridW: 32, GridH: 32, Nodes: nodes, DriverFrac: 0.5, TripsPerDay: 5, Seed: 1}
+}
+
+// Model is an instantiated mobility model.
+type Model struct {
+	cfg Config
+	// tile decomposition: tilesX × tilesY contiguous regions, one per node.
+	tilesX, tilesY int
+}
+
+// New builds a model, choosing the most square tile decomposition for the
+// node count (geographically contiguous shards, as a deployment would).
+func New(cfg Config) *Model {
+	if cfg.GridW <= 0 {
+		cfg.GridW = 32
+	}
+	if cfg.GridH <= 0 {
+		cfg.GridH = 32
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.TripsPerDay <= 0 {
+		cfg.TripsPerDay = 5
+	}
+	m := &Model{cfg: cfg}
+	m.tilesX, m.tilesY = squarestFactors(cfg.Nodes)
+	return m
+}
+
+// squarestFactors returns the factor pair (a, b) of n with a*b = n and the
+// smallest |a-b| (e.g. 6 → 3×2, 4 → 2×2, 5 → 5×1).
+func squarestFactors(n int) (int, int) {
+	best, bestB := n, 1
+	for a := 1; a*a <= n; a++ {
+		if n%a == 0 {
+			best, bestB = n/a, a
+		}
+	}
+	return best, bestB
+}
+
+// Stations returns the number of base stations.
+func (m *Model) Stations() int { return m.cfg.GridW * m.cfg.GridH }
+
+// Nodes returns the deployment size.
+func (m *Model) Nodes() int { return m.cfg.Nodes }
+
+// NodeOf returns the Zeus node hosting station s under the tile sharding.
+func (m *Model) NodeOf(s StationID) int {
+	x := int(s) % m.cfg.GridW
+	y := int(s) / m.cfg.GridW
+	tx := x * m.tilesX / m.cfg.GridW
+	if tx >= m.tilesX {
+		tx = m.tilesX - 1
+	}
+	ty := y * m.tilesY / m.cfg.GridH
+	if ty >= m.tilesY {
+		ty = m.tilesY - 1
+	}
+	return ty*m.tilesX + tx
+}
+
+// IsRemote reports whether a handover from station a to b crosses nodes.
+func (m *Model) IsRemote(a, b StationID) bool { return m.NodeOf(a) != m.NodeOf(b) }
+
+// TripLenKm returns the per-trip length for a driver or non-driver:
+// daily distance divided by trips per day (100/20 km per the study [12]).
+func (m *Model) TripLenKm(driver bool) int {
+	daily := 20
+	if driver {
+		daily = 100
+	}
+	l := daily / m.cfg.TripsPerDay
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Trip generates a straight-line commute: the sequence of stations visited,
+// starting at a uniformly random station, heading in a uniformly random
+// direction, one station per km, clipped at the grid boundary. Consecutive
+// entries are distinct (each step is one handover).
+func (m *Model) Trip(rng *rand.Rand, driver bool) []StationID {
+	lenKm := m.TripLenKm(driver)
+	x := float64(rng.Intn(m.cfg.GridW))
+	y := float64(rng.Intn(m.cfg.GridH))
+	theta := rng.Float64() * 2 * math.Pi
+	dx, dy := math.Cos(theta), math.Sin(theta)
+	path := make([]StationID, 0, lenKm+1)
+	last := StationID(-1)
+	for step := 0; step <= lenKm; step++ {
+		cx := int(math.Round(x))
+		cy := int(math.Round(y))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= m.cfg.GridW {
+			cx = m.cfg.GridW - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= m.cfg.GridH {
+			cy = m.cfg.GridH - 1
+		}
+		s := StationID(cy*m.cfg.GridW + cx)
+		if s != last {
+			path = append(path, s)
+			last = s
+		}
+		x += dx
+		y += dy
+	}
+	return path
+}
+
+// Analysis is the outcome of a remote-handover study.
+type Analysis struct {
+	Trips           int
+	Handovers       int
+	RemoteHandovers int
+}
+
+// RemoteFraction returns remote handovers / handovers.
+func (a Analysis) RemoteFraction() float64 {
+	if a.Handovers == 0 {
+		return 0
+	}
+	return float64(a.RemoteHandovers) / float64(a.Handovers)
+}
+
+// Analyze simulates trips commute trips and counts remote handovers — the
+// locality analysis behind §8's "up to 6.2 % for six nodes".
+func (m *Model) Analyze(trips int) Analysis {
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	var out Analysis
+	out.Trips = trips
+	for i := 0; i < trips; i++ {
+		path := m.Trip(rng, rng.Float64() < m.cfg.DriverFrac)
+		for j := 1; j < len(path); j++ {
+			out.Handovers++
+			if m.IsRemote(path[j-1], path[j]) {
+				out.RemoteHandovers++
+			}
+		}
+	}
+	return out
+}
+
+// RemoteTransactionFraction combines the handover ratio (handovers as a
+// fraction of all control-plane requests, 2.5 %–5 % per [45]) with the
+// remote-handover fraction to yield the overall remote-transaction fraction
+// quoted in §8 (e.g. 5 % × 6.2 % ≈ 0.31 %).
+func (m *Model) RemoteTransactionFraction(handoverRatio float64, trips int) float64 {
+	return handoverRatio * m.Analyze(trips).RemoteFraction()
+}

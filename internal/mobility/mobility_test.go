@@ -1,0 +1,121 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSquarestFactors(t *testing.T) {
+	cases := []struct{ n, a, b int }{
+		{1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {4, 2, 2}, {6, 3, 2}, {12, 4, 3},
+	}
+	for _, c := range cases {
+		a, b := squarestFactors(c.n)
+		if a*b != c.n {
+			t.Fatalf("factors(%d) = %d×%d", c.n, a, b)
+		}
+		if a != c.a || b != c.b {
+			t.Errorf("factors(%d) = %d×%d, want %d×%d", c.n, a, b, c.a, c.b)
+		}
+	}
+}
+
+func TestShardingCoversAllNodesEvenly(t *testing.T) {
+	m := New(DefaultConfig(6))
+	counts := map[int]int{}
+	for s := StationID(0); int(s) < m.Stations(); s++ {
+		n := m.NodeOf(s)
+		if n < 0 || n >= 6 {
+			t.Fatalf("station %d on node %d", s, n)
+		}
+		counts[n]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("only %d nodes used", len(counts))
+	}
+	min, max := m.Stations(), 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max > 2*min {
+		t.Fatalf("unbalanced sharding: min %d max %d", min, max)
+	}
+}
+
+func TestTripStaysInGridAndMoves(t *testing.T) {
+	m := New(DefaultConfig(6))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		path := m.Trip(rng, i%2 == 0)
+		if len(path) == 0 {
+			t.Fatal("empty trip")
+		}
+		for j, s := range path {
+			if int(s) < 0 || int(s) >= m.Stations() {
+				t.Fatalf("station %d out of grid", s)
+			}
+			if j > 0 && s == path[j-1] {
+				t.Fatalf("trip %d repeats station %d consecutively", i, s)
+			}
+		}
+	}
+}
+
+func TestTripLengths(t *testing.T) {
+	m := New(DefaultConfig(6))
+	if got := m.TripLenKm(true); got != 20 {
+		t.Fatalf("driver trip = %d km, want 20 (100 km over 5 trips)", got)
+	}
+	if got := m.TripLenKm(false); got != 4 {
+		t.Fatalf("non-driver trip = %d km, want 4 (20 km over 5 trips)", got)
+	}
+}
+
+func TestRemoteHandoverFractionBand(t *testing.T) {
+	// The paper reports up to 6.2% remote handovers on six nodes. The
+	// geometric model should land in a single-digit band around that.
+	m := New(DefaultConfig(6))
+	a := m.Analyze(20000)
+	frac := a.RemoteFraction()
+	if frac < 0.02 || frac > 0.15 {
+		t.Fatalf("six-node remote fraction %.3f outside [0.02, 0.15]", frac)
+	}
+	if a.Handovers == 0 || a.Trips != 20000 {
+		t.Fatalf("analysis incomplete: %+v", a)
+	}
+}
+
+func TestRemoteFractionGrowsWithNodes(t *testing.T) {
+	f3 := New(DefaultConfig(3)).Analyze(20000).RemoteFraction()
+	f6 := New(DefaultConfig(6)).Analyze(20000).RemoteFraction()
+	f12 := New(DefaultConfig(12)).Analyze(20000).RemoteFraction()
+	if !(f3 < f6 && f6 < f12) {
+		t.Fatalf("remote fraction not monotonic: %.3f %.3f %.3f", f3, f6, f12)
+	}
+	f1 := New(DefaultConfig(1)).Analyze(5000).RemoteFraction()
+	if f1 != 0 {
+		t.Fatalf("single node has remote handovers: %.3f", f1)
+	}
+}
+
+func TestRemoteTransactionFraction(t *testing.T) {
+	// 5% handovers of which ~6% remote ⇒ ~0.3% remote transactions (§8).
+	m := New(DefaultConfig(6))
+	frac := m.RemoteTransactionFraction(0.05, 20000)
+	if frac <= 0 || frac > 0.01 {
+		t.Fatalf("remote tx fraction %.4f outside (0, 1%%]", frac)
+	}
+}
+
+func TestAnalysisDeterministicUnderSeed(t *testing.T) {
+	a := New(DefaultConfig(6)).Analyze(2000)
+	b := New(DefaultConfig(6)).Analyze(2000)
+	if a != b {
+		t.Fatalf("same seed, different analyses: %+v vs %+v", a, b)
+	}
+}

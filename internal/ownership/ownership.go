@@ -1,0 +1,1093 @@
+// Package ownership implements Zeus' reliable ownership protocol (§4): the
+// atomic, fault-tolerant migration of object data and access rights between
+// nodes.
+//
+// Roles per request:
+//
+//   - requester: the node that needs a new access level; blocks the
+//     application thread until the request completes (1.5 RTT fast path).
+//   - driver: the directory node the REQ was sent to; mints the ownership
+//     timestamp o_ts = ⟨obj_ver+1, node_id⟩ and invalidates the others.
+//   - arbiters: the directory nodes plus the current owner (plus, for the
+//     sharding request types of §6.2, affected readers). They resolve
+//     contention by lexicographic o_ts comparison.
+//
+// The failure-free flow (top of Figure 3): REQ → driver mints o_ts, state
+// Drive, INVs remaining arbiters → arbiters invalidate and ACK directly to
+// the requester (the owner piggybacks the data when the requester holds no
+// replica; it NACKs if the object has pending reliable commits) → requester
+// applies first, unblocks the application, and VALs all arbiters.
+//
+// Recovery (bottom of Figure 3): after a membership epoch bump, any arbiter
+// stuck with a pending request replays the exact same INV from its stored
+// state (arb-replay); ACKs flow to the replaying driver, which RESPs a live
+// requester (so the requester still applies first) or VALs directly when the
+// requester died.
+package ownership
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/membership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Errors returned by Acquire and friends.
+var (
+	// ErrTimeout: the request did not complete within the deadline.
+	ErrTimeout = errors.New("ownership: request timed out")
+	// ErrAborted: the request was NACKed and retries were exhausted.
+	ErrAborted = errors.New("ownership: request aborted")
+	// ErrUnknownObject: the directory has no entry for the object.
+	ErrUnknownObject = errors.New("ownership: unknown object")
+	// ErrClosed: the engine is shut down.
+	ErrClosed = errors.New("ownership: engine closed")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// DirNodes is the set of directory nodes (the paper replicates the
+	// directory across three nodes regardless of deployment size).
+	DirNodes wire.Bitmap
+	// AttemptTimeout bounds one REQ→final-ACK attempt.
+	AttemptTimeout time.Duration
+	// Deadline bounds the whole Acquire (across retries and back-off).
+	Deadline time.Duration
+	// BackoffBase is the initial exponential back-off after a NACK (§6.2).
+	BackoffBase time.Duration
+	// BackoffMax caps the back-off.
+	BackoffMax time.Duration
+	// StaleAfter is how long a pending arbitration may linger before a
+	// driver force-completes it with an arb-replay (liveness escape for
+	// requesters that died or gave up before validating).
+	StaleAfter time.Duration
+	// OnLatency, if set, observes the latency of every successful
+	// ownership request (the metric of Figure 12).
+	OnLatency func(time.Duration)
+}
+
+// DefaultConfig returns simulation-friendly timeouts.
+func DefaultConfig(dirNodes wire.Bitmap) Config {
+	return Config{
+		DirNodes:       dirNodes,
+		AttemptTimeout: 100 * time.Millisecond,
+		Deadline:       5 * time.Second,
+		BackoffBase:    50 * time.Microsecond,
+		BackoffMax:     5 * time.Millisecond,
+		StaleAfter:     250 * time.Millisecond,
+	}
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Requests  uint64 // ownership requests issued (attempts)
+	Succeeded uint64
+	Nacks     uint64
+	Timeouts  uint64
+	Replays   uint64 // arb-replays driven during recovery
+}
+
+// Engine runs the ownership protocol on one node.
+type Engine struct {
+	self  wire.NodeID
+	st    *store.Store
+	tr    transport.Transport
+	agent *membership.Agent
+	cfg   Config
+
+	// HasPendingCommit is wired to the reliable-commit engine: the owner
+	// NACKs ownership requests for objects with pending reliable commits.
+	// It MUST NOT lock the object (the engine may hold the object mutex
+	// when calling it); objects held by executing local transactions are
+	// detected by the engine itself via Object.LocalOwner.
+	HasPendingCommit func(wire.ObjectID) bool
+
+	mu        sync.Mutex
+	nextReq   uint64
+	pending   map[uint64]*pendingReq     // requester side, by reqID
+	recov     map[uint64]*recovState     // recovery-driver side, by reqID
+	valsAwait map[wire.ObjectID]wire.OTS // VALs that overtook their INV
+
+	recovering atomic.Bool
+	closed     chan struct{}
+	once       sync.Once
+	selfQ      chan wire.Msg
+
+	stRequests  atomic.Uint64
+	stSucceeded atomic.Uint64
+	stNacks     atomic.Uint64
+	stTimeouts  atomic.Uint64
+	stReplays   atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+type outcome struct {
+	ok     bool
+	reason wire.NackReason
+}
+
+type pendingReq struct {
+	id   uint64
+	obj  wire.ObjectID
+	mode wire.ReqMode
+
+	mu          sync.Mutex
+	arbiters    wire.Bitmap // learned from the first ACK
+	acked       wire.Bitmap
+	ts          wire.OTS
+	newReplicas wire.ReplicaSet
+	hasData     bool
+	tversion    uint64
+	data        []byte
+	applied     bool
+	done        chan outcome
+}
+
+type recovState struct {
+	reqID    uint64
+	obj      wire.ObjectID
+	ts       wire.OTS
+	arbiters wire.Bitmap
+	acked    wire.Bitmap
+	pend     store.PendingOwn
+	hasData  bool
+	tversion uint64
+	data     []byte
+	finished bool
+}
+
+// New creates an ownership engine. Call Register to hook it into a router,
+// and set HasPendingCommit before serving traffic.
+func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membership.Agent, cfg Config) *Engine {
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 100 * time.Millisecond
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 5 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Microsecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Millisecond
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 250 * time.Millisecond
+	}
+	e := &Engine{
+		self:             self,
+		st:               st,
+		tr:               tr,
+		agent:            agent,
+		cfg:              cfg,
+		pending:          make(map[uint64]*pendingReq),
+		recov:            make(map[uint64]*recovState),
+		valsAwait:        make(map[wire.ObjectID]wire.OTS),
+		closed:           make(chan struct{}),
+		selfQ:            make(chan wire.Msg, 4096),
+		rng:              rand.New(rand.NewSource(int64(self)*7919 + 1)),
+		HasPendingCommit: func(wire.ObjectID) bool { return false },
+	}
+	go e.selfLoop()
+	return e
+}
+
+// Register installs the engine's handlers on the router.
+func (e *Engine) Register(r *transport.Router) {
+	r.HandleMany(e.Handle,
+		wire.KindOwnReq, wire.KindOwnInv, wire.KindOwnAck,
+		wire.KindOwnVal, wire.KindOwnNack, wire.KindOwnResp)
+}
+
+// Close shuts the engine down.
+func (e *Engine) Close() { e.once.Do(func() { close(e.closed) }) }
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.stRequests.Load(),
+		Succeeded: e.stSucceeded.Load(),
+		Nacks:     e.stNacks.Load(),
+		Timeouts:  e.stTimeouts.Load(),
+		Replays:   e.stReplays.Load(),
+	}
+}
+
+// IsDirNode reports whether n hosts a directory replica.
+func (e *Engine) IsDirNode(n wire.NodeID) bool { return e.cfg.DirNodes.Contains(n) }
+
+// send routes self-addressed messages through an in-process queue (a node
+// can be requester, driver and arbiter at once) and everything else through
+// the transport.
+func (e *Engine) send(to wire.NodeID, m wire.Msg) {
+	if to == e.self {
+		select {
+		case e.selfQ <- m:
+		case <-e.closed:
+		}
+		return
+	}
+	_ = e.tr.Send(to, m)
+}
+
+func (e *Engine) selfLoop() {
+	for {
+		select {
+		case m := <-e.selfQ:
+			e.Handle(e.self, m)
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+// Handle dispatches one inbound ownership message.
+func (e *Engine) Handle(from wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.OwnReq:
+		e.handleReq(v)
+	case *wire.OwnInv:
+		e.handleInv(v)
+	case *wire.OwnAck:
+		e.handleAck(v)
+	case *wire.OwnVal:
+		e.handleVal(v)
+	case *wire.OwnNack:
+		e.handleNack(v)
+	case *wire.OwnResp:
+		e.handleResp(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Requester side.
+// ---------------------------------------------------------------------------
+
+// AcquireOwnership blocks until this node is the owner of obj (§4.1). It is
+// invoked by the transaction layer the first time a write accesses an object
+// this node does not own; subsequent transactions skip it entirely.
+func (e *Engine) AcquireOwnership(obj wire.ObjectID) error {
+	return e.run(obj, wire.AcquireOwner, 0)
+}
+
+// AcquireRead blocks until this node is a reader (or owner) of obj.
+func (e *Engine) AcquireRead(obj wire.ObjectID) error {
+	return e.run(obj, wire.AcquireReader, 0)
+}
+
+// Create registers a fresh object with the directory: this node becomes the
+// owner and readers become replicas (they learn their role via the INVs).
+func (e *Engine) Create(obj wire.ObjectID, readers wire.Bitmap) error {
+	return e.run(obj, wire.CreateObject, readers.Remove(e.self))
+}
+
+// DropReader removes reader from obj's replica set, restoring the replication
+// degree out of the critical path (§6.2).
+func (e *Engine) DropReader(obj wire.ObjectID, reader wire.NodeID) error {
+	return e.run(obj, wire.DropReader, wire.BitmapOf(reader))
+}
+
+// Delete unregisters obj deployment-wide; replicas discard their data.
+func (e *Engine) Delete(obj wire.ObjectID) error {
+	return e.run(obj, wire.DeleteObject, 0)
+}
+
+// levelSatisfied reports whether the node already holds the needed level.
+func (e *Engine) levelSatisfied(obj wire.ObjectID, mode wire.ReqMode) bool {
+	o, ok := e.st.Get(obj)
+	if !ok {
+		return false
+	}
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.OState != store.OValid && o.OState != store.ORequest {
+		return false
+	}
+	switch mode {
+	case wire.AcquireOwner:
+		return o.Level == wire.Owner
+	case wire.AcquireReader:
+		return o.Level == wire.Owner || o.Level == wire.Reader
+	default:
+		return false
+	}
+}
+
+func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) error {
+	if e.levelSatisfied(obj, mode) {
+		return nil
+	}
+	start := time.Now()
+	deadline := start.Add(e.cfg.Deadline)
+	backoff := e.cfg.BackoffBase
+
+	var req *pendingReq
+	newRequest := func() *pendingReq {
+		e.mu.Lock()
+		e.nextReq++
+		id := uint64(e.self)<<48 | e.nextReq
+		r := &pendingReq{id: id, obj: obj, mode: mode, done: make(chan outcome, 8)}
+		e.pending[id] = r
+		e.mu.Unlock()
+		return r
+	}
+	dropRequest := func(r *pendingReq) {
+		e.mu.Lock()
+		delete(e.pending, r.id)
+		e.mu.Unlock()
+	}
+
+	req = newRequest()
+	defer func() { dropRequest(req) }()
+
+	for {
+		select {
+		case <-e.closed:
+			return ErrClosed
+		default:
+		}
+		// Mark local o_state = Request (unless an INV owns the entry).
+		o, _ := e.st.GetOrCreate(obj)
+		o.Mu.Lock()
+		if o.OState == store.OValid {
+			o.OState = store.ORequest
+		}
+		o.Mu.Unlock()
+
+		driver := e.pickDriver()
+		e.stRequests.Add(1)
+		e.send(driver, &wire.OwnReq{
+			ReqID: req.id, Obj: obj, Requester: e.self, Mode: mode,
+			Epoch: e.agent.Epoch(), Target: target,
+		})
+
+		var out outcome
+		timedOut := false
+		select {
+		case out = <-req.done:
+		case <-time.After(e.cfg.AttemptTimeout):
+			timedOut = true
+		case <-e.closed:
+			return ErrClosed
+		}
+
+		switch {
+		case !timedOut && out.ok:
+			e.stSucceeded.Add(1)
+			if e.cfg.OnLatency != nil {
+				e.cfg.OnLatency(time.Since(start))
+			}
+			return nil
+		case !timedOut && out.reason == wire.NackUnknownObject:
+			e.resetRequestState(obj)
+			return fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+		case !timedOut && out.reason == wire.NackPendingCommit:
+			// Retry the SAME request: the driver still holds the
+			// arbitration in Drive state and will re-INV with the
+			// same o_ts; the owner ACKs once its pipeline drains.
+		default:
+			// Lost arbitration, stale epoch, recovering, or timeout:
+			// fresh arbitration with a new request id.
+			if timedOut {
+				e.stTimeouts.Add(1)
+			}
+			dropRequest(req)
+			req = newRequest()
+		}
+
+		if time.Now().After(deadline) {
+			e.resetRequestState(obj)
+			if timedOut {
+				return fmt.Errorf("%w: obj %d (%v)", ErrTimeout, obj, mode)
+			}
+			return fmt.Errorf("%w: obj %d (%v): %v", ErrAborted, obj, mode, out.reason)
+		}
+		// Exponential back-off with jitter (§6.2 deadlock circumvention).
+		e.rngMu.Lock()
+		j := time.Duration(e.rng.Int63n(int64(backoff) + 1))
+		e.rngMu.Unlock()
+		time.Sleep(backoff + j)
+		if backoff *= 2; backoff > e.cfg.BackoffMax {
+			backoff = e.cfg.BackoffMax
+		}
+	}
+}
+
+// resetRequestState restores o_state after an abandoned request.
+func (e *Engine) resetRequestState(obj wire.ObjectID) {
+	if o, ok := e.st.Get(obj); ok {
+		o.Mu.Lock()
+		if o.OState == store.ORequest {
+			o.OState = store.OValid
+		}
+		o.Mu.Unlock()
+	}
+}
+
+// pickDriver chooses an arbitrary live directory node, preferring self when
+// co-located with the directory (saves the first hop, §4.2).
+func (e *Engine) pickDriver() wire.NodeID {
+	live := e.agent.View().Live
+	if e.cfg.DirNodes.Contains(e.self) && live.Contains(e.self) {
+		return e.self
+	}
+	candidates := e.cfg.DirNodes.Intersect(live).Nodes()
+	if len(candidates) == 0 {
+		return e.cfg.DirNodes.Nodes()[0] // nothing live: let it time out
+	}
+	e.rngMu.Lock()
+	n := candidates[e.rng.Intn(len(candidates))]
+	e.rngMu.Unlock()
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Driver side.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) handleReq(m *wire.OwnReq) {
+	epoch := e.agent.Epoch()
+	if m.Epoch != epoch {
+		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackWrongEpoch})
+		return
+	}
+	if e.recovering.Load() {
+		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackRecovering})
+		return
+	}
+	if !e.IsDirNode(e.self) {
+		return // misrouted
+	}
+	o, _ := e.st.GetOrCreate(m.Obj)
+	o.Mu.Lock()
+
+	// Unknown object: no replica anywhere and not a creation request.
+	// (This also covers deleted objects and catastrophic data loss.)
+	if m.Mode != wire.CreateObject && o.Replicas.Owner == wire.NoNode &&
+		o.Replicas.Readers.Count() == 0 && o.Pending == nil {
+		o.Mu.Unlock()
+		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackUnknownObject})
+		return
+	}
+
+	// Retry of the request this driver already arbitrates: re-INV with the
+	// same o_ts (idempotent); arbiters that already applied re-ACK.
+	if o.Pending != nil && o.Pending.ReqID == m.ReqID {
+		inv := invFromPending(m.Obj, o.Pending)
+		arbiters := o.Pending.Arbiters
+		o.Mu.Unlock()
+		e.broadcastInv(arbiters, inv)
+		e.ackAsArbiter(inv) // driver re-ACKs too
+		return
+	}
+
+	// An arbitration for a *different* request is pending on this entry.
+	// The new replica set of a request must be computed from an applied
+	// (validated) state — deriving it from a pending one could strand the
+	// pending winner with a stale access level. So the driver refuses to
+	// arbitrate (the requester backs off and retries), and if the pending
+	// arbitration has lingered (its requester died or gave up before
+	// validating), the driver force-completes it via arb-replay — any
+	// arbiter has all the information to do so idempotently (§4.1).
+	if o.Pending != nil {
+		stale := time.Since(o.Pending.Since) > e.cfg.StaleAfter
+		pend := *o.Pending
+		o.Mu.Unlock()
+		e.stNacks.Add(1)
+		e.send(m.Requester, &wire.OwnNack{
+			ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self,
+			Reason: wire.NackLostArbitration,
+		})
+		if stale {
+			e.stReplays.Add(1)
+			pend.Epoch = epoch
+			go e.arbReplay(m.Obj, pend, epoch, e.agent.View().Live)
+		}
+		return
+	}
+
+	// When the driver itself is the current owner, it enforces the
+	// pending-commit rule before arbitrating away its own write access
+	// (pending reliable commits or an executing local transaction, §4.1).
+	if o.Level == wire.Owner && m.Requester != e.self &&
+		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
+		o.Mu.Unlock()
+		e.stNacks.Add(1)
+		e.send(m.Requester, &wire.OwnNack{
+			ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self,
+			Reason: wire.NackPendingCommit,
+		})
+		return
+	}
+
+	// Mint a fresh o_ts strictly above the applied version. Concurrent
+	// requests through other drivers mint the same version with different
+	// node ids; the lexicographic order picks exactly one winner (§4.1).
+	ts := wire.OTS{Ver: o.OTS.Ver + 1, Node: e.self}
+
+	// Compute the replica set after the request.
+	cur := o.Replicas
+	var next wire.ReplicaSet
+	switch m.Mode {
+	case wire.AcquireOwner:
+		next = cur.WithOwner(m.Requester)
+	case wire.AcquireReader:
+		next = cur.WithReader(m.Requester)
+	case wire.DropReader:
+		next = cur
+		for _, n := range m.Target.Nodes() {
+			next = next.WithoutReader(n)
+		}
+	case wire.CreateObject:
+		next = wire.ReplicaSet{Owner: m.Requester, Readers: m.Target.Remove(m.Requester)}
+	case wire.DeleteObject:
+		next = wire.ReplicaSet{Owner: wire.NoNode}
+	}
+
+	// Arbiters: directory nodes + the current owner. Sharding requests
+	// (§6.2) additionally involve the affected replicas: dropped readers
+	// must discard data, created readers must learn their role, deletes
+	// reach everyone. If the owner died and the requester needs data, a
+	// live reader joins the arbitration as the data source.
+	live := e.agent.View().Live
+	arbiters := e.cfg.DirNodes.Intersect(live)
+	prevOwner := cur.Owner
+	if prevOwner != wire.NoNode && live.Contains(prevOwner) {
+		arbiters = arbiters.Add(prevOwner)
+	} else {
+		prevOwner = wire.NoNode
+	}
+	switch m.Mode {
+	case wire.DropReader:
+		arbiters = arbiters.Union(m.Target.Intersect(live))
+	case wire.CreateObject:
+		arbiters = arbiters.Union(next.Readers.Intersect(live))
+	case wire.DeleteObject:
+		arbiters = arbiters.Union(cur.All().Intersect(live))
+	default:
+		if prevOwner == wire.NoNode && cur.LevelOf(m.Requester) == wire.NonReplica {
+			if src, ok := pickLive(cur.Readers, live); ok {
+				arbiters = arbiters.Add(src)
+				prevOwner = src // acts as the data source
+			}
+		}
+	}
+
+	pend := &store.PendingOwn{
+		ReqID: m.ReqID, TS: ts, Requester: m.Requester, Driver: e.self,
+		Mode: m.Mode, NewReplicas: next, PrevOwner: prevOwner,
+		Arbiters: arbiters, Epoch: epoch, Since: time.Now(),
+	}
+	o.Pending = pend
+	o.OState = store.ODrive
+	inv := invFromPending(m.Obj, pend)
+	o.Mu.Unlock()
+
+	e.broadcastInv(arbiters, inv)
+	e.ackAsArbiter(inv)
+}
+
+func pickLive(set wire.Bitmap, live wire.Bitmap) (wire.NodeID, bool) {
+	alive := set.Intersect(live).Nodes()
+	if len(alive) == 0 {
+		return wire.NoNode, false
+	}
+	return alive[0], true
+}
+
+func invFromPending(obj wire.ObjectID, p *store.PendingOwn) *wire.OwnInv {
+	return &wire.OwnInv{
+		ReqID: p.ReqID, Obj: obj, TS: p.TS, Epoch: p.Epoch,
+		Requester: p.Requester, Driver: p.Driver, Mode: p.Mode,
+		NewReplicas: p.NewReplicas, PrevOwner: p.PrevOwner,
+		Arbiters: p.Arbiters,
+	}
+}
+
+func (e *Engine) broadcastInv(arbiters wire.Bitmap, inv *wire.OwnInv) {
+	for _, n := range arbiters.Nodes() {
+		if n == e.self {
+			continue
+		}
+		e.send(n, inv)
+	}
+}
+
+// ackAsArbiter makes the driver play its own arbiter part: it has applied the
+// pending request (state Drive) and ACKs the requester like any arbiter.
+func (e *Engine) ackAsArbiter(inv *wire.OwnInv) {
+	ack := e.buildAck(inv)
+	dst := inv.Requester
+	if inv.Recovery {
+		dst = inv.Driver
+	}
+	e.send(dst, ack)
+}
+
+// buildAck assembles this node's ACK for the given INV, attaching the data
+// when this node is the data source and the requester gains a replica.
+func (e *Engine) buildAck(inv *wire.OwnInv) *wire.OwnAck {
+	ack := &wire.OwnAck{
+		ReqID: inv.ReqID, Obj: inv.Obj, TS: inv.TS, Epoch: inv.Epoch,
+		From: e.self, Arbiters: inv.Arbiters, NewReplicas: inv.NewReplicas,
+		Mode: inv.Mode,
+	}
+	needData := (inv.Mode == wire.AcquireOwner || inv.Mode == wire.AcquireReader) &&
+		e.self == inv.PrevOwner && e.self != inv.Requester
+	if needData {
+		if o, ok := e.st.Get(inv.Obj); ok {
+			o.Mu.Lock()
+			if o.Replicas.LevelOf(inv.Requester) == wire.NonReplica {
+				ack.HasData = true
+				ack.TVersion = o.TVersion
+				ack.Data = append([]byte(nil), o.Data...)
+			}
+			o.Mu.Unlock()
+		}
+	}
+	return ack
+}
+
+// ---------------------------------------------------------------------------
+// Arbiter side.
+// ---------------------------------------------------------------------------
+
+func (e *Engine) handleInv(m *wire.OwnInv) {
+	if m.Epoch != e.agent.Epoch() {
+		return // stale epoch: ignored (§4.1)
+	}
+	o, _ := e.st.GetOrCreate(m.Obj)
+	o.Mu.Lock()
+
+	// Idempotent re-delivery or replay: already holding / applied this
+	// exact arbitration → just re-ACK.
+	if (o.Pending != nil && o.Pending.TS == m.TS) || o.OTS == m.TS {
+		o.Mu.Unlock()
+		e.ackAsArbiter(m)
+		return
+	}
+
+	effective := o.OTS
+	if o.Pending != nil && effective.Less(o.Pending.TS) {
+		effective = o.Pending.TS
+	}
+	if !effective.Less(m.TS) {
+		o.Mu.Unlock()
+		return // lost arbitration: the loser's driver NACKs its requester
+	}
+
+	// The current owner refuses to hand the object over while reliable
+	// commits involving it are pending (§4.1); pipelines drain first.
+	// Replayed INVs bypass this: the locally committed values are final
+	// (an initiated reliable commit cannot abort) and replication of the
+	// in-flight slots completes independently.
+	if !m.Recovery && e.self == m.PrevOwner && o.Level == wire.Owner &&
+		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
+		o.Mu.Unlock()
+		e.stNacks.Add(1)
+		e.send(m.Requester, &wire.OwnNack{
+			ReqID: m.ReqID, Obj: m.Obj, Epoch: m.Epoch, From: e.self,
+			Reason: wire.NackPendingCommit,
+		})
+		return
+	}
+
+	// If this node was driving a different, smaller-ts request, that
+	// request lost: NACK its requester (contention resolution, §4.1).
+	var loser *store.PendingOwn
+	if o.OState == store.ODrive && o.Pending != nil && o.Pending.Driver == e.self && o.Pending.ReqID != m.ReqID {
+		loser = o.Pending
+	}
+
+	o.Pending = &store.PendingOwn{
+		ReqID: m.ReqID, TS: m.TS, Requester: m.Requester, Driver: m.Driver,
+		Mode: m.Mode, NewReplicas: m.NewReplicas, PrevOwner: m.PrevOwner,
+		Arbiters: m.Arbiters, Epoch: m.Epoch, Since: time.Now(),
+	}
+	o.OState = store.OInvalid
+
+	// Did a VAL overtake this INV? Apply immediately if so.
+	e.mu.Lock()
+	awaited, hasVal := e.valsAwait[m.Obj]
+	if hasVal && awaited == m.TS {
+		delete(e.valsAwait, m.Obj)
+	} else {
+		hasVal = false
+	}
+	e.mu.Unlock()
+	if hasVal {
+		e.applyLocked(o)
+	}
+	o.Mu.Unlock()
+
+	if loser != nil {
+		e.stNacks.Add(1)
+		e.send(loser.Requester, &wire.OwnNack{
+			ReqID: loser.ReqID, Obj: m.Obj, Epoch: m.Epoch, From: e.self,
+			Reason: wire.NackLostArbitration,
+		})
+	}
+	e.ackAsArbiter(m)
+}
+
+// applyLocked applies the pending request to the object (caller holds o.Mu):
+// replica set, ownership timestamp, this node's access level, and state
+// Valid. Dropped replicas discard their data; deletes are handled by caller.
+func (e *Engine) applyLocked(o *store.Object) {
+	p := o.Pending
+	if p == nil {
+		return
+	}
+	wasReplica := o.Level != wire.NonReplica
+	o.Replicas = p.NewReplicas
+	o.OTS = p.TS
+	o.OState = store.OValid
+	newLevel := p.NewReplicas.LevelOf(e.self)
+	if wasReplica && newLevel == wire.NonReplica {
+		o.Data = nil // dropped reader discards its replica
+		o.TVersion = 0
+		o.TState = store.TValid
+	}
+	o.Level = newLevel
+	o.Pending = nil
+}
+
+func (e *Engine) handleVal(m *wire.OwnVal) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	o, _ := e.st.GetOrCreate(m.Obj)
+	o.Mu.Lock()
+	switch {
+	case o.Pending != nil && o.Pending.TS == m.TS:
+		mode := o.Pending.Mode
+		e.applyLocked(o)
+		o.Mu.Unlock()
+		if mode == wire.DeleteObject && !e.IsDirNode(e.self) {
+			e.st.Delete(m.Obj)
+		}
+	case o.OTS == m.TS || (o.Pending != nil && m.TS.Less(o.Pending.TS)) || m.TS.Less(o.OTS):
+		o.Mu.Unlock() // duplicate or superseded: ignore
+	default:
+		// VAL overtook its INV (different senders): stash until the INV
+		// arrives.
+		o.Mu.Unlock()
+		e.mu.Lock()
+		if cur, ok := e.valsAwait[m.Obj]; !ok || cur.Less(m.TS) {
+			e.valsAwait[m.Obj] = m.TS
+		}
+		e.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ACK collection (requester in the fast path, driver during recovery).
+// ---------------------------------------------------------------------------
+
+func (e *Engine) handleAck(m *wire.OwnAck) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	e.mu.Lock()
+	if rs, ok := e.recov[m.ReqID]; ok && rs.ts == m.TS {
+		e.handleRecoveryAckLocked(rs, m)
+		e.mu.Unlock()
+		return
+	}
+	req, ok := e.pending[m.ReqID]
+	e.mu.Unlock()
+	if !ok {
+		return // late ACK for a finished/abandoned request
+	}
+
+	req.mu.Lock()
+	if req.applied {
+		req.mu.Unlock()
+		return
+	}
+	if req.ts != m.TS {
+		if req.ts.Less(m.TS) {
+			// The driver re-arbitrated this request with a fresh,
+			// larger o_ts (e.g. after an interleaved contender):
+			// adopt it and restart ACK collection.
+			req.ts = m.TS
+			req.acked = 0
+			req.hasData = false
+			req.data = nil
+		} else {
+			req.mu.Unlock()
+			return // stale ACK from a superseded arbitration
+		}
+	}
+	req.ts = m.TS
+	req.arbiters = m.Arbiters
+	req.newReplicas = m.NewReplicas
+	req.acked = req.acked.Add(m.From)
+	if m.HasData {
+		req.hasData = true
+		req.tversion = m.TVersion
+		req.data = m.Data
+	}
+	if req.acked.Intersect(req.arbiters) != req.arbiters {
+		req.mu.Unlock()
+		return
+	}
+	req.applied = true
+	ts, arbiters := req.ts, req.arbiters
+	mode := req.mode
+	hasData, tversion, data := req.hasData, req.tversion, req.data
+	newReplicas := req.newReplicas
+	req.mu.Unlock()
+
+	// All expected ACKs received: the requester applies the request first
+	// (before any arbiter), unblocks the application, then VALs.
+	e.applyAsRequester(m.Obj, ts, newReplicas, mode, hasData, tversion, data)
+	select {
+	case req.done <- outcome{ok: true}:
+	default:
+	}
+	val := &wire.OwnVal{ReqID: m.ReqID, Obj: m.Obj, TS: ts, Epoch: m.Epoch}
+	for _, n := range arbiters.Nodes() {
+		if n == e.self {
+			continue
+		}
+		e.send(n, val)
+	}
+}
+
+// applyAsRequester installs the granted level, replica set and (for fresh
+// replicas) the object data.
+func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.ReplicaSet,
+	mode wire.ReqMode, hasData bool, tversion uint64, data []byte) {
+
+	if mode == wire.DeleteObject {
+		if e.IsDirNode(e.self) {
+			if o, ok := e.st.Get(obj); ok {
+				o.Mu.Lock()
+				o.Replicas = reps
+				o.OTS = ts
+				o.OState = store.OValid
+				o.Pending = nil
+				o.Level = wire.NonReplica
+				o.Data = nil
+				o.Mu.Unlock()
+			}
+		} else {
+			e.st.Delete(obj)
+		}
+		return
+	}
+	o, _ := e.st.GetOrCreate(obj)
+	o.Mu.Lock()
+	o.Replicas = reps
+	o.OTS = ts
+	o.OState = store.OValid
+	o.Pending = nil
+	if hasData && tversion >= o.TVersion {
+		o.Data = data
+		o.TVersion = tversion
+		o.TState = store.TValid
+	}
+	newLevel := reps.LevelOf(e.self)
+	if o.Level != wire.NonReplica && newLevel == wire.NonReplica {
+		o.Data = nil
+		o.TVersion = 0
+		o.TState = store.TValid
+	}
+	o.Level = newLevel
+	o.Mu.Unlock()
+}
+
+func (e *Engine) handleNack(m *wire.OwnNack) {
+	e.mu.Lock()
+	req, ok := e.pending[m.ReqID]
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case req.done <- outcome{ok: false, reason: m.Reason}:
+	default:
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery (arb-replay, §4.1).
+// ---------------------------------------------------------------------------
+
+// Pause makes the engine NACK new ownership requests (recovery window).
+func (e *Engine) Pause() { e.recovering.Store(true) }
+
+// Resume re-enables ownership requests and arb-replays every pending
+// arbitration left behind by the previous epoch.
+func (e *Engine) Resume() {
+	e.recovering.Store(false)
+	e.ArbReplayAll()
+}
+
+// PruneDead removes dead nodes from all replica sets (directory entries and
+// owned objects) after a view change; objects whose owner died become
+// ownerless until the next write transaction takes over (§4.1).
+func (e *Engine) PruneDead(live wire.Bitmap) {
+	e.st.ForEach(func(o *store.Object) bool {
+		o.Mu.Lock()
+		o.Replicas = o.Replicas.Prune(live)
+		if o.Pending != nil {
+			o.Pending.Arbiters = o.Pending.Arbiters.Intersect(live)
+			o.Pending.NewReplicas = o.Pending.NewReplicas.Prune(live)
+			if !live.Contains(o.Pending.PrevOwner) {
+				o.Pending.PrevOwner = wire.NoNode
+			}
+		}
+		o.Mu.Unlock()
+		return true
+	})
+}
+
+// ArbReplayAll replays the arbitration phase of every pending ownership
+// request on this node. Any arbiter can do this; INVs are idempotent, so
+// concurrent replayers are harmless.
+func (e *Engine) ArbReplayAll() {
+	epoch := e.agent.Epoch()
+	live := e.agent.View().Live
+	type replay struct {
+		obj  wire.ObjectID
+		pend store.PendingOwn
+	}
+	var replays []replay
+	e.st.ForEach(func(o *store.Object) bool {
+		o.Mu.Lock()
+		if o.Pending != nil && (o.OState == store.OInvalid || o.OState == store.ODrive) {
+			o.Pending.Epoch = epoch
+			o.Pending.Arbiters = o.Pending.Arbiters.Intersect(live)
+			replays = append(replays, replay{obj: o.ID, pend: *o.Pending})
+		}
+		o.Mu.Unlock()
+		return true
+	})
+	for _, r := range replays {
+		e.stReplays.Add(1)
+		e.arbReplay(r.obj, r.pend, epoch, live)
+	}
+}
+
+func (e *Engine) arbReplay(obj wire.ObjectID, pend store.PendingOwn, epoch wire.Epoch, live wire.Bitmap) {
+	rs := &recovState{
+		reqID:    pend.ReqID,
+		obj:      obj,
+		ts:       pend.TS,
+		arbiters: pend.Arbiters.Intersect(live).Add(e.self),
+		pend:     pend,
+	}
+	e.mu.Lock()
+	if _, dup := e.recov[pend.ReqID]; dup {
+		e.mu.Unlock()
+		return
+	}
+	e.recov[pend.ReqID] = rs
+	e.mu.Unlock()
+
+	inv := invFromPending(obj, &pend)
+	inv.Epoch = epoch
+	inv.Driver = e.self // ACKs flow to the replaying driver
+	inv.Recovery = true
+	inv.Arbiters = rs.arbiters
+	for _, n := range rs.arbiters.Nodes() {
+		if n == e.self {
+			continue
+		}
+		e.send(n, inv)
+	}
+	// Count the replayer's own ACK.
+	e.mu.Lock()
+	rs.acked = rs.acked.Add(e.self)
+	e.checkRecoveryCompleteLocked(rs, epoch)
+	e.mu.Unlock()
+}
+
+func (e *Engine) handleRecoveryAckLocked(rs *recovState, m *wire.OwnAck) {
+	rs.acked = rs.acked.Add(m.From)
+	if m.HasData {
+		rs.hasData = true
+		rs.tversion = m.TVersion
+		rs.data = m.Data
+	}
+	e.checkRecoveryCompleteLocked(rs, m.Epoch)
+}
+
+// checkRecoveryCompleteLocked finalizes an arb-replay once every live arbiter
+// ACKed: a live requester gets a RESP (it must apply first), a dead
+// requester's request is finalized by the driver directly via VALs.
+func (e *Engine) checkRecoveryCompleteLocked(rs *recovState, epoch wire.Epoch) {
+	if rs.finished || rs.acked.Intersect(rs.arbiters) != rs.arbiters {
+		return
+	}
+	rs.finished = true
+	delete(e.recov, rs.reqID)
+	live := e.agent.View().Live
+	p := rs.pend
+	if live.Contains(p.Requester) && p.Requester != e.self {
+		e.send(p.Requester, &wire.OwnResp{
+			ReqID: rs.reqID, Obj: rs.obj, TS: rs.ts, Epoch: epoch,
+			Driver: e.self, Arbiters: rs.arbiters, NewReplicas: p.NewReplicas,
+			Mode: p.Mode, HasData: rs.hasData, TVersion: rs.tversion, Data: rs.data,
+		})
+		return
+	}
+	// Requester dead (or is this very node): finalize directly.
+	go func() {
+		if p.Requester == e.self {
+			e.applyAsRequester(rs.obj, rs.ts, p.NewReplicas, p.Mode, rs.hasData, rs.tversion, rs.data)
+		}
+		val := &wire.OwnVal{ReqID: rs.reqID, Obj: rs.obj, TS: rs.ts, Epoch: epoch}
+		for _, n := range rs.arbiters.Nodes() {
+			if n == e.self {
+				continue
+			}
+			e.send(n, val)
+		}
+		// Ensure the local entry is validated too (the requester may have
+		// died before applying; this node holds the pending record).
+		if o, ok := e.st.Get(rs.obj); ok {
+			o.Mu.Lock()
+			if o.Pending != nil && o.Pending.TS == rs.ts {
+				e.applyLocked(o)
+			}
+			o.Mu.Unlock()
+		}
+	}()
+}
+
+// handleResp lets a live requester finish a recovered request exactly like
+// the failure-free path: apply first, then VAL the arbiters.
+func (e *Engine) handleResp(m *wire.OwnResp) {
+	if m.Epoch != e.agent.Epoch() {
+		return
+	}
+	e.applyAsRequester(m.Obj, m.TS, m.NewReplicas, m.Mode, m.HasData, m.TVersion, m.Data)
+	e.mu.Lock()
+	req, ok := e.pending[m.ReqID]
+	e.mu.Unlock()
+	if ok {
+		select {
+		case req.done <- outcome{ok: true}:
+		default:
+		}
+	}
+	val := &wire.OwnVal{ReqID: m.ReqID, Obj: m.Obj, TS: m.TS, Epoch: m.Epoch}
+	for _, n := range m.Arbiters.Nodes() {
+		if n == e.self {
+			continue
+		}
+		e.send(n, val)
+	}
+}

@@ -1,0 +1,265 @@
+// Package store is the sharded in-memory object store underlying a Zeus
+// node. Each object carries the reliable-commit metadata of §5 (t_state,
+// t_version, t_data), the ownership metadata of §4 (o_state, o_ts,
+// o_replicas), this node's access level (Table 1), and the local-ownership
+// marker used by the multi-threaded local commit of §7.
+package store
+
+import (
+	"sync"
+	"time"
+
+	"zeus/internal/wire"
+)
+
+// TState is the reliable-commit state of an object replica (§5).
+type TState uint8
+
+const (
+	// TValid: the replica holds a reliably committed value and may serve
+	// reads and read-only transactions.
+	TValid TState = iota
+	// TInvalid: an R-INV has been applied; the new value is not yet
+	// reliably committed, so neither old nor new value may be returned.
+	TInvalid
+	// TWrite: the owner locally committed an update whose reliable commit
+	// is pending.
+	TWrite
+)
+
+func (s TState) String() string {
+	switch s {
+	case TValid:
+		return "Valid"
+	case TInvalid:
+		return "Invalid"
+	case TWrite:
+		return "Write"
+	default:
+		return "TState(?)"
+	}
+}
+
+// OState is the ownership state of an object at an arbiter (§4).
+type OState uint8
+
+const (
+	// OValid: ownership metadata is stable.
+	OValid OState = iota
+	// OInvalid: an ownership INV has been applied; awaiting VAL.
+	OInvalid
+	// ORequest: this node has an outstanding ownership request.
+	ORequest
+	// ODrive: this directory node is driving an ownership request.
+	ODrive
+)
+
+func (s OState) String() string {
+	switch s {
+	case OValid:
+		return "Valid"
+	case OInvalid:
+		return "Invalid"
+	case ORequest:
+		return "Request"
+	case ODrive:
+		return "Drive"
+	default:
+		return "OState(?)"
+	}
+}
+
+// NoLocalOwner marks an object not currently held by any local worker.
+const NoLocalOwner int32 = -1
+
+// PendingOwn is the arbitration record an arbiter keeps between processing an
+// ownership INV and the matching VAL. It contains everything needed to replay
+// the exact INV during failure recovery (arb-replay, §4.1).
+type PendingOwn struct {
+	ReqID       uint64
+	TS          wire.OTS
+	Requester   wire.NodeID
+	Driver      wire.NodeID
+	Mode        wire.ReqMode
+	NewReplicas wire.ReplicaSet
+	PrevOwner   wire.NodeID
+	Arbiters    wire.Bitmap
+	Epoch       wire.Epoch
+	// Since records when this arbitration was applied locally; drivers
+	// force-complete (arb-replay) arbitrations that linger past a
+	// staleness threshold, e.g. because the requester gave up.
+	Since time.Time
+}
+
+// Object is one object replica (or bare directory entry) at a node. Fields
+// are protected by Mu; engines lock the object across multi-field updates.
+type Object struct {
+	Mu sync.Mutex
+
+	ID wire.ObjectID
+
+	// Reliable-commit metadata (meaningful on owner and readers).
+	TState   TState
+	TVersion uint64
+	Data     []byte
+
+	// Ownership metadata (meaningful on the owner and directory nodes).
+	OState   OState
+	OTS      wire.OTS
+	Replicas wire.ReplicaSet
+	// Pending is the in-flight ownership request applied at INV time and
+	// finalized (or superseded) at VAL time; nil when none.
+	Pending *PendingOwn
+
+	// Level is this node's access level for the object.
+	Level wire.AccessLevel
+
+	// LocalOwner is the local worker currently holding the object for a
+	// write transaction (§7's local ownership), or NoLocalOwner.
+	LocalOwner int32
+
+	// PendingCommits counts reliable commits involving this object that
+	// have not been validated yet; the owner NACKs ownership requests
+	// while it is non-zero (§4.1, §5.2).
+	PendingCommits int32
+}
+
+// TryAcquireLocal attempts to make worker the local owner. It succeeds if
+// the object is free or already held by the same worker (re-entrancy within
+// one transaction is handled by the caller's write set, so same-worker
+// re-acquisition only happens for distinct objects in one tx).
+func (o *Object) TryAcquireLocal(worker int32) bool {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.LocalOwner == NoLocalOwner || o.LocalOwner == worker {
+		o.LocalOwner = worker
+		return true
+	}
+	return false
+}
+
+// ReleaseLocal releases local ownership if held by worker.
+func (o *Object) ReleaseLocal(worker int32) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.LocalOwner == worker {
+		o.LocalOwner = NoLocalOwner
+	}
+}
+
+// DataCopy returns a copy of the object's data under the object lock.
+func (o *Object) DataCopy() []byte {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if o.Data == nil {
+		return nil
+	}
+	out := make([]byte, len(o.Data))
+	copy(out, o.Data)
+	return out
+}
+
+// Snapshot returns (t_state, t_version, copy-of-data) atomically.
+func (o *Object) Snapshot() (TState, uint64, []byte) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	var d []byte
+	if o.Data != nil {
+		d = make([]byte, len(o.Data))
+		copy(d, o.Data)
+	}
+	return o.TState, o.TVersion, d
+}
+
+const shardCount = 64
+
+type shard struct {
+	mu   sync.RWMutex
+	objs map[wire.ObjectID]*Object
+}
+
+// Store is a sharded map of objects.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// New creates an empty store.
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].objs = make(map[wire.ObjectID]*Object)
+	}
+	return s
+}
+
+func (s *Store) shard(id wire.ObjectID) *shard {
+	// Fibonacci hashing spreads dense benchmark key ranges.
+	return &s.shards[(uint64(id)*0x9E3779B97F4A7C15)>>58%shardCount]
+}
+
+// Get returns the object if present.
+func (s *Store) Get(id wire.ObjectID) (*Object, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	o, ok := sh.objs[id]
+	sh.mu.RUnlock()
+	return o, ok
+}
+
+// GetOrCreate returns the object, creating a zero-value entry (non-replica,
+// no owner) if absent. created reports whether insertion happened.
+func (s *Store) GetOrCreate(id wire.ObjectID) (o *Object, created bool) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if o, ok := sh.objs[id]; ok {
+		return o, false
+	}
+	o = &Object{
+		ID:         id,
+		Level:      wire.NonReplica,
+		Replicas:   wire.ReplicaSet{Owner: wire.NoNode},
+		LocalOwner: NoLocalOwner,
+	}
+	sh.objs[id] = o
+	return o, true
+}
+
+// Delete removes the object.
+func (s *Store) Delete(id wire.ObjectID) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.objs, id)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of objects stored.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].objs)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// ForEach calls fn for every object. fn must not call back into the store.
+// Iteration order is unspecified; objects inserted concurrently may or may
+// not be visited.
+func (s *Store) ForEach(fn func(*Object) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		objs := make([]*Object, 0, len(sh.objs))
+		for _, o := range sh.objs {
+			objs = append(objs, o)
+		}
+		sh.mu.RUnlock()
+		for _, o := range objs {
+			if !fn(o) {
+				return
+			}
+		}
+	}
+}

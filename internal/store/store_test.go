@@ -1,0 +1,223 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"zeus/internal/wire"
+)
+
+func TestGetOrCreateDefaults(t *testing.T) {
+	s := New()
+	o, created := s.GetOrCreate(7)
+	if !created {
+		t.Fatal("first insert must report created")
+	}
+	if o.Level != wire.NonReplica || o.Replicas.Owner != wire.NoNode ||
+		o.LocalOwner != NoLocalOwner || o.TState != TValid || o.OState != OValid {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	o2, created2 := s.GetOrCreate(7)
+	if created2 || o2 != o {
+		t.Fatal("second GetOrCreate must return the same object")
+	}
+	if _, ok := s.Get(7); !ok {
+		t.Fatal("Get after create failed")
+	}
+	if _, ok := s.Get(8); ok {
+		t.Fatal("Get of absent object succeeded")
+	}
+}
+
+func TestDeleteAndLen(t *testing.T) {
+	s := New()
+	for i := wire.ObjectID(0); i < 100; i++ {
+		s.GetOrCreate(i)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Delete(50)
+	if s.Len() != 99 {
+		t.Fatalf("len after delete = %d", s.Len())
+	}
+	if _, ok := s.Get(50); ok {
+		t.Fatal("deleted object still present")
+	}
+}
+
+func TestForEachVisitsAllAndStops(t *testing.T) {
+	s := New()
+	for i := wire.ObjectID(0); i < 64; i++ {
+		s.GetOrCreate(i)
+	}
+	seen := map[wire.ObjectID]bool{}
+	s.ForEach(func(o *Object) bool {
+		seen[o.ID] = true
+		return true
+	})
+	if len(seen) != 64 {
+		t.Fatalf("visited %d objects", len(seen))
+	}
+	n := 0
+	s.ForEach(func(*Object) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLocalOwnership(t *testing.T) {
+	s := New()
+	o, _ := s.GetOrCreate(1)
+	if !o.TryAcquireLocal(3) {
+		t.Fatal("free object must be acquirable")
+	}
+	if !o.TryAcquireLocal(3) {
+		t.Fatal("same worker re-acquire must succeed")
+	}
+	if o.TryAcquireLocal(4) {
+		t.Fatal("held object acquired by another worker")
+	}
+	o.ReleaseLocal(4) // not the holder: no-op
+	if o.TryAcquireLocal(4) {
+		t.Fatal("release by non-holder freed the object")
+	}
+	o.ReleaseLocal(3)
+	if !o.TryAcquireLocal(4) {
+		t.Fatal("released object must be acquirable")
+	}
+}
+
+func TestLocalOwnershipMutualExclusion(t *testing.T) {
+	s := New()
+	o, _ := s.GetOrCreate(1)
+	const workers = 8
+	var wg sync.WaitGroup
+	counter := 0
+	for w := int32(0); w < workers; w++ {
+		wg.Add(1)
+		go func(w int32) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if o.TryAcquireLocal(w) {
+					counter++ // protected by local ownership
+					o.ReleaseLocal(w)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter == 0 {
+		t.Fatal("no acquisitions at all")
+	}
+}
+
+func TestSnapshotAndDataCopyIsolation(t *testing.T) {
+	s := New()
+	o, _ := s.GetOrCreate(1)
+	o.Mu.Lock()
+	o.Data = []byte("abc")
+	o.TVersion = 5
+	o.TState = TWrite
+	o.Mu.Unlock()
+
+	st, ver, data := o.Snapshot()
+	if st != TWrite || ver != 5 || string(data) != "abc" {
+		t.Fatalf("snapshot: %v %d %q", st, ver, data)
+	}
+	data[0] = 'X'
+	if string(o.DataCopy()) != "abc" {
+		t.Fatal("snapshot aliases object data")
+	}
+	c := o.DataCopy()
+	c[0] = 'Y'
+	if string(o.DataCopy()) != "abc" {
+		t.Fatal("DataCopy aliases object data")
+	}
+	// Nil data stays nil.
+	o2, _ := s.GetOrCreate(2)
+	if o2.DataCopy() != nil {
+		t.Fatal("nil data should copy to nil")
+	}
+	if _, _, d := o2.Snapshot(); d != nil {
+		t.Fatal("nil data snapshot should be nil")
+	}
+}
+
+func TestShardingDistribution(t *testing.T) {
+	// Dense sequential IDs (the benchmarks' pattern) should scatter across
+	// shards reasonably evenly thanks to Fibonacci hashing.
+	s := New()
+	for i := wire.ObjectID(0); i < 6400; i++ {
+		s.GetOrCreate(i)
+	}
+	max := 0
+	for i := range s.shards {
+		if n := len(s.shards[i].objs); n > max {
+			max = n
+		}
+	}
+	if max > 400 { // perfectly even would be 100 per shard
+		t.Fatalf("worst shard holds %d/6400 objects", max)
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := wire.ObjectID(i % 97)
+				o, _ := s.GetOrCreate(id)
+				o.Mu.Lock()
+				o.TVersion++
+				o.Mu.Unlock()
+				s.Get(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 97 {
+		t.Fatalf("len = %d, want 97", s.Len())
+	}
+	var total uint64
+	s.ForEach(func(o *Object) bool {
+		total += o.TVersion
+		return true
+	})
+	if total != 4000 {
+		t.Fatalf("version increments lost: %d, want 4000", total)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []TState{TValid, TInvalid, TWrite, TState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty TState string")
+		}
+	}
+	for _, s := range []OState{OValid, OInvalid, ORequest, ODrive, OState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty OState string")
+		}
+	}
+}
+
+func TestGetOrCreatePropertyIdempotent(t *testing.T) {
+	s := New()
+	f := func(id uint64) bool {
+		a, _ := s.GetOrCreate(wire.ObjectID(id))
+		b, created := s.GetOrCreate(wire.ObjectID(id))
+		return a == b && !created
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/netsim"
+	"zeus/internal/wire"
+)
+
+// ReliableConfig tunes the retransmission machinery.
+type ReliableConfig struct {
+	// RTO is the retransmission timeout for unacknowledged frames.
+	RTO time.Duration
+	// ScanInterval is how often the retransmitter scans for timed-out
+	// frames; defaults to RTO/2.
+	ScanInterval time.Duration
+	// DeliveryDepth bounds the per-peer in-order delivery queue.
+	DeliveryDepth int
+}
+
+// DefaultReliableConfig matches the simulated fabric's latency scale.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{RTO: 2 * time.Millisecond, DeliveryDepth: 8192}
+}
+
+// frame header layout: [flags:1][seq:8][ack:8] + payload
+const (
+	flagData = 1 << 0
+	hdrLen   = 17
+)
+
+// Reliable implements Transport over a lossy netsim endpoint using per-peer
+// sequence numbers, cumulative acknowledgements, retransmission and
+// deduplication. It delivers messages exactly once, in per-peer FIFO order,
+// mirroring the paper's low-level reliable messaging (§3.1).
+type Reliable struct {
+	ep  *netsim.Endpoint
+	cfg ReliableConfig
+
+	mu      sync.Mutex
+	peers   map[wire.NodeID]*peerState
+	handler atomic.Value // Handler
+	closed  chan struct{}
+	once    sync.Once
+
+	retransmits atomic.Uint64
+	acksSent    atomic.Uint64
+}
+
+type peerState struct {
+	id wire.NodeID
+
+	// Sender side.
+	sendMu  sync.Mutex
+	nextSeq uint64
+	unacked map[uint64]*unackedFrame
+	// Receiver side.
+	recvMu   sync.Mutex
+	expected uint64
+	pending  map[uint64][]byte
+
+	deliver chan delivery
+}
+
+type unackedFrame struct {
+	buf  []byte
+	sent time.Time
+}
+
+type delivery struct {
+	payload []byte
+}
+
+// NewReliable wraps a netsim endpoint in the reliable messaging layer.
+func NewReliable(ep *netsim.Endpoint, cfg ReliableConfig) *Reliable {
+	if cfg.RTO <= 0 {
+		cfg.RTO = 2 * time.Millisecond
+	}
+	if cfg.ScanInterval <= 0 {
+		cfg.ScanInterval = cfg.RTO / 2
+	}
+	if cfg.DeliveryDepth <= 0 {
+		cfg.DeliveryDepth = 8192
+	}
+	r := &Reliable{
+		ep:     ep,
+		cfg:    cfg,
+		peers:  make(map[wire.NodeID]*peerState),
+		closed: make(chan struct{}),
+	}
+	go r.recvLoop()
+	go r.retransmitLoop()
+	return r
+}
+
+// Self returns the local node id.
+func (r *Reliable) Self() wire.NodeID { return r.ep.ID() }
+
+// SetHandler installs the inbound handler.
+func (r *Reliable) SetHandler(h Handler) { r.handler.Store(h) }
+
+// Retransmits reports how many frames were resent (diagnostics).
+func (r *Reliable) Retransmits() uint64 { return r.retransmits.Load() }
+
+func (r *Reliable) peer(id wire.NodeID) *peerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[id]
+	if !ok {
+		p = &peerState{
+			id:       id,
+			nextSeq:  1,
+			expected: 1,
+			unacked:  make(map[uint64]*unackedFrame),
+			pending:  make(map[uint64][]byte),
+			deliver:  make(chan delivery, r.cfg.DeliveryDepth),
+		}
+		r.peers[id] = p
+		go r.deliverLoop(p)
+	}
+	return p
+}
+
+// Send transmits m reliably to the peer.
+func (r *Reliable) Send(to wire.NodeID, m wire.Msg) error {
+	select {
+	case <-r.closed:
+		return ErrClosed
+	default:
+	}
+	payload := wire.Marshal(m)
+	p := r.peer(to)
+	p.sendMu.Lock()
+	seq := p.nextSeq
+	p.nextSeq++
+	buf := make([]byte, hdrLen+len(payload))
+	buf[0] = flagData
+	binary.LittleEndian.PutUint64(buf[1:], seq)
+	p.recvMu.Lock()
+	ack := p.expected - 1 // piggyback cumulative ack
+	p.recvMu.Unlock()
+	binary.LittleEndian.PutUint64(buf[9:], ack)
+	copy(buf[hdrLen:], payload)
+	p.unacked[seq] = &unackedFrame{buf: buf, sent: time.Now()}
+	p.sendMu.Unlock()
+	return r.ep.Send(to, buf)
+}
+
+func (r *Reliable) sendAck(to wire.NodeID, ack uint64) {
+	buf := make([]byte, hdrLen)
+	binary.LittleEndian.PutUint64(buf[9:], ack)
+	r.acksSent.Add(1)
+	_ = r.ep.Send(to, buf)
+}
+
+func (r *Reliable) recvLoop() {
+	for {
+		f, ok := r.ep.Recv()
+		if !ok {
+			return
+		}
+		if len(f.Payload) < hdrLen {
+			continue // corrupt frame
+		}
+		flags := f.Payload[0]
+		seq := binary.LittleEndian.Uint64(f.Payload[1:])
+		ack := binary.LittleEndian.Uint64(f.Payload[9:])
+		p := r.peer(f.From)
+
+		// Process the (cumulative) acknowledgement.
+		p.sendMu.Lock()
+		for s := range p.unacked {
+			if s <= ack {
+				delete(p.unacked, s)
+			}
+		}
+		p.sendMu.Unlock()
+
+		if flags&flagData == 0 {
+			continue // pure ack
+		}
+		payload := f.Payload[hdrLen:]
+
+		p.recvMu.Lock()
+		switch {
+		case seq < p.expected:
+			// Duplicate of an already-delivered frame: re-ack so the
+			// sender stops retransmitting.
+			cum := p.expected - 1
+			p.recvMu.Unlock()
+			r.sendAck(f.From, cum)
+			continue
+		case seq == p.expected:
+			p.expected++
+			ready := [][]byte{payload}
+			for {
+				nxt, ok := p.pending[p.expected]
+				if !ok {
+					break
+				}
+				delete(p.pending, p.expected)
+				p.expected++
+				ready = append(ready, nxt)
+			}
+			cum := p.expected - 1
+			p.recvMu.Unlock()
+			r.sendAck(f.From, cum)
+			for _, pl := range ready {
+				select {
+				case p.deliver <- delivery{payload: pl}:
+				case <-r.closed:
+					return
+				}
+			}
+		default:
+			// Out of order: buffer (dedup re-buffering is harmless)
+			// and re-ack the last in-order frame.
+			if _, dup := p.pending[seq]; !dup {
+				p.pending[seq] = payload
+			}
+			cum := p.expected - 1
+			p.recvMu.Unlock()
+			r.sendAck(f.From, cum)
+		}
+	}
+}
+
+func (r *Reliable) deliverLoop(p *peerState) {
+	for {
+		select {
+		case d := <-p.deliver:
+			m, err := wire.Unmarshal(d.payload)
+			if err != nil {
+				continue
+			}
+			if h, _ := r.handler.Load().(Handler); h != nil {
+				h(p.id, m)
+			}
+		case <-r.closed:
+			return
+		}
+	}
+}
+
+func (r *Reliable) retransmitLoop() {
+	t := time.NewTicker(r.cfg.ScanInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case now := <-t.C:
+			r.mu.Lock()
+			peers := make([]*peerState, 0, len(r.peers))
+			for _, p := range r.peers {
+				peers = append(peers, p)
+			}
+			r.mu.Unlock()
+			for _, p := range peers {
+				p.sendMu.Lock()
+				var resend [][]byte
+				for _, uf := range p.unacked {
+					if now.Sub(uf.sent) >= r.cfg.RTO {
+						uf.sent = now
+						resend = append(resend, uf.buf)
+					}
+				}
+				p.sendMu.Unlock()
+				for _, buf := range resend {
+					r.retransmits.Add(1)
+					_ = r.ep.Send(p.id, buf)
+				}
+			}
+		}
+	}
+}
+
+// Close stops background goroutines. The underlying network is not closed.
+func (r *Reliable) Close() error {
+	r.once.Do(func() { close(r.closed) })
+	return nil
+}

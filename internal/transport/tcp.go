@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/wire"
+)
+
+// TCP implements Transport over real sockets for multi-process deployments
+// (cmd/zeusd). TCP already provides reliable FIFO delivery per connection, so
+// no extra sequencing is needed. Frames are length-prefixed wire messages
+// preceded by a one-time handshake carrying the sender's node id.
+type TCP struct {
+	self  wire.NodeID
+	addrs map[wire.NodeID]string
+	ln    net.Listener
+
+	mu      sync.Mutex
+	conns   map[wire.NodeID]net.Conn
+	handler atomic.Value // Handler
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewTCP starts a listener on listenAddr and returns a transport that can
+// dial the peers in addrs (node id → host:port).
+func NewTCP(self wire.NodeID, listenAddr string, addrs map[wire.NodeID]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		self:   self,
+		addrs:  addrs,
+		ln:     ln,
+		conns:  make(map[wire.NodeID]net.Conn),
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Self returns the local node id.
+func (t *TCP) Self() wire.NodeID { return t.self }
+
+// SetHandler installs the inbound handler.
+func (t *TCP) SetHandler(h Handler) { t.handler.Store(h) }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(c)
+		}()
+	}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer c.Close()
+	// Handshake: peer sends its node id.
+	var hdr [2]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	peer := wire.NodeID(binary.LittleEndian.Uint16(hdr[:]))
+	t.readLoop(peer, c)
+}
+
+func (t *TCP) readLoop(peer wire.NodeID, c net.Conn) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 64<<20 {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		m, err := wire.Unmarshal(buf)
+		if err != nil {
+			continue
+		}
+		if h, _ := t.handler.Load().(Handler); h != nil {
+			h(peer, m)
+		}
+	}
+}
+
+func (t *TCP) conn(to wire.NodeID) (net.Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(t.self))
+	if _, err := c.Write(hdr[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	t.conns[to] = c
+	// Also read from outbound connections so a pair of nodes can share
+	// one connection in each direction without confusion.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(to, c)
+	}()
+	return c, nil
+}
+
+// Send transmits m to the peer, dialing on first use.
+func (t *TCP) Send(to wire.NodeID, m wire.Msg) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	c, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	payload := wire.Marshal(m)
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	t.mu.Lock()
+	_, err = c.Write(buf)
+	if err != nil {
+		// Drop the broken connection; a later Send will redial.
+		delete(t.conns, to)
+		c.Close()
+	}
+	t.mu.Unlock()
+	return err
+}
+
+// Close shuts the listener and all connections down.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, c := range t.conns {
+			c.Close()
+		}
+		t.conns = make(map[wire.NodeID]net.Conn)
+		t.mu.Unlock()
+	})
+	return nil
+}
+
+var _ Transport = (*TCP)(nil)

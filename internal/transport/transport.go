@@ -1,0 +1,96 @@
+// Package transport provides reliable, ordered message delivery between Zeus
+// nodes over three interchangeable fabrics:
+//
+//   - Reliable: sequence numbers, cumulative acks, retransmission and
+//     deduplication over the lossy simulated network (internal/netsim) —
+//     the analogue of the paper's reliable messaging library over DPDK.
+//   - Hub (memnet): a perfect in-process fabric for unit tests.
+//   - TCP: real sockets for multi-process deployments (cmd/zeusd).
+//
+// All fabrics guarantee exactly-once, per-peer FIFO delivery of wire.Msg
+// values, which the Zeus protocols rely on for pipeline ordering (§5.2).
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"zeus/internal/wire"
+)
+
+// Handler consumes an inbound message. Handlers run on transport goroutines
+// and must not block indefinitely.
+type Handler func(from wire.NodeID, m wire.Msg)
+
+// Transport sends and receives protocol messages.
+type Transport interface {
+	// Self returns the local node id.
+	Self() wire.NodeID
+	// Send transmits one message to a peer (reliable, FIFO per peer).
+	Send(to wire.NodeID, m wire.Msg) error
+	// SetHandler installs the inbound message handler. It must be called
+	// before any peer sends traffic to this node.
+	SetHandler(h Handler)
+	// Close releases transport resources.
+	Close() error
+}
+
+// ErrClosed is returned when sending on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Broadcast sends m to every node in set except self.
+func Broadcast(t Transport, set wire.Bitmap, m wire.Msg) {
+	self := t.Self()
+	for _, n := range set.Nodes() {
+		if n == self {
+			continue
+		}
+		_ = t.Send(n, m)
+	}
+}
+
+// Router dispatches inbound messages to per-kind handlers, so that the
+// ownership engine, reliable-commit engine, membership agent, Hermes KV and
+// baseline engine can share one Transport.
+type Router struct {
+	mu       sync.RWMutex
+	handlers [64]Handler
+	fallback Handler
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{} }
+
+// Handle registers h for message kind k, replacing any previous handler.
+func (r *Router) Handle(k wire.Kind, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[k] = h
+}
+
+// HandleMany registers h for several kinds at once.
+func (r *Router) HandleMany(h Handler, kinds ...wire.Kind) {
+	for _, k := range kinds {
+		r.Handle(k, h)
+	}
+}
+
+// Fallback registers the handler for kinds with no specific handler.
+func (r *Router) Fallback(h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = h
+}
+
+// Dispatch routes one message; it is the Handler to install on a Transport.
+func (r *Router) Dispatch(from wire.NodeID, m wire.Msg) {
+	r.mu.RLock()
+	h := r.handlers[m.Kind()]
+	if h == nil {
+		h = r.fallback
+	}
+	r.mu.RUnlock()
+	if h != nil {
+		h(from, m)
+	}
+}

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zeus/internal/netsim"
+	"zeus/internal/wire"
+)
+
+// collect gathers inbound messages with ordering per sender.
+type collect struct {
+	mu   sync.Mutex
+	msgs []wire.Msg
+	from []wire.NodeID
+	cond *sync.Cond
+}
+
+func newCollect() *collect {
+	c := &collect{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collect) handler(from wire.NodeID, m wire.Msg) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.from = append(c.from, from)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *collect) waitN(t *testing.T, n int, timeout time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		c.mu.Lock()
+		for len(c.msgs) < n {
+			c.cond.Wait()
+		}
+		c.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		c.mu.Lock()
+		got := len(c.msgs)
+		c.mu.Unlock()
+		t.Fatalf("timed out: got %d/%d messages", got, n)
+	}
+}
+
+func ping(i uint64) wire.Msg { return &wire.CommitVal{Tx: wire.TxID{Local: i}} }
+
+func pingSeq(m wire.Msg) uint64 { return m.(*wire.CommitVal).Tx.Local }
+
+func TestHubBasicDelivery(t *testing.T) {
+	h := NewHub()
+	a, b := h.Node(0), h.Node(1)
+	defer a.Close()
+	defer b.Close()
+	c := newCollect()
+	b.SetHandler(c.handler)
+	for i := uint64(0); i < 10; i++ {
+		if err := a.Send(1, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitN(t, 10, time.Second)
+	for i, m := range c.msgs {
+		if pingSeq(m) != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, m)
+		}
+	}
+	if h.Messages() != 10 || h.Bytes() == 0 {
+		t.Fatalf("stats: %d msgs %d bytes", h.Messages(), h.Bytes())
+	}
+}
+
+func TestHubDownNodeDrops(t *testing.T) {
+	h := NewHub()
+	a, b := h.Node(0), h.Node(1)
+	defer a.Close()
+	defer b.Close()
+	c := newCollect()
+	b.SetHandler(c.handler)
+	h.SetDown(1, true)
+	_ = a.Send(1, ping(1))
+	time.Sleep(5 * time.Millisecond)
+	c.mu.Lock()
+	n := len(c.msgs)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("down node received %d messages", n)
+	}
+	// Down node cannot send.
+	if err := b.Send(0, ping(2)); err == nil {
+		t.Fatal("down node sent")
+	}
+	h.SetDown(1, false)
+	if err := a.Send(1, ping(3)); err != nil {
+		t.Fatal(err)
+	}
+	c.waitN(t, 1, time.Second)
+}
+
+func TestRouterDispatch(t *testing.T) {
+	r := NewRouter()
+	var gotVal, gotAck, gotOther atomic.Int32
+	r.Handle(wire.KindCommitVal, func(_ wire.NodeID, _ wire.Msg) { gotVal.Add(1) })
+	r.Handle(wire.KindCommitAck, func(_ wire.NodeID, _ wire.Msg) { gotAck.Add(1) })
+	r.Fallback(func(_ wire.NodeID, _ wire.Msg) { gotOther.Add(1) })
+	r.Dispatch(0, &wire.CommitVal{})
+	r.Dispatch(0, &wire.CommitAck{})
+	r.Dispatch(0, &wire.View{})
+	if gotVal.Load() != 1 || gotAck.Load() != 1 || gotOther.Load() != 1 {
+		t.Fatalf("dispatch counts: %d %d %d", gotVal.Load(), gotAck.Load(), gotOther.Load())
+	}
+}
+
+func TestRouterHandleMany(t *testing.T) {
+	r := NewRouter()
+	var n atomic.Int32
+	r.HandleMany(func(_ wire.NodeID, _ wire.Msg) { n.Add(1) },
+		wire.KindCommitVal, wire.KindCommitAck)
+	r.Dispatch(1, &wire.CommitVal{})
+	r.Dispatch(1, &wire.CommitAck{})
+	if n.Load() != 2 {
+		t.Fatalf("got %d", n.Load())
+	}
+}
+
+func reliablePair(t *testing.T, cfg netsim.Config) (*Reliable, *Reliable, *netsim.Network) {
+	t.Helper()
+	n := netsim.New(cfg)
+	rc := ReliableConfig{RTO: 5 * time.Millisecond}
+	a := NewReliable(n.Endpoint(0), rc)
+	b := NewReliable(n.Endpoint(1), rc)
+	t.Cleanup(func() { a.Close(); b.Close(); n.Close() })
+	return a, b, n
+}
+
+func TestReliablePerfectFabric(t *testing.T) {
+	cfg := netsim.Config{Seed: 1, InboxDepth: 4096}
+	a, b, _ := reliablePair(t, cfg)
+	c := newCollect()
+	b.SetHandler(c.handler)
+	const N = 200
+	for i := uint64(0); i < N; i++ {
+		if err := a.Send(1, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitN(t, N, 2*time.Second)
+	for i, m := range c.msgs {
+		if pingSeq(m) != uint64(i) {
+			t.Fatalf("out of order at %d: got %d", i, pingSeq(m))
+		}
+	}
+}
+
+func TestReliableSurvivesLossDupReorder(t *testing.T) {
+	cfg := netsim.Config{
+		Seed:       42,
+		MinLatency: 0,
+		MaxLatency: 500 * time.Microsecond, // jitter → reordering
+		LossProb:   0.2,
+		DupProb:    0.2,
+		InboxDepth: 8192,
+	}
+	a, b, _ := reliablePair(t, cfg)
+	c := newCollect()
+	b.SetHandler(c.handler)
+	const N = 500
+	for i := uint64(0); i < N; i++ {
+		if err := a.Send(1, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitN(t, N, 20*time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.msgs) != N {
+		t.Fatalf("delivered %d, want exactly %d (no dups)", len(c.msgs), N)
+	}
+	for i, m := range c.msgs {
+		if pingSeq(m) != uint64(i) {
+			t.Fatalf("out of order at %d: got %d", i, pingSeq(m))
+		}
+	}
+	if a.Retransmits() == 0 {
+		t.Fatal("expected retransmissions under 20% loss")
+	}
+}
+
+func TestReliableBidirectional(t *testing.T) {
+	cfg := netsim.Config{Seed: 3, LossProb: 0.1, MaxLatency: 100 * time.Microsecond, InboxDepth: 8192}
+	a, b, _ := reliablePair(t, cfg)
+	ca, cb := newCollect(), newCollect()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	const N = 100
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < N; i++ {
+			_ = a.Send(1, ping(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < N; i++ {
+			_ = b.Send(0, ping(i))
+		}
+	}()
+	wg.Wait()
+	ca.waitN(t, N, 10*time.Second)
+	cb.waitN(t, N, 10*time.Second)
+}
+
+func TestReliableManyPeers(t *testing.T) {
+	n := netsim.New(netsim.Config{Seed: 9, LossProb: 0.05, MaxLatency: 50 * time.Microsecond, InboxDepth: 8192})
+	defer n.Close()
+	const peers = 5
+	rc := ReliableConfig{RTO: 3 * time.Millisecond}
+	dst := NewReliable(n.Endpoint(0), rc)
+	defer dst.Close()
+	c := newCollect()
+	dst.SetHandler(c.handler)
+	var srcs []*Reliable
+	for i := wire.NodeID(1); i <= peers; i++ {
+		s := NewReliable(n.Endpoint(i), rc)
+		defer s.Close()
+		srcs = append(srcs, s)
+	}
+	const per = 50
+	for _, s := range srcs {
+		go func(s *Reliable) {
+			for i := uint64(0); i < per; i++ {
+				_ = s.Send(0, ping(i))
+			}
+		}(s)
+	}
+	c.waitN(t, peers*per, 20*time.Second)
+	// Per-sender FIFO must hold.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := map[wire.NodeID]uint64{}
+	for i, m := range c.msgs {
+		from := c.from[i]
+		seq := pingSeq(m)
+		if prev, ok := last[from]; ok && seq != prev+1 {
+			t.Fatalf("sender %d: seq %d after %d", from, seq, prev)
+		}
+		last[from] = seq
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	h := NewHub()
+	a := h.Node(0)
+	b := h.Node(1)
+	c2 := h.Node(2)
+	defer a.Close()
+	defer b.Close()
+	defer c2.Close()
+	cb, cc, ca := newCollect(), newCollect(), newCollect()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	c2.SetHandler(cc.handler)
+	Broadcast(a, wire.BitmapOf(0, 1, 2), ping(7))
+	cb.waitN(t, 1, time.Second)
+	cc.waitN(t, 1, time.Second)
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if len(ca.msgs) != 0 {
+		t.Fatal("broadcast delivered to self")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	addrs := map[wire.NodeID]string{}
+	a, err := NewTCP(0, "127.0.0.1:0", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP(1, "127.0.0.1:0", addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	addrs[0] = a.Addr()
+	addrs[1] = b.Addr()
+
+	ca, cb := newCollect(), newCollect()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	const N = 50
+	for i := uint64(0); i < N; i++ {
+		if err := a.Send(1, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb.waitN(t, N, 5*time.Second)
+	for i, m := range cb.msgs {
+		if pingSeq(m) != uint64(i) {
+			t.Fatalf("tcp out of order at %d", i)
+		}
+	}
+	// Reverse direction (b dials a).
+	for i := uint64(0); i < N; i++ {
+		if err := b.Send(0, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca.waitN(t, N, 5*time.Second)
+}
+
+func TestTCPSendUnknownPeer(t *testing.T) {
+	a, err := NewTCP(0, "127.0.0.1:0", map[wire.NodeID]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(9, ping(0)); err == nil {
+		t.Fatal("send to unknown peer should fail")
+	}
+}
+
+func TestClosedTransportsRefuseSend(t *testing.T) {
+	h := NewHub()
+	m := h.Node(0)
+	m.Close()
+	if err := m.Send(1, ping(0)); err == nil {
+		t.Fatal("closed mem transport sent")
+	}
+	n := netsim.New(netsim.Config{Seed: 1})
+	defer n.Close()
+	r := NewReliable(n.Endpoint(0), DefaultReliableConfig())
+	r.Close()
+	if err := r.Send(1, ping(0)); err == nil {
+		t.Fatal("closed reliable transport sent")
+	}
+}
+
+func TestReliableThroughputSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := netsim.Config{Seed: 5, MinLatency: 5 * time.Microsecond, MaxLatency: 20 * time.Microsecond, InboxDepth: 1 << 15}
+	a, b, _ := reliablePair(t, cfg)
+	var got atomic.Int64
+	done := make(chan struct{})
+	b.SetHandler(func(_ wire.NodeID, _ wire.Msg) {
+		if got.Add(1) == 2000 {
+			close(done)
+		}
+	})
+	start := time.Now()
+	for i := uint64(0); i < 2000; i++ {
+		if err := a.Send(1, ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("only %d/2000 delivered", got.Load())
+	}
+	elapsed := time.Since(start)
+	t.Logf("2000 msgs in %v (%.0f msg/s)", elapsed, 2000/elapsed.Seconds())
+}
+
+func ExampleRouter() {
+	r := NewRouter()
+	r.Handle(wire.KindView, func(from wire.NodeID, m wire.Msg) {
+		v := m.(*wire.View)
+		fmt.Printf("view epoch=%d live=%s\n", v.Epoch, v.Live)
+	})
+	r.Dispatch(0, &wire.View{Epoch: 3, Live: wire.BitmapOf(0, 1, 2)})
+	// Output: view epoch=3 live=[0 1 2]
+}

@@ -1,0 +1,438 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("wire: short buffer")
+	ErrBadKind     = errors.New("wire: unknown message kind")
+	ErrTooLarge    = errors.New("wire: field exceeds size limit")
+)
+
+// maxBlob bounds variable-length fields so a corrupt length prefix cannot
+// trigger a huge allocation.
+const maxBlob = 64 << 20
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)      { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)    { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)    { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)    { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) node(n NodeID)   { e.u16(uint16(n)) }
+func (e *enc) obj(o ObjectID)  { e.u64(uint64(o)) }
+func (e *enc) epoch(x Epoch)   { e.u32(uint32(x)) }
+func (e *enc) bitmap(b Bitmap) { e.u64(uint64(b)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) ots(t OTS) {
+	e.u64(t.Ver)
+	e.node(t.Node)
+}
+func (e *enc) tx(t TxID) {
+	e.node(t.Pipe.Node)
+	e.u8(uint8(t.Pipe.Worker))
+	e.u64(t.Local)
+}
+func (e *enc) replicas(r ReplicaSet) {
+	e.node(r.Owner)
+	e.bitmap(r.Readers)
+}
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *enc) updates(us []Update) {
+	e.u32(uint32(len(us)))
+	for _, u := range us {
+		e.obj(u.Obj)
+		e.u64(u.Version)
+		e.bytes(u.Data)
+	}
+}
+func (e *enc) bvers(vs []BVer) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.obj(v.Obj)
+		e.u64(v.Ver)
+	}
+}
+func (e *enc) objs(os []ObjectID) {
+	e.u32(uint32(len(os)))
+	for _, o := range os {
+		e.obj(o)
+	}
+}
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrShortBuffer
+	}
+}
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *dec) node() NodeID   { return NodeID(d.u16()) }
+func (d *dec) obj() ObjectID  { return ObjectID(d.u64()) }
+func (d *dec) epoch() Epoch   { return Epoch(d.u32()) }
+func (d *dec) bitmap() Bitmap { return Bitmap(d.u64()) }
+func (d *dec) boolean() bool  { return d.u8() != 0 }
+func (d *dec) ots() OTS       { return OTS{Ver: d.u64(), Node: d.node()} }
+func (d *dec) tx() TxID {
+	return TxID{Pipe: PipeID{Node: d.node(), Worker: Worker(d.u8())}, Local: d.u64()}
+}
+func (d *dec) replicas() ReplicaSet {
+	return ReplicaSet{Owner: d.node(), Readers: d.bitmap()}
+}
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBlob || d.off+int(n) > len(d.b) {
+		if n > maxBlob {
+			d.err = ErrTooLarge
+		} else {
+			d.fail()
+		}
+		return nil
+	}
+	if n == 0 {
+		d.off += 0
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+func (d *dec) updates() []Update {
+	n := d.u32()
+	if d.err != nil || n > math.MaxUint32 {
+		return nil
+	}
+	if int(n) > len(d.b) { // each update is ≥21 bytes; cheap sanity bound
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]Update, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, Update{Obj: d.obj(), Version: d.u64(), Data: d.bytes()})
+	}
+	return out
+}
+func (d *dec) bvers() []BVer {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > len(d.b) {
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]BVer, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, BVer{Obj: d.obj(), Ver: d.u64()})
+	}
+	return out
+}
+func (d *dec) objsList() []ObjectID {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > len(d.b) {
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]ObjectID, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, d.obj())
+	}
+	return out
+}
+
+// Marshal serializes a message: one kind byte followed by the body.
+func Marshal(m Msg) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case *OwnReq:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.node(v.Requester)
+		e.u8(uint8(v.Mode))
+		e.epoch(v.Epoch)
+		e.bitmap(v.Target)
+	case *OwnInv:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+		e.node(v.Requester)
+		e.node(v.Driver)
+		e.u8(uint8(v.Mode))
+		e.replicas(v.NewReplicas)
+		e.node(v.PrevOwner)
+		e.bitmap(v.Arbiters)
+		e.boolean(v.Recovery)
+	case *OwnAck:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+		e.node(v.From)
+		e.bitmap(v.Arbiters)
+		e.replicas(v.NewReplicas)
+		e.u8(uint8(v.Mode))
+		e.boolean(v.HasData)
+		e.u64(v.TVersion)
+		e.bytes(v.Data)
+	case *OwnVal:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+	case *OwnNack:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.epoch(v.Epoch)
+		e.node(v.From)
+		e.u8(uint8(v.Reason))
+	case *OwnResp:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+		e.node(v.Driver)
+		e.bitmap(v.Arbiters)
+		e.replicas(v.NewReplicas)
+		e.u8(uint8(v.Mode))
+		e.boolean(v.HasData)
+		e.u64(v.TVersion)
+		e.bytes(v.Data)
+	case *CommitInv:
+		e.tx(v.Tx)
+		e.epoch(v.Epoch)
+		e.bitmap(v.Followers)
+		e.boolean(v.PrevVal)
+		e.boolean(v.Replay)
+		e.updates(v.Updates)
+	case *CommitAck:
+		e.tx(v.Tx)
+		e.epoch(v.Epoch)
+		e.node(v.From)
+	case *CommitVal:
+		e.tx(v.Tx)
+		e.epoch(v.Epoch)
+	case *View:
+		e.epoch(v.Epoch)
+		e.bitmap(v.Live)
+	case *RecoveryDone:
+		e.epoch(v.Epoch)
+		e.node(v.From)
+	case *HermesInv:
+		e.u64(v.Key)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+		e.node(v.From)
+		e.bytes(v.Val)
+	case *HermesAck:
+		e.u64(v.Key)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+		e.node(v.From)
+	case *HermesVal:
+		e.u64(v.Key)
+		e.ots(v.TS)
+		e.epoch(v.Epoch)
+	case *BReadReq:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.obj(v.Obj)
+	case *BReadResp:
+		e.u64(v.ReqID)
+		e.obj(v.Obj)
+		e.u64(v.Ver)
+		e.boolean(v.OK)
+		e.bytes(v.Data)
+	case *BLock:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.bvers(v.Items)
+	case *BLockResp:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.boolean(v.OK)
+	case *BValidate:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.bvers(v.Items)
+	case *BValidateResp:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.boolean(v.OK)
+	case *BBackup:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.updates(v.Updates)
+	case *BBackupAck:
+		e.u64(v.ReqID)
+		e.node(v.From)
+	case *BCommit:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.updates(v.Updates)
+	case *BCommitAck:
+		e.u64(v.ReqID)
+		e.node(v.From)
+	case *BAbort:
+		e.u64(v.ReqID)
+		e.node(v.From)
+		e.objs(v.Objs)
+	default:
+		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
+	}
+	return e.b
+}
+
+// Unmarshal parses a message produced by Marshal.
+func Unmarshal(p []byte) (Msg, error) {
+	if len(p) == 0 {
+		return nil, ErrShortBuffer
+	}
+	d := &dec{b: p, off: 1}
+	k := Kind(p[0])
+	var m Msg
+	switch k {
+	case KindOwnReq:
+		m = &OwnReq{
+			ReqID: d.u64(), Obj: d.obj(), Requester: d.node(),
+			Mode: ReqMode(d.u8()), Epoch: d.epoch(), Target: d.bitmap(),
+		}
+	case KindOwnInv:
+		m = &OwnInv{
+			ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch(),
+			Requester: d.node(), Driver: d.node(), Mode: ReqMode(d.u8()),
+			NewReplicas: d.replicas(), PrevOwner: d.node(),
+			Arbiters: d.bitmap(), Recovery: d.boolean(),
+		}
+	case KindOwnAck:
+		m = &OwnAck{
+			ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch(),
+			From: d.node(), Arbiters: d.bitmap(), NewReplicas: d.replicas(),
+			Mode: ReqMode(d.u8()), HasData: d.boolean(), TVersion: d.u64(),
+			Data: d.bytes(),
+		}
+	case KindOwnVal:
+		m = &OwnVal{ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch()}
+	case KindOwnNack:
+		m = &OwnNack{
+			ReqID: d.u64(), Obj: d.obj(), Epoch: d.epoch(), From: d.node(),
+			Reason: NackReason(d.u8()),
+		}
+	case KindOwnResp:
+		m = &OwnResp{
+			ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch(),
+			Driver: d.node(), Arbiters: d.bitmap(), NewReplicas: d.replicas(),
+			Mode: ReqMode(d.u8()), HasData: d.boolean(), TVersion: d.u64(),
+			Data: d.bytes(),
+		}
+	case KindCommitInv:
+		m = &CommitInv{
+			Tx: d.tx(), Epoch: d.epoch(), Followers: d.bitmap(),
+			PrevVal: d.boolean(), Replay: d.boolean(), Updates: d.updates(),
+		}
+	case KindCommitAck:
+		m = &CommitAck{Tx: d.tx(), Epoch: d.epoch(), From: d.node()}
+	case KindCommitVal:
+		m = &CommitVal{Tx: d.tx(), Epoch: d.epoch()}
+	case KindView:
+		m = &View{Epoch: d.epoch(), Live: d.bitmap()}
+	case KindRecoveryDone:
+		m = &RecoveryDone{Epoch: d.epoch(), From: d.node()}
+	case KindHermesInv:
+		m = &HermesInv{Key: d.u64(), TS: d.ots(), Epoch: d.epoch(), From: d.node(), Val: d.bytes()}
+	case KindHermesAck:
+		m = &HermesAck{Key: d.u64(), TS: d.ots(), Epoch: d.epoch(), From: d.node()}
+	case KindHermesVal:
+		m = &HermesVal{Key: d.u64(), TS: d.ots(), Epoch: d.epoch()}
+	case KindBReadReq:
+		m = &BReadReq{ReqID: d.u64(), From: d.node(), Obj: d.obj()}
+	case KindBReadResp:
+		m = &BReadResp{ReqID: d.u64(), Obj: d.obj(), Ver: d.u64(), OK: d.boolean(), Data: d.bytes()}
+	case KindBLock:
+		m = &BLock{ReqID: d.u64(), From: d.node(), Items: d.bvers()}
+	case KindBLockResp:
+		m = &BLockResp{ReqID: d.u64(), From: d.node(), OK: d.boolean()}
+	case KindBValidate:
+		m = &BValidate{ReqID: d.u64(), From: d.node(), Items: d.bvers()}
+	case KindBValidateResp:
+		m = &BValidateResp{ReqID: d.u64(), From: d.node(), OK: d.boolean()}
+	case KindBBackup:
+		m = &BBackup{ReqID: d.u64(), From: d.node(), Updates: d.updates()}
+	case KindBBackupAck:
+		m = &BBackupAck{ReqID: d.u64(), From: d.node()}
+	case KindBCommit:
+		m = &BCommit{ReqID: d.u64(), From: d.node(), Updates: d.updates()}
+	case KindBCommitAck:
+		m = &BCommitAck{ReqID: d.u64(), From: d.node()}
+	case KindBAbort:
+		m = &BAbort{ReqID: d.u64(), From: d.node(), Objs: d.objsList()}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}

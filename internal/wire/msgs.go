@@ -1,0 +1,386 @@
+package wire
+
+import "fmt"
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+
+	// Ownership protocol (§4).
+	KindOwnReq  // requester → driver (a directory node)
+	KindOwnInv  // driver → remaining arbiters
+	KindOwnAck  // arbiter → requester (or → driver during recovery)
+	KindOwnVal  // requester (or recovery driver) → arbiters
+	KindOwnNack // arbiter/driver → requester
+	KindOwnResp // recovery driver → live requester (confirms arbitration win)
+
+	// Reliable commit protocol (§5).
+	KindCommitInv // coordinator → followers (R-INV)
+	KindCommitAck // follower → coordinator (R-ACK)
+	KindCommitVal // coordinator → followers (R-VAL)
+
+	// Membership.
+	KindView         // manager → nodes: new membership view
+	KindRecoveryDone // node → manager: finished replaying pending commits
+
+	// Hermes-lite replicated KV (load balancer substrate).
+	KindHermesInv
+	KindHermesAck
+	KindHermesVal
+
+	// Distributed-commit baseline (FaRM/FaSST-style OCC + 2PC).
+	KindBReadReq
+	KindBReadResp
+	KindBLock
+	KindBLockResp
+	KindBValidate
+	KindBValidateResp
+	KindBBackup
+	KindBBackupAck
+	KindBCommit
+	KindBCommitAck
+	KindBAbort
+
+	kindSentinel // keep last
+)
+
+func (k Kind) String() string {
+	names := [...]string{
+		"invalid", "own-req", "own-inv", "own-ack", "own-val", "own-nack",
+		"own-resp", "r-inv", "r-ack", "r-val", "view", "recovery-done",
+		"h-inv", "h-ack", "h-val", "b-read-req", "b-read-resp", "b-lock",
+		"b-lock-resp", "b-validate", "b-validate-resp", "b-backup",
+		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Msg is any protocol message. Concrete messages are plain structs; Kind
+// identifies them for dispatch and serialization.
+type Msg interface {
+	Kind() Kind
+}
+
+// ---------------------------------------------------------------------------
+// Ownership protocol messages (§4.1, Figure 3).
+// ---------------------------------------------------------------------------
+
+// OwnReq starts an ownership request. The requester picks a locally unique
+// ReqID (to match the responses), sets its local o_state = Request, and sends
+// the REQ to an arbitrarily chosen directory node, which becomes the driver.
+type OwnReq struct {
+	ReqID     uint64
+	Obj       ObjectID
+	Requester NodeID
+	Mode      ReqMode
+	Epoch     Epoch
+	// Target is the reader to drop (DropReader) or the initial reader set
+	// encoded as a bitmap (CreateObject).
+	Target Bitmap
+}
+
+func (*OwnReq) Kind() Kind { return KindOwnReq }
+
+// OwnInv is the invalidation the driver broadcasts to the remaining arbiters
+// (the other directory nodes and the current owner). It carries the request
+// id and the full ownership metadata so that any arbiter can later replay the
+// arbitration phase idempotently (arb-replay, §4.1).
+type OwnInv struct {
+	ReqID     uint64
+	Obj       ObjectID
+	TS        OTS
+	Epoch     Epoch
+	Requester NodeID
+	Driver    NodeID
+	Mode      ReqMode
+	// NewReplicas is the replica set after the request applies.
+	NewReplicas ReplicaSet
+	// PrevOwner is the owner before the request (it must contribute data).
+	PrevOwner NodeID
+	// Arbiters is the full arbiter set for this request.
+	Arbiters Bitmap
+	// Recovery marks an arb-replay: ACKs must flow to the driver, not the
+	// requester (bottom of Figure 3).
+	Recovery bool
+}
+
+func (*OwnInv) Kind() Kind { return KindOwnInv }
+
+// OwnAck is an arbiter's acknowledgement, sent directly to the requester in
+// the failure-free case (latency optimization, §4.1) or to the recovery
+// driver during arb-replay. The previous owner piggybacks the object data
+// when the requester holds no replica.
+type OwnAck struct {
+	ReqID       uint64
+	Obj         ObjectID
+	TS          OTS
+	Epoch       Epoch
+	From        NodeID
+	Arbiters    Bitmap
+	NewReplicas ReplicaSet
+	Mode        ReqMode
+	HasData     bool
+	TVersion    uint64
+	Data        []byte
+}
+
+func (*OwnAck) Kind() Kind { return KindOwnAck }
+
+// OwnVal finalizes a request: the requester (who must apply first) validates
+// all arbiters.
+type OwnVal struct {
+	ReqID uint64
+	Obj   ObjectID
+	TS    OTS
+	Epoch Epoch
+}
+
+func (*OwnVal) Kind() Kind { return KindOwnVal }
+
+// OwnNack rejects a request (lost arbitration, pending reliable commits on
+// the object, stale epoch, ...). The requester aborts or retries with
+// exponential back-off (§6.2).
+type OwnNack struct {
+	ReqID  uint64
+	Obj    ObjectID
+	Epoch  Epoch
+	From   NodeID
+	Reason NackReason
+}
+
+func (*OwnNack) Kind() Kind { return KindOwnNack }
+
+// OwnResp confirms the arbitration win to a live requester during recovery so
+// that, as in the failure-free case, the requester applies the request before
+// any arbiter (§4.1).
+type OwnResp struct {
+	ReqID       uint64
+	Obj         ObjectID
+	TS          OTS
+	Epoch       Epoch
+	Driver      NodeID
+	Arbiters    Bitmap
+	NewReplicas ReplicaSet
+	Mode        ReqMode
+	HasData     bool
+	TVersion    uint64
+	Data        []byte
+}
+
+func (*OwnResp) Kind() Kind { return KindOwnResp }
+
+// ---------------------------------------------------------------------------
+// Reliable commit messages (§5.1, Figure 4).
+// ---------------------------------------------------------------------------
+
+// CommitInv is R-INV: the idempotent invalidation broadcast by the
+// coordinator at the start of the reliable commit. It contains everything a
+// follower needs to finish the transaction after a fault.
+type CommitInv struct {
+	Tx        TxID
+	Epoch     Epoch
+	Followers Bitmap
+	// PrevVal tells a follower that was not a follower of the previous
+	// pipeline slot that the previous slot has already been validated, so
+	// this R-INV may be applied (§5.2).
+	PrevVal bool
+	// Replay marks a replayed R-INV after a coordinator failure.
+	Replay  bool
+	Updates []Update
+}
+
+func (*CommitInv) Kind() Kind { return KindCommitInv }
+
+// CommitAck is R-ACK. Because pipelines are FIFO, acknowledging tx_id implies
+// the successful reception and processing of all previous slots in the pipe.
+type CommitAck struct {
+	Tx    TxID
+	Epoch Epoch
+	From  NodeID
+}
+
+func (*CommitAck) Kind() Kind { return KindCommitAck }
+
+// CommitVal is R-VAL: followers flip the updated objects back to Valid iff
+// their t_version has not been increased since, then discard the stored
+// R-INV.
+type CommitVal struct {
+	Tx    TxID
+	Epoch Epoch
+}
+
+func (*CommitVal) Kind() Kind { return KindCommitVal }
+
+// ---------------------------------------------------------------------------
+// Membership messages.
+// ---------------------------------------------------------------------------
+
+// View announces a membership view: the set of live nodes tagged with a
+// monotonically increasing epoch id, published only after all leases of
+// departed nodes have expired (§3.1).
+type View struct {
+	Epoch Epoch
+	Live  Bitmap
+}
+
+func (*View) Kind() Kind { return KindView }
+
+// RecoveryDone tells the membership manager that the sender has no more
+// pending reliable commits from dead coordinators; once every live node has
+// reported, the ownership protocol resumes (§5.1).
+type RecoveryDone struct {
+	Epoch Epoch
+	From  NodeID
+}
+
+func (*RecoveryDone) Kind() Kind { return KindRecoveryDone }
+
+// ---------------------------------------------------------------------------
+// Hermes-lite messages (load-balancer KV, §3.1).
+// ---------------------------------------------------------------------------
+
+// HermesInv invalidates a key at all replicas with its new value.
+type HermesInv struct {
+	Key   uint64
+	TS    OTS
+	Epoch Epoch
+	From  NodeID
+	Val   []byte
+}
+
+func (*HermesInv) Kind() Kind { return KindHermesInv }
+
+// HermesAck acknowledges an invalidation.
+type HermesAck struct {
+	Key   uint64
+	TS    OTS
+	Epoch Epoch
+	From  NodeID
+}
+
+func (*HermesAck) Kind() Kind { return KindHermesAck }
+
+// HermesVal validates a key once every replica acked the invalidation.
+type HermesVal struct {
+	Key   uint64
+	TS    OTS
+	Epoch Epoch
+}
+
+func (*HermesVal) Kind() Kind { return KindHermesVal }
+
+// ---------------------------------------------------------------------------
+// Distributed-commit baseline messages (FaRM/FaSST-style, §6.1).
+// ---------------------------------------------------------------------------
+
+// BVer pairs an object with a version for validation.
+type BVer struct {
+	Obj ObjectID
+	Ver uint64
+}
+
+// BReadReq fetches an object from its primary (remote access).
+type BReadReq struct {
+	ReqID uint64
+	From  NodeID
+	Obj   ObjectID
+}
+
+func (*BReadReq) Kind() Kind { return KindBReadReq }
+
+// BReadResp returns the object value and version (OK=false: locked/missing).
+type BReadResp struct {
+	ReqID uint64
+	Obj   ObjectID
+	Ver   uint64
+	OK    bool
+	Data  []byte
+}
+
+func (*BReadResp) Kind() Kind { return KindBReadResp }
+
+// BLock locks the write set entries homed at the receiving primary, checking
+// that versions still match the coordinator's reads (phase LOCK).
+type BLock struct {
+	ReqID uint64
+	From  NodeID
+	Items []BVer
+}
+
+func (*BLock) Kind() Kind { return KindBLock }
+
+// BLockResp reports lock acquisition success.
+type BLockResp struct {
+	ReqID uint64
+	From  NodeID
+	OK    bool
+}
+
+func (*BLockResp) Kind() Kind { return KindBLockResp }
+
+// BValidate re-checks read-set versions at the primary (phase VALIDATE).
+type BValidate struct {
+	ReqID uint64
+	From  NodeID
+	Items []BVer
+}
+
+func (*BValidate) Kind() Kind { return KindBValidate }
+
+// BValidateResp reports read validation success.
+type BValidateResp struct {
+	ReqID uint64
+	From  NodeID
+	OK    bool
+}
+
+func (*BValidateResp) Kind() Kind { return KindBValidateResp }
+
+// BBackup ships new values to backup replicas (phase UPDATE-BACKUP).
+type BBackup struct {
+	ReqID   uint64
+	From    NodeID
+	Updates []Update
+}
+
+func (*BBackup) Kind() Kind { return KindBBackup }
+
+// BBackupAck acknowledges durable receipt at a backup.
+type BBackupAck struct {
+	ReqID uint64
+	From  NodeID
+}
+
+func (*BBackupAck) Kind() Kind { return KindBBackupAck }
+
+// BCommit applies new values at the primary and releases locks
+// (phase UPDATE-PRIMARY).
+type BCommit struct {
+	ReqID   uint64
+	From    NodeID
+	Updates []Update
+}
+
+func (*BCommit) Kind() Kind { return KindBCommit }
+
+// BCommitAck acknowledges primary application.
+type BCommitAck struct {
+	ReqID uint64
+	From  NodeID
+}
+
+func (*BCommitAck) Kind() Kind { return KindBCommitAck }
+
+// BAbort releases locks held by an aborted transaction at the primary.
+type BAbort struct {
+	ReqID uint64
+	From  NodeID
+	Objs  []ObjectID
+}
+
+func (*BAbort) Kind() Kind { return KindBAbort }

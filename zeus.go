@@ -1,0 +1,243 @@
+// Package zeus is a Go implementation of Zeus (Katsarakis et al., EuroSys
+// '21): an in-memory, replicated, strongly-consistent transactional
+// datastore that exploits access locality. Instead of running distributed
+// transactions across nodes, Zeus migrates object ownership to the node
+// executing a transaction (a reliable 1.5-RTT protocol) and then commits
+// locally, replicating updates through pipelined, idempotent invalidations.
+// Read-only transactions run locally on any replica with strict
+// serializability.
+//
+// The package is a facade over the full implementation in internal/: the
+// ownership protocol (§4 of the paper), the reliable commit protocol (§5),
+// the transactional memory API (§7), a lease-based membership service, a
+// simulated datacenter fabric with loss/duplication/reordering, and an
+// application-level load balancer on a Hermes-replicated KV.
+//
+// Quick start:
+//
+//	c := zeus.New(zeus.Options{Nodes: 3})
+//	defer c.Close()
+//	n := c.Node(0)
+//	_ = n.CreateObject(1, []byte("hello"))
+//	err := n.Update(0, func(tx *zeus.Tx) error {
+//	    v, err := tx.Get(1)
+//	    if err != nil { return err }
+//	    return tx.Set(1, append(v, '!'))
+//	})
+package zeus
+
+import (
+	"errors"
+	"time"
+
+	"zeus/internal/cluster"
+	"zeus/internal/core"
+	"zeus/internal/dbapi"
+	"zeus/internal/netsim"
+	"zeus/internal/ownership"
+	"zeus/internal/wire"
+)
+
+// ErrConflict is the retryable transaction-conflict error. Run/Update retry
+// it automatically; manual Commit callers should retry with back-off.
+var ErrConflict = dbapi.ErrConflict
+
+// ErrUnknownObject reports an access to an object that was never created
+// (or was deleted).
+var ErrUnknownObject = ownership.ErrUnknownObject
+
+// Options configures a Zeus deployment.
+type Options struct {
+	// Nodes is the number of servers (default 3).
+	Nodes int
+	// ReplicationDegree is replicas per object, owner included (default 3,
+	// as evaluated in the paper).
+	ReplicationDegree int
+	// Workers is the number of worker threads per node; each worker owns a
+	// reliable-commit pipeline (default 8).
+	Workers int
+	// SimulatedNetwork, when true, runs over the lossy simulated fabric
+	// with the reliable messaging layer instead of the perfect in-process
+	// hub. Configure faults via Network.
+	SimulatedNetwork bool
+	// Network configures the simulated fabric (loss, duplication,
+	// latency); zero value = netsim defaults.
+	Network netsim.Config
+	// OnOwnershipLatency observes every successful ownership request's
+	// latency (the Figure 12 metric).
+	OnOwnershipLatency func(time.Duration)
+}
+
+// Cluster is an in-process Zeus deployment.
+type Cluster struct {
+	c *cluster.Cluster
+}
+
+// New starts a deployment.
+func New(opts Options) *Cluster {
+	co := cluster.DefaultOptions(max(opts.Nodes, 1))
+	if opts.ReplicationDegree > 0 {
+		co.Degree = opts.ReplicationDegree
+	}
+	if opts.Workers > 0 {
+		co.Workers = opts.Workers
+	}
+	if opts.SimulatedNetwork {
+		co.Fabric = cluster.FabricSim
+		co.Net = opts.Network
+		if co.Net.InboxDepth == 0 {
+			co.Net = netsim.DefaultConfig()
+		}
+	}
+	co.OnOwnershipLatency = opts.OnOwnershipLatency
+	return &Cluster{c: cluster.New(co)}
+}
+
+// Close shuts the deployment down.
+func (c *Cluster) Close() { c.c.Close() }
+
+// Node returns server i.
+func (c *Cluster) Node(i int) *Node { return &Node{n: c.c.Node(i)} }
+
+// Nodes returns the deployment size.
+func (c *Cluster) Nodes() int { return c.c.Nodes() }
+
+// Kill crash-stops node i and waits for the membership view change and the
+// recovery barrier (pending reliable commits of the dead node are replayed
+// by the survivors before ownership requests resume).
+func (c *Cluster) Kill(i int) error { return c.c.Kill(i) }
+
+// AddNode joins a fresh node (scale-out) and returns it.
+func (c *Cluster) AddNode() *Node { return &Node{n: c.c.AddNode()} }
+
+// Leave removes node i gracefully (scale-in).
+func (c *Cluster) Leave(i int) error { return c.c.Leave(i) }
+
+// Seed bulk-installs an object with an explicit owner, bypassing the
+// protocols — use for initial data loading only.
+func (c *Cluster) Seed(obj uint64, owner int, data []byte) {
+	c.c.SeedAt(wire.ObjectID(obj), wire.NodeID(owner), data)
+}
+
+// Messages returns the total protocol messages carried so far.
+func (c *Cluster) Messages() uint64 { return c.c.Messages() }
+
+// Bytes returns the total payload bytes carried so far.
+func (c *Cluster) Bytes() uint64 { return c.c.Bytes() }
+
+// WaitIdle blocks until every node's commit pipelines drained.
+func (c *Cluster) WaitIdle(timeout time.Duration) bool { return c.c.WaitIdle(timeout) }
+
+// Node is one Zeus server.
+type Node struct {
+	n *core.Node
+}
+
+// ID returns the node's id.
+func (n *Node) ID() int { return int(n.n.ID()) }
+
+// Begin starts a write transaction on an automatically assigned worker.
+func (n *Node) Begin() *Tx { return &Tx{tx: n.n.Begin()} }
+
+// BeginOn starts a write transaction on a specific worker thread (worker ids
+// map onto reliable-commit pipelines).
+func (n *Node) BeginOn(worker int) *Tx { return &Tx{tx: n.n.BeginOn(worker)} }
+
+// BeginRO starts a read-only transaction: local on any replica, strictly
+// serializable, no network traffic.
+func (n *Node) BeginRO() *Tx { return &Tx{tx: n.n.BeginRO()} }
+
+// CreateObject registers a new object owned by this node with the default
+// placement (ReplicationDegree replicas) and replicates the initial value.
+func (n *Node) CreateObject(obj uint64, data []byte) error {
+	return n.n.CreateObject(wire.ObjectID(obj), data)
+}
+
+// DeleteObject unregisters an object deployment-wide.
+func (n *Node) DeleteObject(obj uint64) error {
+	return n.n.DeleteObject(wire.ObjectID(obj))
+}
+
+// Update runs fn in a write transaction on the given worker, retrying
+// conflicts with exponential back-off.
+func (n *Node) Update(worker int, fn func(*Tx) error) error {
+	return dbapi.Run(n.n.DB(), worker, func(t dbapi.Txn) error {
+		return fn(&Tx{tx: t.(*core.Tx)})
+	})
+}
+
+// View runs fn in a read-only transaction on the given worker, retrying
+// conflicts.
+func (n *Node) View(worker int, fn func(*Tx) error) error {
+	return dbapi.RunRO(n.n.DB(), worker, func(t dbapi.Txn) error {
+		return fn(&Tx{tx: t.(*core.Tx)})
+	})
+}
+
+// Stats reports this node's transaction counters.
+type Stats struct {
+	Commits          uint64
+	Aborts           uint64
+	ReadOnlyCommits  uint64
+	ReadOnlyAborts   uint64
+	OwnershipMoves   uint64
+	PendingPipelines int
+}
+
+// Stats returns a snapshot of counters.
+func (n *Node) Stats() Stats {
+	cs := n.n.Stats()
+	os := n.n.OwnershipEngine().Stats()
+	return Stats{
+		Commits:          cs.Commits,
+		Aborts:           cs.Aborts,
+		ReadOnlyCommits:  cs.ROCommits,
+		ReadOnlyAborts:   cs.ROAborts,
+		OwnershipMoves:   os.Succeeded,
+		PendingPipelines: n.n.CommitEngine().PendingSlots(),
+	}
+}
+
+// AcquireOwnership migrates obj's ownership to this node explicitly (the
+// bulk-migration primitive behind the paper's Voter experiments). Write
+// transactions acquire ownership implicitly; this is for re-sharding tools.
+func (n *Node) AcquireOwnership(obj uint64) error {
+	return n.n.OwnershipEngine().AcquireOwnership(wire.ObjectID(obj))
+}
+
+// WaitReplication blocks until all pending reliable commits validated.
+func (n *Node) WaitReplication(timeout time.Duration) bool {
+	return n.n.WaitReplication(timeout)
+}
+
+// Tx is one transaction. Exactly one of Commit or Abort must finish it.
+type Tx struct {
+	tx *core.Tx
+}
+
+// Get returns the value of obj as seen by the transaction.
+func (t *Tx) Get(obj uint64) ([]byte, error) { return t.tx.Get(obj) }
+
+// Set buffers a full-object write in the transaction's private copy.
+func (t *Tx) Set(obj uint64, val []byte) error { return t.tx.Set(obj, val) }
+
+// Commit finishes the transaction; ErrConflict means retry.
+func (t *Tx) Commit() error { return t.tx.Commit() }
+
+// Abort abandons the transaction.
+func (t *Tx) Abort() { t.tx.Abort() }
+
+// Durable returns a channel closed once the transaction's updates are
+// replicated to all followers (nil for read-only transactions). Applications
+// need not wait — the pipeline preserves ordering — but tests may.
+func (t *Tx) Durable() <-chan struct{} { return t.tx.Durable() }
+
+// IsConflict reports whether err is the retryable conflict error.
+func IsConflict(err error) bool { return errors.Is(err, ErrConflict) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package zeus_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zeus"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+	n := c.Node(0)
+	if err := n.CreateObject(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Update(0, func(tx *zeus.Tx) error {
+		v, err := tx.Get(1)
+		if err != nil {
+			return err
+		}
+		return tx.Set(1, append(v, '!'))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := n.View(0, func(tx *zeus.Tx) error {
+		var err error
+		got, err = tx.Get(1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello!" {
+		t.Fatalf("got %q", got)
+	}
+	st := n.Stats()
+	if st.Commits == 0 || st.ReadOnlyCommits == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicAPIMigrationAndLocality(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 4})
+	defer c.Close()
+	c.Seed(10, 0, []byte("migrate-me"))
+	n3 := c.Node(3)
+	if err := n3.Update(0, func(tx *zeus.Tx) error {
+		return tx.Set(10, []byte("moved"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n3.Stats().OwnershipMoves == 0 {
+		t.Fatal("no ownership move recorded")
+	}
+	if err := n3.AcquireOwnership(10); err != nil {
+		t.Fatal(err) // already owner: fast path
+	}
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 4})
+	defer c.Close()
+	c.Seed(20, 0, []byte("survive"))
+	if err := c.Node(0).Update(0, func(tx *zeus.Tx) error {
+		return tx.Set(20, []byte("survive-v2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Node(0).WaitReplication(2 * time.Second) {
+		t.Fatal("replication stalled")
+	}
+	if err := c.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := c.Node(3).Update(0, func(tx *zeus.Tx) error {
+		var err error
+		got, err = tx.Get(20)
+		if err != nil {
+			return err
+		}
+		return tx.Set(20, []byte("survive-v3"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "survive-v2" {
+		t.Fatalf("read %q after failover", got)
+	}
+}
+
+func TestPublicAPISerializableCounter(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 4})
+	defer c.Close()
+	c.Seed(30, 0, counterBytes(0))
+	const perNode = 20
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := c.Node(i)
+			for k := 0; k < perNode; k++ {
+				if err := n.Update(i, func(tx *zeus.Tx) error {
+					v, err := tx.Get(30)
+					if err != nil {
+						return err
+					}
+					return tx.Set(30, counterBytes(counterVal(v)+1))
+				}); err != nil {
+					t.Errorf("node %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var final uint64
+	if err := c.Node(0).Update(0, func(tx *zeus.Tx) error {
+		v, err := tx.Get(30)
+		if err != nil {
+			return err
+		}
+		final = counterVal(v)
+		return tx.Set(30, v)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if final != 3*perNode {
+		t.Fatalf("counter = %d, want %d", final, 3*perNode)
+	}
+}
+
+func TestPublicAPIUnknownObject(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+	err := c.Node(0).Update(0, func(tx *zeus.Tx) error {
+		return tx.Set(999, []byte("x"))
+	})
+	if err == nil || zeus.IsConflict(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublicAPIManualTxAndDurable(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+	c.Seed(40, 0, []byte("d"))
+	tx := c.Node(0).BeginOn(0)
+	if err := tx.Set(40, []byte("d2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tx.Durable():
+	case <-time.After(2 * time.Second):
+		t.Fatal("durable never closed")
+	}
+	// Abort path.
+	tx2 := c.Node(0).Begin()
+	if err := tx2.Set(40, []byte("never")); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	var got []byte
+	if err := c.Node(0).View(0, func(tx *zeus.Tx) error {
+		var err error
+		got, err = tx.Get(40)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "d2" {
+		t.Fatalf("aborted write leaked: %q", got)
+	}
+}
+
+func TestPublicAPISimulatedNetwork(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3, SimulatedNetwork: true})
+	defer c.Close()
+	c.Seed(50, 0, []byte("sim"))
+	if err := c.Node(1).Update(0, func(tx *zeus.Tx) error {
+		return tx.Set(50, []byte("sim2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() == 0 || c.Bytes() == 0 {
+		t.Fatal("no traffic accounted on simulated fabric")
+	}
+}
+
+func TestPublicAPIScaleOutAndIn(t *testing.T) {
+	c := zeus.New(zeus.Options{Nodes: 3})
+	defer c.Close()
+	c.Seed(60, 0, []byte("scale"))
+	n := c.AddNode()
+	if n.ID() != 3 {
+		t.Fatalf("new node id %d", n.ID())
+	}
+	if err := n.Update(0, func(tx *zeus.Tx) error {
+		return tx.Set(60, []byte("from-new-node"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.WaitReplication(2 * time.Second) {
+		t.Fatal("replication stalled")
+	}
+	if err := c.Leave(3); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors still serve the object.
+	if err := c.Node(0).Update(0, func(tx *zeus.Tx) error {
+		v, err := tx.Get(60)
+		if err != nil {
+			return err
+		}
+		if string(v) != "from-new-node" {
+			return fmt.Errorf("lost scale-out write: %q", v)
+		}
+		return tx.Set(60, []byte("back-on-old"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func counterBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func counterVal(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
