@@ -48,21 +48,26 @@ func main() {
 	}
 	wg.Wait()
 
-	// Money conservation: the sum of all balances is unchanged.
+	// Money conservation: the sum of all balances is unchanged. The
+	// transaction closure may be retried on conflict, so it must stay
+	// idempotent: record the balance inside, accumulate only after the
+	// transaction committed.
 	total := uint64(0)
 	n0 := c.Node(0)
 	for a := 0; a < accounts; a++ {
+		var balance uint64
 		err := n0.Update(0, func(tx *zeus.Tx) error {
 			v, err := tx.Get(uint64(a))
 			if err != nil {
 				return err
 			}
-			total += binary.LittleEndian.Uint64(v)
+			balance = binary.LittleEndian.Uint64(v)
 			return tx.Set(uint64(a), v)
 		})
 		if err != nil {
 			log.Fatalf("audit account %d: %v", a, err)
 		}
+		total += balance
 	}
 	fmt.Printf("total money: %d (expected %d) — conservation %v\n",
 		total, accounts*initialBalance, total == accounts*initialBalance)

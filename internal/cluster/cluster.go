@@ -128,10 +128,15 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 	var tr transport.Transport
 	if c.net != nil {
 		rc := transport.DefaultReliableConfig()
-		// Scale the retransmission timeout with the fabric's latency so
-		// slow-motion fabrics do not trigger spurious retransmits.
+		// Scale the initial retransmission timeout with the fabric's latency
+		// so slow-motion fabrics do not trigger spurious retransmits before
+		// the adaptive estimator has RTT samples; the floor keeps the
+		// adapted RTO above one round trip.
 		if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
 			rc.RTO = rto
+		}
+		if min := 2 * c.opts.Net.MaxLatency; min > rc.MinRTO {
+			rc.MinRTO = min
 		}
 		tr = transport.NewReliable(c.net.Endpoint(id), rc)
 	} else {

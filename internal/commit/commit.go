@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"zeus/internal/membership"
+	"zeus/internal/retry"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -39,6 +40,7 @@ type Stats struct {
 	Committed       uint64 // slots fully validated at this coordinator
 	Invalidations   uint64 // R-INVs applied as a follower
 	Replays         uint64 // slots replayed for dead coordinators
+	Resends         uint64 // crash-aware R-INV re-broadcasts
 	BytesReplicated uint64
 }
 
@@ -47,6 +49,19 @@ type Stats struct {
 // backpressure so a coordinator cannot outrun its followers indefinitely
 // (which would keep objects pending forever and starve ownership requests).
 const MaxPipelineDepth = 256
+
+// resendPolicy paces the crash-aware slot resender: R-INVs and R-ACKs that
+// cross a membership view change are dropped by the epoch filters on either
+// side, so every unacked slot is periodically re-broadcast with the *current*
+// epoch until its surviving followers acknowledge. The transport already
+// guarantees delivery, so this only has to outlive epoch transitions — a
+// gentle exponential keeps the steady-state overhead negligible.
+var resendPolicy = retry.Policy{
+	InitialBackoff: time.Millisecond,
+	MaxBackoff:     16 * time.Millisecond,
+	Multiplier:     2,
+	Jitter:         0.25,
+}
 
 // Engine runs the reliable commit protocol on one node.
 type Engine struct {
@@ -62,9 +77,13 @@ type Engine struct {
 	replays      map[wire.TxID]*replaySlot
 	replayEpoch  wire.Epoch
 
+	closed chan struct{}
+	once   sync.Once
+
 	stCommitted atomic.Uint64
 	stInvals    atomic.Uint64
 	stReplays   atomic.Uint64
+	stResends   atomic.Uint64
 	stBytes     atomic.Uint64
 }
 
@@ -88,6 +107,9 @@ type outSlot struct {
 	extraVal wire.Bitmap
 	valed    bool
 	done     chan struct{}
+	// Crash-aware resend pacing (see resendPolicy).
+	retr       *retry.Retrier
+	nextResend time.Time
 }
 
 // inPipe tracks one remote coordinator pipeline at a follower.
@@ -104,7 +126,7 @@ type inPipe struct {
 
 // New creates a reliable-commit engine.
 func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membership.Agent) *Engine {
-	return &Engine{
+	e := &Engine{
 		self:         self,
 		st:           st,
 		tr:           tr,
@@ -113,8 +135,14 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 		inPipes:      make(map[wire.PipeID]*inPipe),
 		pendingByObj: make(map[wire.ObjectID]int),
 		replays:      make(map[wire.TxID]*replaySlot),
+		closed:       make(chan struct{}),
 	}
+	go e.resendLoop()
+	return e
 }
+
+// Close stops the engine's background resender.
+func (e *Engine) Close() { e.once.Do(func() { close(e.closed) }) }
 
 // Register installs the engine's handlers on the router.
 func (e *Engine) Register(r *transport.Router) {
@@ -139,6 +167,7 @@ func (e *Engine) Stats() Stats {
 		Committed:       e.stCommitted.Load(),
 		Invalidations:   e.stInvals.Load(),
 		Replays:         e.stReplays.Load(),
+		Resends:         e.stResends.Load(),
 		BytesReplicated: e.stBytes.Load(),
 	}
 }
@@ -241,7 +270,10 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 	}
 
 	inv := &wire.CommitInv{Tx: tx, Epoch: epoch, Followers: followers, PrevVal: prevVal, Updates: updates}
-	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{})}
+	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{}), retr: resendPolicy.Start()}
+	if wait, ok := slot.retr.Next(); ok {
+		slot.nextResend = time.Now().Add(wait)
+	}
 	p.slots[local] = slot
 	p.mu.Unlock()
 
@@ -391,9 +423,12 @@ func (e *Engine) ack(to wire.NodeID, m *wire.CommitInv) {
 }
 
 func (e *Engine) handleVal(m *wire.CommitVal) {
-	if m.Epoch != e.agent.Epoch() {
-		return
-	}
+	// No epoch filter: an R-VAL states the fact "every follower applied
+	// Tx", which stays true across view changes. Dropping a VAL in flight
+	// over an epoch bump would strand the stored R-INV (the coordinator
+	// has already completed the slot and never re-VALs), pinning the
+	// object Invalid forever; the t_version checks below keep stale VALs
+	// harmless.
 	p := e.inPipe(m.Tx.Pipe)
 	p.mu.Lock()
 	inv := p.stored[m.Tx.Local]
@@ -439,9 +474,9 @@ func (p *inPipe) markDone(local uint64) {
 // ---------------------------------------------------------------------------
 
 func (e *Engine) handleAck(m *wire.CommitAck) {
-	if m.Epoch != e.agent.Epoch() {
-		return
-	}
+	// No epoch filter (mirrors handleVal): "follower F applied Tx" is a
+	// fact regardless of the epoch the ACK crossed; completeness is always
+	// evaluated against the *current* live set anyway.
 	if m.Tx.Pipe.Node == e.self {
 		e.mu.Lock()
 		p := e.outPipes[m.Tx.Pipe.Worker]
@@ -486,6 +521,9 @@ type replaySlot struct {
 	followers wire.Bitmap
 	acked     wire.Bitmap
 	finished  bool
+	// Crash-aware resend pacing (see resendPolicy).
+	retr       *retry.Retrier
+	nextResend time.Time
 }
 
 // OnViewChange prunes dead followers from this coordinator's open slots and
@@ -563,28 +601,38 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 		inv.Epoch = epoch
 		inv.Replay = true
 		inv.Followers = it.inv.Followers.Intersect(live).Remove(e.self)
-		rs := &replaySlot{inv: &inv, followers: inv.Followers}
+		rs := &replaySlot{inv: &inv, followers: inv.Followers, retr: resendPolicy.Start()}
+		if wait, ok := rs.retr.Next(); ok {
+			rs.nextResend = time.Now().Add(wait)
+		}
 		e.replays[inv.Tx] = rs
 		e.stReplays.Add(1)
 	}
-	replays := make([]*replaySlot, 0, len(e.replays))
+	// Snapshot inv/followers under e.mu: the resendLoop rewrites both
+	// fields (also under e.mu), so they must not be read lock-free below.
+	type replayOut struct {
+		rs        *replaySlot
+		inv       *wire.CommitInv
+		followers wire.Bitmap
+	}
+	replays := make([]replayOut, 0, len(e.replays))
 	for _, rs := range e.replays {
-		replays = append(replays, rs)
+		replays = append(replays, replayOut{rs: rs, inv: rs.inv, followers: rs.followers})
 	}
 	e.mu.Unlock()
 
-	for _, rs := range replays {
-		if rs.followers.Count() == 0 {
+	for _, ro := range replays {
+		if ro.followers.Count() == 0 {
 			e.mu.Lock()
-			if !rs.finished {
-				rs.finished = true
-				e.finishReplayLocked(rs)
+			if !ro.rs.finished {
+				ro.rs.finished = true
+				e.finishReplayLocked(ro.rs)
 			}
 			e.mu.Unlock()
 			continue
 		}
-		for _, n := range rs.followers.Nodes() {
-			_ = e.tr.Send(n, rs.inv)
+		for _, n := range ro.followers.Nodes() {
+			_ = e.tr.Send(n, ro.inv)
 		}
 	}
 	e.maybeReportDone()
@@ -607,6 +655,140 @@ func (e *Engine) finishReplayLocked(rs *replaySlot) {
 		}
 		e.maybeReportDone()
 	}()
+}
+
+// resendLoop is the liveness backstop behind the epoch filter on R-INVs:
+// handleInv silently drops an invalidation whose epoch does not match the
+// local agent's, so an R-INV in flight across a view change is lost at the
+// protocol layer even though the transport delivered it (the two agents bump
+// epochs asynchronously). Every unacknowledged coordinator slot and replay
+// slot is therefore periodically re-broadcast with the *current* epoch and
+// the Replay bit (version checks make re-application idempotent and
+// order-independent, §5.1), and completeness is re-evaluated against the
+// live set so slots whose missing followers died still validate.
+func (e *Engine) resendLoop() {
+	// Epoch mismatches can only arise around a view change (the agents bump
+	// epochs asynchronously but settle quickly), so the resender works in a
+	// grace window after each epoch change — extended while it still finds
+	// unacknowledged slots — and is completely idle in steady state. Under
+	// saturation slots legitimately sit unvalidated for tens of
+	// milliseconds behind follower backlogs; resending those would double
+	// the message volume exactly when the pipeline is busiest.
+	const (
+		epochGrace = 50 * time.Millisecond
+		activeTick = 500 * time.Microsecond // while recovering
+		idleTick   = 10 * time.Millisecond  // steady state: just watch the epoch
+	)
+	lastEpoch := e.agent.Epoch()
+	var graceUntil time.Time
+	t := time.NewTimer(idleTick)
+	defer t.Stop()
+	for {
+		var now time.Time
+		select {
+		case <-e.closed:
+			return
+		case now = <-t.C:
+		}
+		view := e.agent.View()
+		live, epoch := view.Live, view.Epoch
+		if epoch != lastEpoch {
+			lastEpoch = epoch
+			graceUntil = now.Add(epochGrace)
+		}
+		e.mu.Lock()
+		replayCount := len(e.replays)
+		e.mu.Unlock()
+		if now.After(graceUntil) && replayCount == 0 {
+			t.Reset(idleTick)
+			continue
+		}
+		t.Reset(activeTick)
+
+		type send struct {
+			to  wire.NodeID
+			inv *wire.CommitInv
+		}
+		var sends []send
+		var complete []struct {
+			p *outPipe
+			s *outSlot
+		}
+
+		e.mu.Lock()
+		pipes := make([]*outPipe, 0, len(e.outPipes))
+		for _, p := range e.outPipes {
+			pipes = append(pipes, p)
+		}
+		e.mu.Unlock()
+		for _, p := range pipes {
+			p.mu.Lock()
+			for _, s := range p.slots {
+				if s.valed || now.Before(s.nextResend) {
+					continue
+				}
+				need := s.followers.Intersect(live)
+				if s.acked.Union(wire.BitmapOf(e.self)).Intersect(need) == need {
+					complete = append(complete, struct {
+						p *outPipe
+						s *outSlot
+					}{p, s})
+					continue
+				}
+				wait, _ := s.retr.Next()
+				s.nextResend = now.Add(wait)
+				inv := *s.inv // copy-on-write: the original may be in flight
+				inv.Epoch = epoch
+				inv.Replay = true
+				inv.Followers = need
+				s.inv = &inv
+				for _, n := range need.Nodes() {
+					if n != e.self && !s.acked.Contains(n) {
+						sends = append(sends, send{n, s.inv})
+					}
+				}
+			}
+			p.mu.Unlock()
+		}
+		for _, c := range complete {
+			e.completeSlot(c.p, c.s)
+		}
+
+		e.mu.Lock()
+		for _, rs := range e.replays {
+			if rs.finished || now.Before(rs.nextResend) {
+				continue
+			}
+			need := rs.followers.Intersect(live)
+			if rs.acked.Intersect(need) == need {
+				rs.finished = true
+				rs.followers = need
+				e.finishReplayLocked(rs)
+				continue
+			}
+			wait, _ := rs.retr.Next()
+			rs.nextResend = now.Add(wait)
+			inv := *rs.inv
+			inv.Epoch = epoch
+			rs.inv = &inv
+			for _, n := range need.Nodes() {
+				if n != e.self && !rs.acked.Contains(n) {
+					sends = append(sends, send{n, rs.inv})
+				}
+			}
+		}
+		e.mu.Unlock()
+
+		if len(sends) > 0 {
+			// Still-unacked slots right after an epoch change: keep the
+			// window open until the protocol quiesces.
+			graceUntil = now.Add(epochGrace)
+		}
+		for _, s := range sends {
+			e.stResends.Add(1)
+			_ = e.tr.Send(s.to, s.inv)
+		}
+	}
 }
 
 // maybeReportDone reports recovery completion once no replays remain.

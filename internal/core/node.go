@@ -157,6 +157,7 @@ func (n *Node) Stats() Stats {
 // Close shuts down the node's engines.
 func (n *Node) Close() {
 	n.own.Close()
+	n.cmt.Close()
 	_ = n.tr.Close()
 }
 
@@ -371,12 +372,15 @@ func (tx *Tx) ensureWritable(id wire.ObjectID) error {
 	for attempt := 0; attempt < 3; attempt++ {
 		o.Mu.Lock()
 		if o.Level == wire.Owner && (o.OState == store.OValid || o.OState == store.ORequest) {
-			if o.LocalOwner != store.NoLocalOwner && o.LocalOwner != int32(tx.worker) {
+			// GrantLocalLocked refuses both local contention and the
+			// transfer-fairness yield (§6.2): after a remote requester
+			// was NACKed for pending commits, new local write grants
+			// hold off so the pipeline drains and the transfer wins.
+			if !o.GrantLocalLocked(int32(tx.worker)) {
 				o.Mu.Unlock()
 				tx.release()
-				return dbapi.ErrConflict // local contention: abort + retry
+				return dbapi.ErrConflict // abort + retry
 			}
-			o.LocalOwner = int32(tx.worker)
 			tx.held[id] = o
 			o.Mu.Unlock()
 			return nil

@@ -6,9 +6,11 @@
 package dbapi
 
 import (
+	"context"
 	"errors"
-	"math/rand"
 	"time"
+
+	"zeus/internal/retry"
 )
 
 // ErrConflict is the retryable abort error: the transaction lost a conflict
@@ -43,45 +45,57 @@ type DB interface {
 	BeginRO(worker int) Txn
 }
 
-// Run executes fn inside a write transaction with retry-on-conflict and
-// exponential back-off, the standard application loop.
+// DefaultPolicy is the conflict-retry policy used by Run/RunRO. It is
+// deliberately crash-recovery tolerant: no attempt cap, a generous elapsed
+// budget, so applications ride through an owner failover (membership lease
+// expiry + view change + replay, §5.1 — milliseconds to seconds) and observe
+// the retried transaction committing instead of a spurious ErrConflict.
+var DefaultPolicy = retry.Policy{
+	InitialBackoff: 2 * time.Microsecond,
+	MaxBackoff:     2 * time.Millisecond,
+	Multiplier:     2,
+	Jitter:         1,
+	MaxElapsed:     30 * time.Second,
+}
+
+// Run executes fn inside a write transaction with retry-on-conflict under
+// DefaultPolicy, the standard application loop.
 func Run(db DB, worker int, fn func(Txn) error) error {
-	return run(db, worker, fn, false)
+	return RunWith(context.Background(), db, worker, DefaultPolicy, fn)
 }
 
 // RunRO is Run for read-only transactions.
 func RunRO(db DB, worker int, fn func(Txn) error) error {
-	return run(db, worker, fn, true)
+	return RunROWith(context.Background(), db, worker, DefaultPolicy, fn)
 }
 
-func run(db DB, worker int, fn func(Txn) error, ro bool) error {
-	backoff := 2 * time.Microsecond
-	const maxBackoff = 2 * time.Millisecond
-	for attempt := 0; ; attempt++ {
-		var tx Txn
-		if ro {
-			tx = db.BeginRO(worker)
-		} else {
-			tx = db.Begin(worker)
-		}
-		err := fn(tx)
-		if err == nil {
-			err = tx.Commit()
-			if err == nil {
-				return nil
+// RunWith executes fn inside a write transaction, retrying conflicts under
+// the given policy until it commits, the policy is exhausted (the last
+// ErrConflict is returned, wrapped with retry.ErrExhausted), or ctx is done.
+func RunWith(ctx context.Context, db DB, worker int, p retry.Policy, fn func(Txn) error) error {
+	return run(ctx, db, worker, p, fn, false)
+}
+
+// RunROWith is RunWith for read-only transactions.
+func RunROWith(ctx context.Context, db DB, worker int, p retry.Policy, fn func(Txn) error) error {
+	return run(ctx, db, worker, p, fn, true)
+}
+
+func run(ctx context.Context, db DB, worker int, p retry.Policy, fn func(Txn) error, ro bool) error {
+	return retry.Do(ctx, p,
+		func(err error) bool { return errors.Is(err, ErrConflict) },
+		func(int) error {
+			var tx Txn
+			if ro {
+				tx = db.BeginRO(worker)
+			} else {
+				tx = db.Begin(worker)
 			}
-		} else {
+			err := fn(tx)
+			if err == nil {
+				return tx.Commit()
+			}
 			tx.Abort()
-		}
-		if !errors.Is(err, ErrConflict) {
 			return err
-		}
-		if attempt > 1000 {
-			return err
-		}
-		time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
-	}
+		})
 }

@@ -19,6 +19,11 @@ type AblationResult struct {
 	// Pipelining: same write stream with and without waiting for
 	// replication per transaction (the paper's core programmability and
 	// performance claim — distributed commit blocks, Zeus does not).
+	// Unlike the single-run sweeps below, this pair is measured best-of-3
+	// with an op floor of 200/worker (both modes identically), because the
+	// Pipelined/Blocking *ratio* is asserted by tests and single short
+	// runs measure scheduler noise; compare the two against each other,
+	// not against DegreeTps/LossTps.
 	PipelinedTps float64
 	BlockingTps  float64
 	// Replication degree sweep (degree → tps).
@@ -33,13 +38,26 @@ func Ablations(s Scale) AblationResult {
 	res := AblationResult{DegreeTps: map[int]float64{}, LossTps: map[int]float64{}}
 
 	// --- Pipelining on/off ---
+	// Short streams measure goroutine startup more than the protocols, so
+	// the pair gets an op floor and the best of three runs each — the
+	// standard de-noising for a throughput comparison on a shared host.
 	{
-		c := newZeus(3, s.Workers)
-		res.PipelinedTps = ablationWriteStream(c, s, false)
-		c.Close()
-		c2 := newZeus(3, s.Workers)
-		res.BlockingTps = ablationWriteStream(c2, s, true)
-		c2.Close()
+		ps := s
+		if ps.OpsPerWorker < 200 {
+			ps.OpsPerWorker = 200
+		}
+		for i := 0; i < 3; i++ {
+			c := newZeus(3, ps.Workers)
+			if tps := ablationWriteStream(c, ps, false); tps > res.PipelinedTps {
+				res.PipelinedTps = tps
+			}
+			c.Close()
+			c2 := newZeus(3, ps.Workers)
+			if tps := ablationWriteStream(c2, ps, true); tps > res.BlockingTps {
+				res.BlockingTps = tps
+			}
+			c2.Close()
+		}
 	}
 
 	// --- Replication degree ---

@@ -86,7 +86,11 @@ func (m *Manager) Agent(id wire.NodeID) *Agent {
 	if a, ok := m.agents[id]; ok {
 		return a
 	}
-	a := &Agent{self: id, mgr: m, view: wire.View{Epoch: m.epoch, Live: m.live}}
+	a := &Agent{
+		self: id, mgr: m,
+		view:    wire.View{Epoch: m.epoch, Live: m.live},
+		changed: make(chan struct{}),
+	}
 	m.agents[id] = a
 	return a
 }
@@ -251,6 +255,7 @@ type Agent struct {
 
 	mu          sync.Mutex
 	view        wire.View
+	changed     chan struct{} // closed and replaced on every view change
 	onChange    []ChangeFunc
 	onRecovered []RecoveredFunc
 }
@@ -302,6 +307,16 @@ func (a *Agent) ReportRecoveryDone(epoch wire.Epoch) {
 // Renew renews this node's lease.
 func (a *Agent) Renew() { a.mgr.Renew(a.self) }
 
+// ChangeSignal returns a channel that is closed at the next view change;
+// callers blocked on a back-off use it as an immediate wake signal to
+// re-resolve ("the owner I was waiting on may just have been declared dead").
+// Re-acquire a fresh channel after every wake.
+func (a *Agent) ChangeSignal() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.changed
+}
+
 func (a *Agent) apply(old, next wire.View, removed wire.Bitmap) {
 	a.mu.Lock()
 	if next.Epoch <= a.view.Epoch {
@@ -309,6 +324,8 @@ func (a *Agent) apply(old, next wire.View, removed wire.Bitmap) {
 		return
 	}
 	a.view = next
+	close(a.changed)
+	a.changed = make(chan struct{})
 	fns := make([]ChangeFunc, len(a.onChange))
 	copy(fns, a.onChange)
 	a.mu.Unlock()

@@ -35,6 +35,15 @@ type Config struct {
 	LossProb float64
 	// DupProb is the probability a frame is delivered twice.
 	DupProb float64
+	// DeterministicDrops derives every loss/duplication decision from a
+	// hash of (Seed, source, destination, per-link frame index) instead of
+	// the shared RNG stream. The shared stream is consumed in whatever
+	// order goroutines happen to call Send, so identical seeds still yield
+	// different fault patterns run to run; in deterministic mode the n-th
+	// frame on a given link is dropped (or duplicated) in every run with
+	// the same seed, making loss-recovery tests reproducible. Latency
+	// jitter still comes from the RNG (it orders deliveries, not faults).
+	DeterministicDrops bool
 	// InboxDepth bounds each endpoint's receive queue; frames arriving at
 	// a full inbox are dropped (a lossy network may do that too).
 	InboxDepth int
@@ -76,6 +85,7 @@ type Network struct {
 	rng       *rand.Rand
 	endpoints map[wire.NodeID]*Endpoint
 	blocked   map[[2]wire.NodeID]bool
+	linkSeq   map[[2]wire.NodeID]uint64 // per-link frame index (deterministic mode)
 	closed    bool
 	done      chan struct{}
 
@@ -108,6 +118,7 @@ func New(cfg Config) *Network {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		endpoints: make(map[wire.NodeID]*Endpoint),
 		blocked:   make(map[[2]wire.NodeID]bool),
+		linkSeq:   make(map[[2]wire.NodeID]uint64),
 		done:      make(chan struct{}),
 		schedWake: make(chan struct{}, 1),
 	}
@@ -306,8 +317,16 @@ func (ep *Endpoint) Send(dst wire.NodeID, payload []byte) error {
 	var lost, dup bool
 	var lat, lat2 time.Duration
 	if ok && !blocked {
-		lost = n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
-		dup = n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb
+		if n.cfg.DeterministicDrops {
+			link := [2]wire.NodeID{ep.id, dst}
+			idx := n.linkSeq[link]
+			n.linkSeq[link] = idx + 1
+			lost = n.cfg.LossProb > 0 && linkHash(n.cfg.Seed, ep.id, dst, idx, 0) < n.cfg.LossProb
+			dup = n.cfg.DupProb > 0 && linkHash(n.cfg.Seed, ep.id, dst, idx, 1) < n.cfg.DupProb
+		} else {
+			lost = n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
+			dup = n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb
+		}
 		lat = n.latencyLocked()
 		lat2 = n.latencyLocked()
 	}
@@ -332,6 +351,18 @@ func (ep *Endpoint) Send(dst wire.NodeID, payload []byte) error {
 		n.deliverAfter(dstEp, f, lat2)
 	}
 	return nil
+}
+
+// linkHash maps (seed, link, frame index, decision kind) to [0,1) via a
+// splitmix64 finalizer, so deterministic-drop decisions are independent of
+// goroutine scheduling.
+func linkHash(seed int64, from, to wire.NodeID, idx uint64, kind uint64) float64 {
+	x := uint64(seed) ^ uint64(from)<<40 ^ uint64(to)<<48 ^ idx<<2 ^ kind
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
 }
 
 func (n *Network) latencyLocked() time.Duration {

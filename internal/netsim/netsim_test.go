@@ -241,3 +241,81 @@ func TestEndpointIsStable(t *testing.T) {
 		t.Fatal("wrong id")
 	}
 }
+
+// lossPattern sends n frames over one link and returns which were dropped.
+func lossPattern(cfg Config, n int) []bool {
+	nw := New(cfg)
+	defer nw.Close()
+	src := nw.Endpoint(0)
+	nw.Endpoint(1)
+	pattern := make([]bool, n)
+	for i := 0; i < n; i++ {
+		before := nw.Stats().Lost
+		_ = src.Send(1, []byte{byte(i)})
+		pattern[i] = nw.Stats().Lost > before
+	}
+	return pattern
+}
+
+func TestDeterministicDropsReproducible(t *testing.T) {
+	cfg := Config{Seed: 99, LossProb: 0.2, DupProb: 0.1, DeterministicDrops: true}
+	const N = 500
+	a := lossPattern(cfg, N)
+	b := lossPattern(cfg, N)
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d: run1 dropped=%v run2 dropped=%v", i, a[i], b[i])
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	// The hash should approximate the configured rate (20% ± 5pp).
+	if drops < N*15/100 || drops > N*25/100 {
+		t.Fatalf("deterministic loss rate %d/%d far from 20%%", drops, N)
+	}
+	// A different seed must give a different pattern.
+	cfg.Seed = 100
+	c := lossPattern(cfg, N)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == N {
+		t.Fatal("seed change did not change the drop pattern")
+	}
+}
+
+func TestDeterministicDropsIndependentOfInterleaving(t *testing.T) {
+	// Frames on link 0→1 keep their fates even when another link's
+	// traffic is interleaved differently between runs.
+	run := func(interleave bool) []bool {
+		cfg := Config{Seed: 7, LossProb: 0.2, DeterministicDrops: true}
+		nw := New(cfg)
+		defer nw.Close()
+		src := nw.Endpoint(0)
+		other := nw.Endpoint(2)
+		nw.Endpoint(1)
+		pattern := make([]bool, 200)
+		for i := range pattern {
+			if interleave {
+				_ = other.Send(1, []byte("noise"))
+			}
+			before := nw.Stats().Lost
+			_ = src.Send(1, []byte{byte(i)})
+			// Subtract losses caused by the noise frame: read the delta
+			// strictly around the 0→1 send.
+			pattern[i] = nw.Stats().Lost > before
+		}
+		return pattern
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frame %d fate changed with interleaved traffic", i)
+		}
+	}
+}

@@ -34,10 +34,30 @@ import (
 	"time"
 
 	"zeus/internal/membership"
+	"zeus/internal/retry"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
 )
+
+// transferYield is how long an owner defers new local write grants after
+// NACKing a transfer for pending commits. It must comfortably exceed the
+// requester's worst-case back-off (MaxBackoff 5ms + equal jitter = 10ms)
+// plus the REQ→INV network hops, so the next probe is guaranteed to land
+// inside the yield window with a drained pipeline.
+const transferYield = 25 * time.Millisecond
+
+// DefaultRetryPolicy is the NACK/timeout back-off of the ownership protocol
+// (§6.2): exponential with full jitter, unbounded attempts — the Acquire
+// deadline, not the policy, decides when to give up.
+func DefaultRetryPolicy() retry.Policy {
+	return retry.Policy{
+		InitialBackoff: 50 * time.Microsecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         1,
+	}
+}
 
 // Errors returned by Acquire and friends.
 var (
@@ -60,10 +80,11 @@ type Config struct {
 	AttemptTimeout time.Duration
 	// Deadline bounds the whole Acquire (across retries and back-off).
 	Deadline time.Duration
-	// BackoffBase is the initial exponential back-off after a NACK (§6.2).
-	BackoffBase time.Duration
-	// BackoffMax caps the back-off.
-	BackoffMax time.Duration
+	// Retry paces the NACK/timeout retry loop (§6.2 deadlock circumvention:
+	// exponential back-off with jitter). Back-off sleeps are interrupted
+	// early by a membership epoch change — "owner busy" waits out the
+	// back-off, "owner dead" re-resolves the moment the view changes.
+	Retry retry.Policy
 	// StaleAfter is how long a pending arbitration may linger before a
 	// driver force-completes it with an arb-replay (liveness escape for
 	// requesters that died or gave up before validating).
@@ -79,8 +100,7 @@ func DefaultConfig(dirNodes wire.Bitmap) Config {
 		DirNodes:       dirNodes,
 		AttemptTimeout: 100 * time.Millisecond,
 		Deadline:       5 * time.Second,
-		BackoffBase:    50 * time.Microsecond,
-		BackoffMax:     5 * time.Millisecond,
+		Retry:          DefaultRetryPolicy(),
 		StaleAfter:     250 * time.Millisecond,
 	}
 }
@@ -174,11 +194,8 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 5 * time.Second
 	}
-	if cfg.BackoffBase <= 0 {
-		cfg.BackoffBase = 50 * time.Microsecond
-	}
-	if cfg.BackoffMax <= 0 {
-		cfg.BackoffMax = 5 * time.Millisecond
+	if cfg.Retry == (retry.Policy{}) {
+		cfg.Retry = DefaultRetryPolicy()
 	}
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 250 * time.Millisecond
@@ -328,7 +345,7 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 	}
 	start := time.Now()
 	deadline := start.Add(e.cfg.Deadline)
-	backoff := e.cfg.BackoffBase
+	retr := e.cfg.Retry.Start()
 
 	var req *pendingReq
 	newRequest := func() *pendingReq {
@@ -380,6 +397,7 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 			return ErrClosed
 		}
 
+		ownerBusy := false
 		switch {
 		case !timedOut && out.ok:
 			e.stSucceeded.Add(1)
@@ -391,12 +409,14 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 			e.resetRequestState(obj)
 			return fmt.Errorf("%w: %d", ErrUnknownObject, obj)
 		case !timedOut && out.reason == wire.NackPendingCommit:
-			// Retry the SAME request: the driver still holds the
-			// arbitration in Drive state and will re-INV with the
-			// same o_ts; the owner ACKs once its pipeline drains.
+			// Owner busy: retry the SAME request — the driver still
+			// holds the arbitration in Drive state and will re-INV with
+			// the same o_ts; the owner ACKs once its pipeline drains.
+			ownerBusy = true
 		default:
-			// Lost arbitration, stale epoch, recovering, or timeout:
-			// fresh arbitration with a new request id.
+			// Lost arbitration, stale epoch, recovering, or timeout
+			// (possibly a dead owner or driver): fresh arbitration with
+			// a new request id.
 			if timedOut {
 				e.stTimeouts.Add(1)
 			}
@@ -411,13 +431,26 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 			}
 			return fmt.Errorf("%w: obj %d (%v): %v", ErrAborted, obj, mode, out.reason)
 		}
-		// Exponential back-off with jitter (§6.2 deadlock circumvention).
-		e.rngMu.Lock()
-		j := time.Duration(e.rng.Int63n(int64(backoff) + 1))
-		e.rngMu.Unlock()
-		time.Sleep(backoff + j)
-		if backoff *= 2; backoff > e.cfg.BackoffMax {
-			backoff = e.cfg.BackoffMax
+		wait, ok := retr.Next()
+		if !ok {
+			e.resetRequestState(obj)
+			return fmt.Errorf("%w: obj %d (%v): retry policy exhausted", ErrAborted, obj, mode)
+		}
+		// Back off (§6.2 deadlock circumvention), but wake immediately on
+		// a membership epoch change: "owner busy" becomes "owner dead" the
+		// moment the view changes, and the right move then is to re-resolve
+		// through the directory at once rather than sleep out the back-off.
+		// The signal must be captured before the epoch read: a view change
+		// landing between the two would otherwise close the old channel
+		// unseen and the new one would sleep through the whole back-off.
+		wake := e.agent.ChangeSignal()
+		epochBefore := e.agent.Epoch()
+		_ = retry.Sleep(nil, wait, wake)
+		if e.agent.Epoch() != epochBefore && ownerBusy {
+			// The arbitration we were waiting on may have been force-
+			// completed by recovery under a new epoch; start fresh.
+			dropRequest(req)
+			req = newRequest()
 		}
 	}
 }
@@ -519,7 +552,8 @@ func (e *Engine) handleReq(m *wire.OwnReq) {
 	// pending-commit rule before arbitrating away its own write access
 	// (pending reliable commits or an executing local transaction, §4.1).
 	if o.Level == wire.Owner && m.Requester != e.self &&
-		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
+		(o.LocalOwner != store.NoLocalOwner || o.PendingCommits > 0 || e.HasPendingCommit(m.Obj)) {
+		o.YieldLocalUntil = time.Now().Add(transferYield)
 		o.Mu.Unlock()
 		e.stNacks.Add(1)
 		e.send(m.Requester, &wire.OwnNack{
@@ -646,7 +680,16 @@ func (e *Engine) buildAck(inv *wire.OwnInv) *wire.OwnAck {
 	if needData {
 		if o, ok := e.st.Get(inv.Obj); ok {
 			o.Mu.Lock()
-			if o.Replicas.LevelOf(inv.Requester) == wire.NonReplica {
+			// Failure-free transfers to an existing replica send no data:
+			// the pending-commit NACK guard guarantees the pipeline
+			// drained, so the requester's replica is current. Recovery
+			// replays bypass that guard (the pipeline may never drain
+			// towards a dead follower), so the requester's replica can
+			// lag the owner's committed state by the in-flight slots —
+			// the ex-owner therefore always piggybacks its data, which
+			// is final (an initiated reliable commit cannot abort), and
+			// the requester's t_version check applies it idempotently.
+			if inv.Recovery || o.Replicas.LevelOf(inv.Requester) == wire.NonReplica {
 				ack.HasData = true
 				ack.TVersion = o.TVersion
 				ack.Data = append([]byte(nil), o.Data...)
@@ -687,11 +730,17 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 
 	// The current owner refuses to hand the object over while reliable
 	// commits involving it are pending (§4.1); pipelines drain first.
+	// o.PendingCommits (bumped under the object lock at local-commit time)
+	// closes the window before the commit engine's own counter is up.
 	// Replayed INVs bypass this: the locally committed values are final
 	// (an initiated reliable commit cannot abort) and replication of the
 	// in-flight slots completes independently.
 	if !m.Recovery && e.self == m.PrevOwner && o.Level == wire.Owner &&
-		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
+		(o.LocalOwner != store.NoLocalOwner || o.PendingCommits > 0 || e.HasPendingCommit(m.Obj)) {
+		// Transfer fairness: a back-to-back local write stream would keep
+		// this guard busy forever, so defer new local write grants long
+		// enough for the pipeline to drain and the requester to re-probe.
+		o.YieldLocalUntil = time.Now().Add(transferYield)
 		o.Mu.Unlock()
 		e.stNacks.Add(1)
 		e.send(m.Requester, &wire.OwnNack{
@@ -714,6 +763,15 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 		Arbiters: m.Arbiters, Epoch: m.Epoch, Since: time.Now(),
 	}
 	o.OState = store.OInvalid
+	// An owner that accepts an INV moving ownership away relinquishes its
+	// write rights with the ACK (§4.1) — the requester applies first and
+	// may serve writes before our VAL arrives, so keeping Level = Owner
+	// until then would present two owners to local readers. Demote to
+	// reader now (WithOwner keeps the ex-owner's replica); the VAL installs
+	// the final level either way.
+	if o.Level == wire.Owner && m.NewReplicas.LevelOf(e.self) != wire.Owner {
+		o.Level = wire.Reader
+	}
 
 	// Did a VAL overtake this INV? Apply immediately if so.
 	e.mu.Lock()

@@ -1,0 +1,167 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPolicyExhaustionByAttempts(t *testing.T) {
+	p := Policy{InitialBackoff: time.Microsecond, MaxBackoff: time.Microsecond, MaxAttempts: 5}
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), p, nil, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		return boom
+	})
+	if calls != 5 {
+		t.Fatalf("calls = %d, want 5", calls)
+	}
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrExhausted joined with boom", err)
+	}
+}
+
+func TestPolicyExhaustionByElapsed(t *testing.T) {
+	p := Policy{InitialBackoff: time.Millisecond, MaxBackoff: time.Millisecond, MaxElapsed: 10 * time.Millisecond}
+	start := time.Now()
+	err := Do(context.Background(), p, nil, func(int) error { return errors.New("x") })
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if e := time.Since(start); e > 200*time.Millisecond {
+		t.Fatalf("took %v, budget was 10ms", e)
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	p := Policy{InitialBackoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	calls := 0
+	err := Do(context.Background(), p, nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("again")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Do(context.Background(), Policy{}, func(err error) bool { return !errors.Is(err, fatal) },
+		func(int) error { calls++; return fatal })
+	if !errors.Is(err, fatal) || errors.Is(err, ErrExhausted) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoHonoursContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{InitialBackoff: time.Second, MaxBackoff: time.Second}
+	err := Do(ctx, p, nil, func(int) error { return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{InitialBackoff: 100 * time.Microsecond, MaxBackoff: 100 * time.Microsecond, Jitter: 1}
+	for i := 0; i < 100; i++ {
+		r := p.Start()
+		w, ok := r.Next()
+		if !ok {
+			t.Fatal("exhausted immediately")
+		}
+		// With Jitter=1 the wait lies in [backoff, 2*backoff].
+		if w < 100*time.Microsecond || w > 200*time.Microsecond {
+			t.Fatalf("wait %v outside [100µs, 200µs]", w)
+		}
+	}
+}
+
+func TestNoJitter(t *testing.T) {
+	p := Policy{InitialBackoff: 50 * time.Microsecond, MaxBackoff: 400 * time.Microsecond, Jitter: -1}
+	r := p.Start()
+	want := []time.Duration{50, 100, 200, 400, 400} // microseconds, capped
+	for i, w := range want {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if got != w*time.Microsecond {
+			t.Fatalf("backoff[%d] = %v, want %v", i, got, w*time.Microsecond)
+		}
+	}
+}
+
+func TestSleepWake(t *testing.T) {
+	wake := make(chan struct{})
+	go func() { close(wake) }()
+	start := time.Now()
+	if err := Sleep(context.Background(), time.Second, wake); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 500*time.Millisecond {
+		t.Fatalf("wake signal ignored: slept %v", e)
+	}
+}
+
+func TestRTOEstimatorConverges(t *testing.T) {
+	e := NewRTOEstimator(10*time.Millisecond, 100*time.Microsecond, time.Second)
+	if e.RTO() != 10*time.Millisecond {
+		t.Fatalf("initial RTO = %v", e.RTO())
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(200 * time.Microsecond)
+	}
+	rto := e.RTO()
+	// Steady 200µs RTT: SRTT→200µs, RTTVAR→~0, RTO well under the initial.
+	if rto > 2*time.Millisecond {
+		t.Fatalf("RTO did not adapt down: %v", rto)
+	}
+	if rto < 100*time.Microsecond {
+		t.Fatalf("RTO below floor: %v", rto)
+	}
+}
+
+func TestRTOEstimatorBackoffAndReset(t *testing.T) {
+	e := NewRTOEstimator(0, time.Millisecond, 100*time.Millisecond)
+	e.Observe(2 * time.Millisecond)
+	base := e.RTO()
+	e.Backoff()
+	e.Backoff()
+	if got := e.RTO(); got < 4*base && got != 100*time.Millisecond {
+		t.Fatalf("two backoffs: RTO %v, want >= 4*%v or capped", got, base)
+	}
+	e.Observe(2 * time.Millisecond)
+	if got := e.RTO(); got >= 4*base && got > 2*base {
+		t.Fatalf("sample did not reset backoff: %v", got)
+	}
+}
+
+func TestRTOEstimatorClamps(t *testing.T) {
+	e := NewRTOEstimator(0, time.Millisecond, 10*time.Millisecond)
+	e.Observe(time.Nanosecond)
+	if e.RTO() != time.Millisecond {
+		t.Fatalf("RTO below min: %v", e.RTO())
+	}
+	e.Observe(time.Hour)
+	if e.RTO() != 10*time.Millisecond {
+		t.Fatalf("RTO above max: %v", e.RTO())
+	}
+	for i := 0; i < 32; i++ {
+		e.Backoff()
+	}
+	if e.RTO() != 10*time.Millisecond {
+		t.Fatalf("backoff overflowed the cap: %v", e.RTO())
+	}
+}

@@ -122,6 +122,14 @@ type Object struct {
 	// have not been validated yet; the owner NACKs ownership requests
 	// while it is non-zero (§4.1, §5.2).
 	PendingCommits int32
+
+	// YieldLocalUntil implements transfer fairness (§6.2 starvation
+	// avoidance): after NACKing an ownership request for pending commits,
+	// the owner briefly defers granting *new* local write ownership of
+	// this object, so a back-to-back local write stream cannot starve a
+	// remote requester forever — the pipeline drains and the requester's
+	// next probe wins. Zero means no yield.
+	YieldLocalUntil time.Time
 }
 
 // TryAcquireLocal attempts to make worker the local owner. It succeeds if
@@ -131,11 +139,24 @@ type Object struct {
 func (o *Object) TryAcquireLocal(worker int32) bool {
 	o.Mu.Lock()
 	defer o.Mu.Unlock()
-	if o.LocalOwner == NoLocalOwner || o.LocalOwner == worker {
-		o.LocalOwner = worker
+	return o.GrantLocalLocked(worker)
+}
+
+// GrantLocalLocked is TryAcquireLocal for callers already holding o.Mu. A
+// *new* grant is refused while the transfer-fairness yield (YieldLocalUntil)
+// is active; a worker that already holds the object keeps it.
+func (o *Object) GrantLocalLocked(worker int32) bool {
+	if o.LocalOwner == worker {
 		return true
 	}
-	return false
+	if o.LocalOwner != NoLocalOwner {
+		return false
+	}
+	if !o.YieldLocalUntil.IsZero() && time.Now().Before(o.YieldLocalUntil) {
+		return false
+	}
+	o.LocalOwner = worker
+	return true
 }
 
 // ReleaseLocal releases local ownership if held by worker.

@@ -7,15 +7,27 @@ import (
 	"time"
 
 	"zeus/internal/netsim"
+	"zeus/internal/retry"
 	"zeus/internal/wire"
 )
 
 // ReliableConfig tunes the retransmission machinery.
 type ReliableConfig struct {
-	// RTO is the retransmission timeout for unacknowledged frames.
+	// RTO is the initial retransmission timeout, used until RTT samples
+	// arrive; after that the per-peer adaptive estimator (SRTT/RTTVAR, RFC
+	// 6298 via retry.RTOEstimator) takes over.
 	RTO time.Duration
+	// MinRTO / MaxRTO clamp the adaptive timeout.
+	MinRTO time.Duration
+	MaxRTO time.Duration
+	// DupAckThreshold is the number of duplicate pure ACKs that trigger a
+	// fast retransmission of the first unacknowledged frame (à la TCP fast
+	// retransmit; default 2 — the fabric re-acks every data frame, so the
+	// signal is strong and sub-RTO recovery matters more than the odd
+	// spurious resend, which deduplication makes harmless).
+	DupAckThreshold int
 	// ScanInterval is how often the retransmitter scans for timed-out
-	// frames; defaults to RTO/2.
+	// frames; defaults to max(MinRTO/2, 50µs).
 	ScanInterval time.Duration
 	// DeliveryDepth bounds the per-peer in-order delivery queue.
 	DeliveryDepth int
@@ -36,6 +48,11 @@ const (
 // sequence numbers, cumulative acknowledgements, retransmission and
 // deduplication. It delivers messages exactly once, in per-peer FIFO order,
 // mirroring the paper's low-level reliable messaging (§3.1).
+//
+// Loss recovery is two-tiered: duplicate cumulative ACKs trigger an immediate
+// fast retransmission of the first hole (sub-RTT recovery whenever traffic
+// follows the lost frame), and an adaptive per-peer RTO (SRTT/RTTVAR with
+// exponential back-off, Karn's rule for samples) catches tail losses.
 type Reliable struct {
 	ep  *netsim.Endpoint
 	cfg ReliableConfig
@@ -46,8 +63,9 @@ type Reliable struct {
 	closed  chan struct{}
 	once    sync.Once
 
-	retransmits atomic.Uint64
-	acksSent    atomic.Uint64
+	retransmits     atomic.Uint64
+	fastRetransmits atomic.Uint64
+	acksSent        atomic.Uint64
 }
 
 type peerState struct {
@@ -57,6 +75,10 @@ type peerState struct {
 	sendMu  sync.Mutex
 	nextSeq uint64
 	unacked map[uint64]*unackedFrame
+	est      *retry.RTOEstimator
+	cumAck   uint64 // highest cumulative ack received from the peer
+	dupAcks  int    // consecutive duplicate pure acks at cumAck
+	fastRetx uint64 // highest seq already fast-retransmitted (one shot per hole)
 	// Receiver side.
 	recvMu   sync.Mutex
 	expected uint64
@@ -68,6 +90,7 @@ type peerState struct {
 type unackedFrame struct {
 	buf  []byte
 	sent time.Time
+	retx bool // retransmitted at least once (Karn: no RTT sample)
 }
 
 type delivery struct {
@@ -79,8 +102,23 @@ func NewReliable(ep *netsim.Endpoint, cfg ReliableConfig) *Reliable {
 	if cfg.RTO <= 0 {
 		cfg.RTO = 2 * time.Millisecond
 	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 100 * time.Microsecond
+	}
+	if cfg.MaxRTO <= 0 {
+		cfg.MaxRTO = 100 * time.Millisecond
+		if cfg.MaxRTO < 4*cfg.RTO {
+			cfg.MaxRTO = 4 * cfg.RTO
+		}
+	}
+	if cfg.DupAckThreshold <= 0 {
+		cfg.DupAckThreshold = 2
+	}
 	if cfg.ScanInterval <= 0 {
-		cfg.ScanInterval = cfg.RTO / 2
+		cfg.ScanInterval = cfg.MinRTO / 2
+		if cfg.ScanInterval < 50*time.Microsecond {
+			cfg.ScanInterval = 50 * time.Microsecond
+		}
 	}
 	if cfg.DeliveryDepth <= 0 {
 		cfg.DeliveryDepth = 8192
@@ -102,8 +140,11 @@ func (r *Reliable) Self() wire.NodeID { return r.ep.ID() }
 // SetHandler installs the inbound handler.
 func (r *Reliable) SetHandler(h Handler) { r.handler.Store(h) }
 
-// Retransmits reports how many frames were resent (diagnostics).
+// Retransmits reports how many frames were resent on timeout (diagnostics).
 func (r *Reliable) Retransmits() uint64 { return r.retransmits.Load() }
+
+// FastRetransmits reports how many frames duplicate ACKs resent early.
+func (r *Reliable) FastRetransmits() uint64 { return r.fastRetransmits.Load() }
 
 func (r *Reliable) peer(id wire.NodeID) *peerState {
 	r.mu.Lock()
@@ -116,6 +157,7 @@ func (r *Reliable) peer(id wire.NodeID) *peerState {
 			expected: 1,
 			unacked:  make(map[uint64]*unackedFrame),
 			pending:  make(map[uint64][]byte),
+			est:      retry.NewRTOEstimator(r.cfg.RTO, r.cfg.MinRTO, r.cfg.MaxRTO),
 			deliver:  make(chan delivery, r.cfg.DeliveryDepth),
 		}
 		r.peers[id] = p
@@ -156,6 +198,57 @@ func (r *Reliable) sendAck(to wire.NodeID, ack uint64) {
 	_ = r.ep.Send(to, buf)
 }
 
+// processAck handles one inbound cumulative ack: it releases covered frames,
+// feeds the RTT estimator (Karn: only never-retransmitted frames), and counts
+// duplicate pure acks, fast-retransmitting the first hole at the threshold.
+func (r *Reliable) processAck(p *peerState, ack uint64, pureAck bool) {
+	now := time.Now()
+	var fastRetx []byte
+	p.sendMu.Lock()
+	switch {
+	case ack > p.cumAck:
+		var sample time.Duration
+		var sampleSeq uint64
+		for s, uf := range p.unacked {
+			if s > ack {
+				continue
+			}
+			if !uf.retx && s > sampleSeq {
+				sampleSeq = s
+				sample = now.Sub(uf.sent)
+			}
+			delete(p.unacked, s)
+		}
+		p.cumAck = ack
+		p.dupAcks = 0
+		if sampleSeq != 0 {
+			p.est.Observe(sample)
+		}
+	case ack == p.cumAck && pureAck:
+		// A duplicate ack means later frames arrived while ack+1 is
+		// missing; after DupAckThreshold of them, resend it right away —
+		// but only once per hole (à la TCP): every frame queued behind
+		// the hole produces another duplicate ack, and re-firing on each
+		// would amplify one loss into a burst of identical copies. If
+		// the retransmission is lost too, the RTO timer recovers.
+		if uf, ok := p.unacked[ack+1]; ok && ack+1 > p.fastRetx {
+			p.dupAcks++
+			if p.dupAcks >= r.cfg.DupAckThreshold {
+				p.dupAcks = 0
+				p.fastRetx = ack + 1
+				uf.retx = true
+				uf.sent = now
+				fastRetx = uf.buf
+			}
+		}
+	}
+	p.sendMu.Unlock()
+	if fastRetx != nil {
+		r.fastRetransmits.Add(1)
+		_ = r.ep.Send(p.id, fastRetx)
+	}
+}
+
 func (r *Reliable) recvLoop() {
 	for {
 		f, ok := r.ep.Recv()
@@ -171,13 +264,7 @@ func (r *Reliable) recvLoop() {
 		p := r.peer(f.From)
 
 		// Process the (cumulative) acknowledgement.
-		p.sendMu.Lock()
-		for s := range p.unacked {
-			if s <= ack {
-				delete(p.unacked, s)
-			}
-		}
-		p.sendMu.Unlock()
+		r.processAck(p, ack, flags&flagData == 0)
 
 		if flags&flagData == 0 {
 			continue // pure ack
@@ -217,7 +304,8 @@ func (r *Reliable) recvLoop() {
 			}
 		default:
 			// Out of order: buffer (dedup re-buffering is harmless)
-			// and re-ack the last in-order frame.
+			// and re-ack the last in-order frame — the duplicate ack
+			// is the sender's fast-retransmit signal.
 			if _, dup := p.pending[seq]; !dup {
 				p.pending[seq] = payload
 			}
@@ -261,12 +349,19 @@ func (r *Reliable) retransmitLoop() {
 			r.mu.Unlock()
 			for _, p := range peers {
 				p.sendMu.Lock()
+				rto := p.est.RTO()
 				var resend [][]byte
 				for _, uf := range p.unacked {
-					if now.Sub(uf.sent) >= r.cfg.RTO {
+					if now.Sub(uf.sent) >= rto {
 						uf.sent = now
+						uf.retx = true
 						resend = append(resend, uf.buf)
 					}
+				}
+				if len(resend) > 0 {
+					// One back-off per scan round, not per frame
+					// (RFC 6298 §5.5 applied per flight).
+					p.est.Backoff()
 				}
 				p.sendMu.Unlock()
 				for _, buf := range resend {
