@@ -259,6 +259,18 @@ func BenchmarkFig15HTTPLB(b *testing.B) {
 	b.ReportMetric(r.TwoProxyTps, "2proxy-tps")
 }
 
+// BenchmarkTransportBatching regenerates the transport ablation: frame
+// batching + delayed acks against per-message frames on the same stream.
+func BenchmarkTransportBatching(b *testing.B) {
+	var r experiments.TransportResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Transport(benchScale)
+	}
+	b.ReportMetric(float64(r.Msgs)/float64(r.BatchedFrames), "msgs/frame")
+	b.ReportMetric(float64(r.BatchedAcks)/float64(r.BatchedFrames), "acks/frame")
+	b.ReportMetric(float64(r.NoDelayFrames)/float64(r.BatchedFrames), "frame-reduction-x")
+}
+
 // BenchmarkAblationPipelining regenerates the design-choice ablations.
 func BenchmarkAblationPipelining(b *testing.B) {
 	var r experiments.AblationResult

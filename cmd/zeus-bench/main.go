@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, all)")
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, all)")
 	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Parse()
@@ -95,5 +95,8 @@ var order = []entry{
 	}},
 	{"ablation", "Pipelining / replication degree / loss ablations", func(s experiments.Scale) {
 		experiments.Ablations(s).Print(os.Stdout)
+	}},
+	{"transport", "Transport frame batching + delayed acks vs per-message frames", func(s experiments.Scale) {
+		experiments.Transport(s).Print(os.Stdout)
 	}},
 }

@@ -39,6 +39,10 @@ type Options struct {
 	Fabric  FabricKind
 	// Net configures the simulated fabric (FabricSim only).
 	Net netsim.Config
+	// Reliable overrides the reliable transport's tuning for FabricSim
+	// clusters (batching thresholds, flush interval, delayed acks, RTO).
+	// Zero fields keep the defaults derived from Net's latency scale.
+	Reliable transport.ReliableConfig
 	// Lease is the membership lease duration.
 	Lease time.Duration
 	// DirNodes overrides the directory placement (default: first 3 nodes).
@@ -127,16 +131,24 @@ func New(opts Options) *Cluster {
 func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 	var tr transport.Transport
 	if c.net != nil {
-		rc := transport.DefaultReliableConfig()
-		// Scale the initial retransmission timeout with the fabric's latency
-		// so slow-motion fabrics do not trigger spurious retransmits before
-		// the adaptive estimator has RTT samples; the floor keeps the
-		// adapted RTO above one round trip.
-		if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
-			rc.RTO = rto
+		rc := c.opts.Reliable
+		if rc.RTO <= 0 {
+			rc.RTO = transport.DefaultReliableConfig().RTO
+			// Scale the initial retransmission timeout with the fabric's
+			// latency so slow-motion fabrics do not trigger spurious
+			// retransmits before the adaptive estimator has RTT samples;
+			// the floor keeps the adapted RTO above one round trip.
+			if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
+				rc.RTO = rto
+			}
 		}
-		if min := 2 * c.opts.Net.MaxLatency; min > rc.MinRTO {
-			rc.MinRTO = min
+		if rc.MinRTO <= 0 {
+			if min := 2 * c.opts.Net.MaxLatency; min > rc.MinRTO {
+				rc.MinRTO = min // NewReliable floors this at 2×FlushInterval
+			}
+		}
+		if rc.DeliveryDepth <= 0 {
+			rc.DeliveryDepth = transport.DefaultReliableConfig().DeliveryDepth
 		}
 		tr = transport.NewReliable(c.net.Endpoint(id), rc)
 	} else {

@@ -77,6 +77,17 @@ type Engine struct {
 	replays      map[wire.TxID]*replaySlot
 	replayEpoch  wire.Epoch
 
+	// Outbound coalescer: R-INV fan-out, R-ACKs and R-VALs accumulate in
+	// per-peer queues and leave as transport batches — either when a
+	// delivery tick's worth piled up (coalesceFlushCount) or within
+	// coalesceInterval. The pipeline never waits for any of these messages
+	// (§5.2), so the added latency is invisible to transactions while the
+	// per-message transport cost is amortized across the batch.
+	coMu     sync.Mutex
+	coByPeer map[wire.NodeID][]wire.Msg
+	coCount  int
+	coWake   chan struct{}
+
 	closed chan struct{}
 	once   sync.Once
 
@@ -86,6 +97,13 @@ type Engine struct {
 	stResends   atomic.Uint64
 	stBytes     atomic.Uint64
 }
+
+// coalesceFlushCount / coalesceInterval bound the outbound coalescer: flush
+// once this many messages queued, or this long after the first one.
+const (
+	coalesceFlushCount = 32
+	coalesceInterval   = 100 * time.Microsecond
+)
 
 // outPipe is a coordinator-side pipeline (one per worker thread, §7).
 type outPipe struct {
@@ -135,18 +153,88 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 		inPipes:      make(map[wire.PipeID]*inPipe),
 		pendingByObj: make(map[wire.ObjectID]int),
 		replays:      make(map[wire.TxID]*replaySlot),
+		coByPeer:     make(map[wire.NodeID][]wire.Msg),
+		coWake:       make(chan struct{}, 1),
 		closed:       make(chan struct{}),
 	}
 	go e.resendLoop()
+	go e.coalesceLoop()
 	return e
 }
 
-// Close stops the engine's background resender.
-func (e *Engine) Close() { e.once.Do(func() { close(e.closed) }) }
+// Close flushes coalesced outbound messages and stops the background loops.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		close(e.closed)
+		e.flushOut()
+	})
+}
 
-// Register installs the engine's handlers on the router.
+// enqueue queues one outbound protocol message for peer-coalesced sending.
+func (e *Engine) enqueue(to wire.NodeID, m wire.Msg) {
+	if to == e.self {
+		return
+	}
+	e.coMu.Lock()
+	e.coByPeer[to] = append(e.coByPeer[to], m)
+	e.coCount++
+	n := e.coCount
+	e.coMu.Unlock()
+	if n >= coalesceFlushCount {
+		e.flushOut()
+		return
+	}
+	if n == 1 {
+		select {
+		case e.coWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// flushOut drains the coalescer, sending each peer's queue as one batch.
+func (e *Engine) flushOut() {
+	e.coMu.Lock()
+	if e.coCount == 0 {
+		e.coMu.Unlock()
+		return
+	}
+	byPeer := e.coByPeer
+	e.coByPeer = make(map[wire.NodeID][]wire.Msg, len(byPeer))
+	e.coCount = 0
+	e.coMu.Unlock()
+	for to, msgs := range byPeer {
+		_ = transport.SendBatch(e.tr, to, msgs)
+	}
+}
+
+// coalesceLoop flushes the outbound coalescer at most coalesceInterval after
+// the first message of a batch was queued (count-triggered flushes happen
+// inline in enqueue).
+func (e *Engine) coalesceLoop() {
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-e.coWake:
+		}
+		select {
+		case <-e.closed:
+			e.flushOut()
+			return
+		case <-time.After(coalesceInterval):
+		}
+		e.flushOut()
+	}
+}
+
+// Register installs the engine's handlers on the router. The delivery-tick
+// hook flushes the outbound coalescer the moment an inbound frame's messages
+// are all handled, so a batch of R-INVs is answered by one batch of R-ACKs
+// (and a batch of R-ACKs by one batch of R-VALs) with no timer in the loop.
 func (e *Engine) Register(r *transport.Router) {
 	r.HandleMany(e.Handle, wire.KindCommitInv, wire.KindCommitAck, wire.KindCommitVal)
+	r.OnTick(e.flushOut)
 }
 
 // Handle dispatches one inbound reliable-commit message.
@@ -221,6 +309,7 @@ func (e *Engine) PendingSlots() int {
 
 // WaitIdle blocks until every coordinator slot validated or timeout elapses.
 func (e *Engine) WaitIdle(timeout time.Duration) bool {
+	e.flushOut() // push queued R-INVs out instead of waiting a tick
 	deadline := time.Now().Add(timeout)
 	for e.PendingSlots() > 0 {
 		if time.Now().After(deadline) {
@@ -289,10 +378,25 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 		e.completeSlot(p, slot)
 		return tx, slot.done
 	}
-	size := uint64(len(wire.Marshal(inv)))
+	// Batched fan-out: marshal once for the byte accounting, then hand the
+	// R-INV to the per-peer coalescer, so back-to-back pipeline slots to
+	// the same follower ride one transport batch.
+	enc := wire.GetBuf()
+	enc.B = wire.AppendMarshal(enc.B, inv)
+	size := uint64(len(enc.B))
+	wire.PutBuf(enc)
 	for _, n := range followers.Nodes() {
-		_ = e.tr.Send(n, inv)
+		e.enqueue(n, inv)
 		e.stBytes.Add(size)
+	}
+	// Shallow pipeline = nothing behind this slot to coalesce with: push the
+	// R-INV out now (plus any still-queued R-VALs). A busy pipeline leaves
+	// the fan-out to the count threshold and the inbound R-ACK tick.
+	p.mu.Lock()
+	shallow := len(p.slots) <= 1
+	p.mu.Unlock()
+	if shallow {
+		e.flushOut()
 	}
 	return tx, slot.done
 }
@@ -335,9 +439,7 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 
 	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
 	for _, n := range s.followers.Union(extra).Nodes() {
-		if n != e.self {
-			_ = e.tr.Send(n, val)
-		}
+		e.enqueue(n, val) // coalesced with neighbouring slots' R-VALs
 	}
 	e.stCommitted.Add(1)
 	close(s.done)
@@ -416,10 +518,9 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 }
 
 func (e *Engine) ack(to wire.NodeID, m *wire.CommitInv) {
-	if to == e.self {
-		return
-	}
-	_ = e.tr.Send(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
+	// Coalesced: one delivery tick's worth of R-ACKs (a batch of R-INVs
+	// applied back-to-back) leaves as a single transport batch.
+	e.enqueue(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
 }
 
 func (e *Engine) handleVal(m *wire.CommitVal) {
@@ -533,6 +634,9 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 	if removed.Count() == 0 {
 		return
 	}
+	// Drain the coalescer first so recovery's direct sends below cannot
+	// overtake still-queued pre-change messages on the same links.
+	e.flushOut()
 	live := next.Live
 	epoch := next.Epoch
 
@@ -783,6 +887,7 @@ func (e *Engine) resendLoop() {
 			// Still-unacked slots right after an epoch change: keep the
 			// window open until the protocol quiesces.
 			graceUntil = now.Add(epochGrace)
+			e.flushOut() // keep per-link FIFO with queued originals
 		}
 		for _, s := range sends {
 			e.stResends.Add(1)

@@ -44,6 +44,7 @@ func newTestCluster(t *testing.T, n int) *tcluster {
 		r := transport.NewRouter()
 		eng.Register(r)
 		tr.SetHandler(r.Dispatch)
+		tr.SetTickHandler(r.Tick)
 		agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
 			eng.OnViewChange(next, removed)
 		})

@@ -113,6 +113,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	n.own.Register(n.router)
 	n.cmt.Register(n.router)
 	tr.SetHandler(n.router.Dispatch)
+	transport.SetTick(tr, n.router.Tick)
 
 	agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
 		if removed.Count() == 0 {

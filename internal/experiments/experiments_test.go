@@ -203,3 +203,20 @@ func TestAblationsExperiment(t *testing.T) {
 	}
 	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "Ablations")
 }
+
+func TestTransportExperiment(t *testing.T) {
+	r := Transport(tiny)
+	if r.Msgs == 0 || r.BatchedFrames == 0 || r.NoDelayFrames == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.BatchedFrames*4 > r.Msgs {
+		t.Fatalf("batching inert: %d frames for %d msgs", r.BatchedFrames, r.Msgs)
+	}
+	if ratio := float64(r.BatchedAcks) / float64(r.BatchedFrames); ratio >= 0.5 {
+		t.Fatalf("ack coalescing inert: %.2f pure acks per data frame", ratio)
+	}
+	if r.NoDelayFrames != r.Msgs {
+		t.Fatalf("no-delay mode must send one frame per message: %d frames for %d msgs", r.NoDelayFrames, r.Msgs)
+	}
+	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "Transport")
+}

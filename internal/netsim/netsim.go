@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zeus/internal/retry"
 	"zeus/internal/wire"
 )
 
@@ -155,10 +156,38 @@ func (h *deliveryHeap) Pop() interface{} {
 
 var schedSeq atomic.Uint64
 
-// schedulerLoop delivers frames at their deadlines. Long waits use a timer;
-// the final stretch below timer resolution is spin-waited with Gosched so
-// microsecond fabric latencies are honoured.
+// sleepSlack is the calibrated overshoot of a short time.Sleep on this host.
+// The delivery scheduler sleeps until sleepSlack before a frame's deadline
+// and spin-waits only the remainder, so delivery-time accuracy is preserved
+// while the spin window shrinks from a fixed 1.5 ms (a full core burned per
+// inter-event gap, skewing RTT samples in multi-node tests) to the tens of
+// microseconds the clock actually needs.
+var (
+	sleepSlackOnce sync.Once
+	sleepSlackVal  time.Duration
+)
+
+func sleepSlack() time.Duration {
+	sleepSlackOnce.Do(func() {
+		worst := retry.TimerGranularity()
+		worst += worst / 2 // headroom for calibration-time luck
+		if worst < 50*time.Microsecond {
+			worst = 50 * time.Microsecond
+		}
+		if worst > 2*time.Millisecond {
+			worst = 2 * time.Millisecond // coarse-clock hosts: old behaviour
+		}
+		sleepSlackVal = worst
+	})
+	return sleepSlackVal
+}
+
+// schedulerLoop delivers frames at their deadlines. Waits longer than the
+// calibrated sleep overshoot use a real timer; only the final calibrated
+// slack is spin-waited with Gosched so microsecond fabric latencies are
+// honoured without pinning a core.
 func (n *Network) schedulerLoop() {
+	slack := sleepSlack()
 	for {
 		n.schedMu.Lock()
 		if n.schedHeap.Len() == 0 {
@@ -172,12 +201,10 @@ func (n *Network) schedulerLoop() {
 		}
 		next := n.schedHeap[0].at
 		wait := time.Until(next)
-		if wait > 1500*time.Microsecond {
-			// Timers overshoot by ~1.3 ms on coarse-clock hosts; wake
-			// early and spin the remainder.
+		if wait > slack {
 			n.schedMu.Unlock()
 			select {
-			case <-time.After(wait - 1500*time.Microsecond):
+			case <-time.After(wait - slack):
 			case <-n.schedWake:
 			case <-n.done:
 				return
@@ -187,13 +214,18 @@ func (n *Network) schedulerLoop() {
 		if wait > 0 {
 			n.schedMu.Unlock()
 			deadline := next
+		spin:
 			for time.Now().Before(deadline) {
 				select {
+				case <-n.schedWake:
+					// A newly queued frame may beat the current head;
+					// re-evaluate instead of spinning past it.
+					break spin
 				case <-n.done:
 					return
 				default:
+					runtime.Gosched()
 				}
-				runtime.Gosched()
 			}
 			continue
 		}

@@ -1,0 +1,38 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	granOnce sync.Once
+	granVal  time.Duration
+)
+
+// TimerGranularity reports (once, then cached) how coarse this host's sleep
+// timers actually are: the worst observed overshoot of a short time.Sleep.
+// Virtualized and containerized hosts routinely stretch a 50µs sleep past a
+// millisecond; timeouts racing against timer-driven events (delayed acks,
+// flush ticks) must be floored by this value or they fire spuriously.
+func TimerGranularity() time.Duration {
+	granOnce.Do(func() {
+		const probe = 50 * time.Microsecond
+		var worst time.Duration
+		for i := 0; i < 4; i++ {
+			start := time.Now()
+			time.Sleep(probe)
+			if over := time.Since(start) - probe; over > worst {
+				worst = over
+			}
+		}
+		if worst < 50*time.Microsecond {
+			worst = 50 * time.Microsecond
+		}
+		if worst > 5*time.Millisecond {
+			worst = 5 * time.Millisecond
+		}
+		granVal = worst
+	})
+	return granVal
+}

@@ -14,8 +14,9 @@ type Hub struct {
 	mu    sync.RWMutex
 	nodes map[wire.NodeID]*MemTransport
 
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	msgs   atomic.Uint64
+	frames atomic.Uint64
+	bytes  atomic.Uint64
 }
 
 // NewHub creates an empty hub.
@@ -23,8 +24,13 @@ func NewHub() *Hub {
 	return &Hub{nodes: make(map[wire.NodeID]*MemTransport)}
 }
 
-// Messages returns the number of messages carried so far.
+// Messages returns the number of messages carried so far (a multicast or
+// batch counts once per message per destination, like the real fabrics).
 func (h *Hub) Messages() uint64 { return h.msgs.Load() }
+
+// Frames returns delivery hops carried: a SendBatch counts once however many
+// messages it coalesces, mirroring the reliable transport's frame batching.
+func (h *Hub) Frames() uint64 { return h.frames.Load() }
 
 // Bytes returns the marshalled payload bytes carried so far (an approximation
 // of network bandwidth used, for the bandwidth comparisons in §8).
@@ -36,14 +42,17 @@ type MemTransport struct {
 	self    wire.NodeID
 	inbox   chan memFrame
 	handler atomic.Value // Handler
+	tick    atomic.Value // func(), invoked after each frame's dispatch
 	closed  chan struct{}
 	once    sync.Once
 	down    atomic.Bool
 }
 
+// memFrame is one delivery hop: a single message (msg) or a batch.
 type memFrame struct {
-	from wire.NodeID
-	msg  wire.Msg
+	from  wire.NodeID
+	msg   wire.Msg
+	batch []wire.Msg
 }
 
 // Node returns (creating if needed) the transport for node id.
@@ -75,8 +84,11 @@ func (t *MemTransport) Self() wire.NodeID { return t.self }
 // SetHandler installs the inbound handler.
 func (t *MemTransport) SetHandler(h Handler) { t.handler.Store(h) }
 
-// Send delivers m to the peer's inbox (exactly once, FIFO per sender).
-func (t *MemTransport) Send(to wire.NodeID, m wire.Msg) error {
+// SetTickHandler installs the delivery-tick hook, run after each inbox
+// frame's messages (one, or a SendBatch's worth) have been dispatched.
+func (t *MemTransport) SetTickHandler(f func()) { t.tick.Store(f) }
+
+func (t *MemTransport) sendable() error {
 	select {
 	case <-t.closed:
 		return ErrClosed
@@ -85,26 +97,93 @@ func (t *MemTransport) Send(to wire.NodeID, m wire.Msg) error {
 	if t.down.Load() {
 		return ErrClosed
 	}
-	// Round-trip through the codec so that tests exercise serialization
-	// and receivers never alias sender memory.
-	b := wire.Marshal(m)
+	return nil
+}
+
+// roundtrip runs m through the codec so that tests exercise serialization
+// and receivers never alias sender memory. The encode buffer is pooled.
+func (t *MemTransport) roundtrip(m wire.Msg) (wire.Msg, error) {
+	buf := wire.GetBuf()
+	buf.B = wire.AppendMarshal(buf.B, m)
 	t.hub.msgs.Add(1)
-	t.hub.bytes.Add(uint64(len(b)))
-	mm, err := wire.Unmarshal(b)
-	if err != nil {
-		return err
-	}
+	t.hub.bytes.Add(uint64(len(buf.B)))
+	mm, err := wire.Unmarshal(buf.B)
+	wire.PutBuf(buf)
+	return mm, err
+}
+
+func (t *MemTransport) deliver(to wire.NodeID, f memFrame) error {
 	t.hub.mu.RLock()
 	dst, ok := t.hub.nodes[to]
 	t.hub.mu.RUnlock()
 	if !ok || dst.down.Load() {
 		return nil // silently dropped, like a network
 	}
+	t.hub.frames.Add(1)
 	select {
-	case dst.inbox <- memFrame{from: t.self, msg: mm}:
+	case dst.inbox <- f:
 	case <-dst.closed:
 	}
 	return nil
+}
+
+// Send delivers m to the peer's inbox (exactly once, FIFO per sender).
+func (t *MemTransport) Send(to wire.NodeID, m wire.Msg) error {
+	if err := t.sendable(); err != nil {
+		return err
+	}
+	mm, err := t.roundtrip(m)
+	if err != nil {
+		return err
+	}
+	return t.deliver(to, memFrame{from: t.self, msg: mm})
+}
+
+// SendBatch delivers msgs to the peer as one inbox hop, preserving order.
+func (t *MemTransport) SendBatch(to wire.NodeID, msgs []wire.Msg) error {
+	if err := t.sendable(); err != nil {
+		return err
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	batch := make([]wire.Msg, 0, len(msgs))
+	for _, m := range msgs {
+		mm, err := t.roundtrip(m)
+		if err != nil {
+			return err
+		}
+		batch = append(batch, mm)
+	}
+	return t.deliver(to, memFrame{from: t.self, batch: batch})
+}
+
+// Multicast sends m to every destination, marshalling once. Each receiver
+// still gets its own decoded copy (no cross-node aliasing).
+func (t *MemTransport) Multicast(dsts []wire.NodeID, m wire.Msg) error {
+	if err := t.sendable(); err != nil {
+		return err
+	}
+	if len(dsts) == 0 {
+		return nil
+	}
+	buf := wire.GetBuf()
+	buf.B = wire.AppendMarshal(buf.B, m)
+	t.hub.msgs.Add(uint64(len(dsts)))
+	t.hub.bytes.Add(uint64(len(buf.B)) * uint64(len(dsts)))
+	var err error
+	for _, to := range dsts {
+		mm, e := wire.Unmarshal(buf.B)
+		if e != nil {
+			err = e
+			continue
+		}
+		if e := t.deliver(to, memFrame{from: t.self, msg: mm}); e != nil && err == nil {
+			err = e
+		}
+	}
+	wire.PutBuf(buf)
+	return err
 }
 
 func (t *MemTransport) loop() {
@@ -114,8 +193,19 @@ func (t *MemTransport) loop() {
 			if t.down.Load() {
 				continue
 			}
-			if h, _ := t.handler.Load().(Handler); h != nil {
+			h, _ := t.handler.Load().(Handler)
+			if h == nil {
+				continue
+			}
+			if f.batch != nil {
+				for _, m := range f.batch {
+					h(f.from, m)
+				}
+			} else {
 				h(f.from, f.msg)
+			}
+			if tf, _ := t.tick.Load().(func()); tf != nil {
+				tf()
 			}
 		case <-t.closed:
 			return
@@ -130,4 +220,11 @@ func (t *MemTransport) Close() error {
 }
 
 var _ Transport = (*MemTransport)(nil)
+var _ BatchSender = (*MemTransport)(nil)
+var _ Multicaster = (*MemTransport)(nil)
+var _ TickNotifier = (*MemTransport)(nil)
 var _ Transport = (*Reliable)(nil)
+var _ BatchSender = (*Reliable)(nil)
+var _ Multicaster = (*Reliable)(nil)
+var _ Flusher = (*Reliable)(nil)
+var _ TickNotifier = (*Reliable)(nil)

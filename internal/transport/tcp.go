@@ -15,18 +15,29 @@ import (
 // TCP implements Transport over real sockets for multi-process deployments
 // (cmd/zeusd). TCP already provides reliable FIFO delivery per connection, so
 // no extra sequencing is needed. Frames are length-prefixed wire messages
-// preceded by a one-time handshake carrying the sender's node id.
+// preceded by a one-time handshake carrying the sender's node id; SendBatch
+// and Multicast marshal once and issue a single write per connection.
 type TCP struct {
 	self  wire.NodeID
 	addrs map[wire.NodeID]string
 	ln    net.Listener
 
 	mu      sync.Mutex
-	conns   map[wire.NodeID]net.Conn
+	conns   map[wire.NodeID]*tcpConn
 	handler atomic.Value // Handler
+	tick    atomic.Value // func(), invoked after each message dispatch
 	closed  chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
+
+	decodeDrops atomic.Uint64
+}
+
+// tcpConn serializes writes per connection so Send never holds the
+// transport-wide lock across a syscall.
+type tcpConn struct {
+	c   net.Conn
+	wmu sync.Mutex
 }
 
 // NewTCP starts a listener on listenAddr and returns a transport that can
@@ -40,7 +51,7 @@ func NewTCP(self wire.NodeID, listenAddr string, addrs map[wire.NodeID]string) (
 		self:   self,
 		addrs:  addrs,
 		ln:     ln,
-		conns:  make(map[wire.NodeID]net.Conn),
+		conns:  make(map[wire.NodeID]*tcpConn),
 		closed: make(chan struct{}),
 	}
 	t.wg.Add(1)
@@ -56,6 +67,15 @@ func (t *TCP) Self() wire.NodeID { return t.self }
 
 // SetHandler installs the inbound handler.
 func (t *TCP) SetHandler(h Handler) { t.handler.Store(h) }
+
+// SetTickHandler installs the delivery-tick hook. TCP has no frame-batch
+// boundaries (batches are concatenated writes), so the hook runs after every
+// message — engines respond immediately and coalescing happens sender-side.
+func (t *TCP) SetTickHandler(f func()) { t.tick.Store(f) }
+
+// DecodeDrops reports inbound frames dropped because they failed to
+// unmarshal; non-zero means peers are sending corrupt or incompatible data.
+func (t *TCP) DecodeDrops() uint64 { return t.decodeDrops.Load() }
 
 func (t *TCP) acceptLoop() {
 	defer t.wg.Done()
@@ -85,6 +105,7 @@ func (t *TCP) serveConn(c net.Conn) {
 
 func (t *TCP) readLoop(peer wire.NodeID, c net.Conn) {
 	var lenBuf [4]byte
+	var buf []byte // grows to the high-water frame size, then zero-alloc
 	for {
 		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
 			return
@@ -93,21 +114,28 @@ func (t *TCP) readLoop(peer wire.NodeID, c net.Conn) {
 		if n > 64<<20 {
 			return
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(c, buf); err != nil {
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		b := buf[:n]
+		if _, err := io.ReadFull(c, b); err != nil {
 			return
 		}
-		m, err := wire.Unmarshal(buf)
+		m, err := wire.Unmarshal(b)
 		if err != nil {
+			t.decodeDrops.Add(1)
 			continue
 		}
 		if h, _ := t.handler.Load().(Handler); h != nil {
 			h(peer, m)
 		}
+		if tf, _ := t.tick.Load().(func()); tf != nil {
+			tf()
+		}
 	}
 }
 
-func (t *TCP) conn(to wire.NodeID) (net.Conn, error) {
+func (t *TCP) conn(to wire.NodeID) (*tcpConn, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c, ok := t.conns[to]; ok {
@@ -127,7 +155,8 @@ func (t *TCP) conn(to wire.NodeID) (net.Conn, error) {
 		c.Close()
 		return nil, err
 	}
-	t.conns[to] = c
+	tc := &tcpConn{c: c}
+	t.conns[to] = tc
 	// Also read from outbound connections so a pair of nodes can share
 	// one connection in each direction without confusion.
 	t.wg.Add(1)
@@ -135,32 +164,92 @@ func (t *TCP) conn(to wire.NodeID) (net.Conn, error) {
 		defer t.wg.Done()
 		t.readLoop(to, c)
 	}()
-	return c, nil
+	return tc, nil
 }
 
-// Send transmits m to the peer, dialing on first use.
+// write sends one pre-framed buffer on the peer's connection, dropping the
+// connection on error so a later Send redials.
+func (t *TCP) write(to wire.NodeID, tc *tcpConn, buf []byte) error {
+	tc.wmu.Lock()
+	_, err := tc.c.Write(buf)
+	tc.wmu.Unlock()
+	if err != nil {
+		t.mu.Lock()
+		if cur, ok := t.conns[to]; ok && cur == tc {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		tc.c.Close()
+	}
+	return err
+}
+
+// Send transmits m to the peer, dialing on first use. Marshalling happens
+// outside any lock, into a pooled buffer.
 func (t *TCP) Send(to wire.NodeID, m wire.Msg) error {
 	select {
 	case <-t.closed:
 		return ErrClosed
 	default:
 	}
-	c, err := t.conn(to)
+	tc, err := t.conn(to)
 	if err != nil {
 		return err
 	}
-	payload := wire.Marshal(m)
-	buf := make([]byte, 4+len(payload))
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	t.mu.Lock()
-	_, err = c.Write(buf)
-	if err != nil {
-		// Drop the broken connection; a later Send will redial.
-		delete(t.conns, to)
-		c.Close()
+	buf := wire.GetBuf()
+	buf.B = wire.AppendMessage(buf.B, m) // [len:u32][msg]: the TCP framing
+	err = t.write(to, tc, buf.B)
+	wire.PutBuf(buf)
+	return err
+}
+
+// SendBatch transmits msgs back-to-back in a single write (one syscall); the
+// on-wire framing is unchanged, so mixed-version peers interoperate.
+func (t *TCP) SendBatch(to wire.NodeID, msgs []wire.Msg) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
 	}
-	t.mu.Unlock()
+	if len(msgs) == 0 {
+		return nil
+	}
+	tc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	buf := wire.GetBuf()
+	for _, m := range msgs {
+		buf.B = wire.AppendMessage(buf.B, m)
+	}
+	err = t.write(to, tc, buf.B)
+	wire.PutBuf(buf)
+	return err
+}
+
+// Multicast marshals m once and writes it to every destination.
+func (t *TCP) Multicast(dsts []wire.NodeID, m wire.Msg) error {
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	if len(dsts) == 0 {
+		return nil
+	}
+	buf := wire.GetBuf()
+	buf.B = wire.AppendMessage(buf.B, m)
+	var err error
+	for _, to := range dsts {
+		tc, e := t.conn(to)
+		if e == nil {
+			e = t.write(to, tc, buf.B)
+		}
+		if e != nil && err == nil {
+			err = e
+		}
+	}
+	wire.PutBuf(buf)
 	return err
 }
 
@@ -171,12 +260,15 @@ func (t *TCP) Close() error {
 		t.ln.Close()
 		t.mu.Lock()
 		for _, c := range t.conns {
-			c.Close()
+			c.c.Close()
 		}
-		t.conns = make(map[wire.NodeID]net.Conn)
+		t.conns = make(map[wire.NodeID]*tcpConn)
 		t.mu.Unlock()
 	})
 	return nil
 }
 
 var _ Transport = (*TCP)(nil)
+var _ BatchSender = (*TCP)(nil)
+var _ Multicaster = (*TCP)(nil)
+var _ TickNotifier = (*TCP)(nil)

@@ -38,15 +38,86 @@ type Transport interface {
 // ErrClosed is returned when sending on a closed transport.
 var ErrClosed = errors.New("transport: closed")
 
-// Broadcast sends m to every node in set except self.
+// BatchSender is implemented by transports that can hand several messages to
+// one peer as a unit (one frame on the reliable fabric, one write on TCP, one
+// inbox hop on the hub). Protocol engines use it to coalesce responses.
+type BatchSender interface {
+	SendBatch(to wire.NodeID, msgs []wire.Msg) error
+}
+
+// Multicaster is implemented by transports that can send one message to many
+// peers with a single marshal (the batched fan-out on the replication path).
+type Multicaster interface {
+	Multicast(dsts []wire.NodeID, m wire.Msg) error
+}
+
+// Flusher is implemented by transports that buffer egress (frame batching);
+// Flush forces everything queued onto the wire.
+type Flusher interface {
+	Flush()
+}
+
+// TickNotifier is implemented by transports that signal delivery ticks: the
+// hook runs once after each inbound frame's (or batch's) messages have been
+// dispatched, so engines can flush responses coalesced across the frame.
+type TickNotifier interface {
+	SetTickHandler(func())
+}
+
+// SetTick installs f as the delivery-tick hook if the transport supports it.
+func SetTick(t Transport, f func()) {
+	if tn, ok := t.(TickNotifier); ok {
+		tn.SetTickHandler(f)
+	}
+}
+
+// SendBatch sends msgs to one peer, as a unit when the transport supports it.
+func SendBatch(t Transport, to wire.NodeID, msgs []wire.Msg) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if bs, ok := t.(BatchSender); ok {
+		return bs.SendBatch(to, msgs)
+	}
+	for _, m := range msgs {
+		if err := t.Send(to, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Multicast sends m to every node in dsts (self included, if listed), with a
+// single marshal when the transport supports it.
+func Multicast(t Transport, dsts []wire.NodeID, m wire.Msg) error {
+	if len(dsts) == 0 {
+		return nil
+	}
+	if mc, ok := t.(Multicaster); ok {
+		return mc.Multicast(dsts, m)
+	}
+	var err error
+	for _, n := range dsts {
+		if e := t.Send(n, m); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Flush forces any transport-buffered egress onto the wire.
+func Flush(t Transport) {
+	if f, ok := t.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Broadcast sends m to every node in set except self (one marshal when the
+// transport is a Multicaster).
 func Broadcast(t Transport, set wire.Bitmap, m wire.Msg) {
 	self := t.Self()
-	for _, n := range set.Nodes() {
-		if n == self {
-			continue
-		}
-		_ = t.Send(n, m)
-	}
+	nodes := set.Remove(self).Nodes()
+	_ = Multicast(t, nodes, m)
 }
 
 // Router dispatches inbound messages to per-kind handlers, so that the
@@ -56,6 +127,7 @@ type Router struct {
 	mu       sync.RWMutex
 	handlers [64]Handler
 	fallback Handler
+	ticks    []func()
 }
 
 // NewRouter returns an empty router.
@@ -80,6 +152,24 @@ func (r *Router) Fallback(h Handler) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.fallback = h
+}
+
+// OnTick registers f to run on every transport delivery tick (see
+// TickNotifier); install Router.Tick as the transport's tick handler.
+func (r *Router) OnTick(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ticks = append(r.ticks, f)
+}
+
+// Tick fans a delivery tick out to every registered hook.
+func (r *Router) Tick() {
+	r.mu.RLock()
+	ticks := r.ticks
+	r.mu.RUnlock()
+	for _, f := range ticks {
+		f()
+	}
 }
 
 // Dispatch routes one message; it is the Handler to install on a Transport.

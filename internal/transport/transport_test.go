@@ -386,3 +386,85 @@ func ExampleRouter() {
 	r.Dispatch(0, &wire.View{Epoch: 3, Live: wire.BitmapOf(0, 1, 2)})
 	// Output: view epoch=3 live=[0 1 2]
 }
+
+func TestHubSendBatchFIFOAndFrames(t *testing.T) {
+	h := NewHub()
+	a, b := h.Node(0), h.Node(1)
+	defer a.Close()
+	defer b.Close()
+	c := newCollect()
+	b.SetHandler(c.handler)
+
+	var batch []wire.Msg
+	for i := uint64(0); i < 10; i++ {
+		batch = append(batch, ping(i))
+	}
+	if err := a.SendBatch(1, batch); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send(1, ping(10))
+	c.waitN(t, 11, time.Second)
+	for i, m := range c.msgs {
+		if pingSeq(m) != uint64(i) {
+			t.Fatalf("out of order at %d: got %d", i, pingSeq(m))
+		}
+	}
+	if h.Messages() != 11 {
+		t.Fatalf("messages = %d, want 11", h.Messages())
+	}
+	if h.Frames() != 2 {
+		t.Fatalf("frames = %d, want 2 (one batch hop + one single)", h.Frames())
+	}
+}
+
+func TestHubMulticastDeliversFreshCopies(t *testing.T) {
+	h := NewHub()
+	a, b, c2 := h.Node(0), h.Node(1), h.Node(2)
+	defer a.Close()
+	defer b.Close()
+	defer c2.Close()
+	cb, cc := newCollect(), newCollect()
+	b.SetHandler(cb.handler)
+	c2.SetHandler(cc.handler)
+
+	m := &wire.CommitInv{Tx: wire.TxID{Local: 1}, Updates: []wire.Update{{Obj: 1, Version: 1, Data: []byte("abc")}}}
+	if err := a.Multicast([]wire.NodeID{1, 2}, m); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitN(t, 1, time.Second)
+	cc.waitN(t, 1, time.Second)
+	mb := cb.msgs[0].(*wire.CommitInv)
+	mc := cc.msgs[0].(*wire.CommitInv)
+	if &mb.Updates[0].Data[0] == &mc.Updates[0].Data[0] {
+		t.Fatal("multicast receivers alias the same memory")
+	}
+	if h.Messages() != 2 {
+		t.Fatalf("multicast to 2 peers must count 2 messages, got %d", h.Messages())
+	}
+}
+
+func TestDeliveryTickFiresPerFrame(t *testing.T) {
+	h := NewHub()
+	a, b := h.Node(0), h.Node(1)
+	defer a.Close()
+	defer b.Close()
+	var msgs, ticks atomic.Int32
+	b.SetHandler(func(_ wire.NodeID, _ wire.Msg) { msgs.Add(1) })
+	b.SetTickHandler(func() { ticks.Add(1) })
+
+	var batch []wire.Msg
+	for i := uint64(0); i < 8; i++ {
+		batch = append(batch, ping(i))
+	}
+	_ = a.SendBatch(1, batch)
+	deadline := time.Now().Add(time.Second)
+	for msgs.Load() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/8 delivered", msgs.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := ticks.Load(); got != 1 {
+		t.Fatalf("delivery ticks = %d, want 1 for one batch frame", got)
+	}
+}

@@ -203,7 +203,14 @@ func (d *dec) objsList() []ObjectID {
 
 // Marshal serializes a message: one kind byte followed by the body.
 func Marshal(m Msg) []byte {
-	e := &enc{b: make([]byte, 0, 64)}
+	return AppendMarshal(make([]byte, 0, 64), m)
+}
+
+// AppendMarshal appends m's serialization to dst and returns the extended
+// slice. It is the allocation-free core of Marshal: hot paths call it with a
+// pooled buffer (GetBuf/PutBuf) or while building a batch payload.
+func AppendMarshal(dst []byte, m Msg) []byte {
+	e := &enc{b: dst}
 	e.u8(uint8(m.Kind()))
 	switch v := m.(type) {
 	case *OwnReq:

@@ -317,3 +317,89 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		&CommitInv{Tx: TxID{Pipe: PipeID{Node: 1, Worker: 2}, Local: 7}, Epoch: 3,
+			Updates: []Update{{Obj: 42, Version: 9, Data: []byte("payload")}}},
+		&CommitAck{Tx: TxID{Local: 7}, Epoch: 3, From: 4},
+		&CommitVal{Tx: TxID{Local: 7}, Epoch: 3},
+	}
+	var b []byte
+	for _, m := range msgs {
+		b = AppendMessage(b, m)
+	}
+	it := NewBatchIter(b)
+	var got []Msg
+	for {
+		raw, err := it.Next()
+		if err != nil {
+			t.Fatalf("batch iter: %v", err)
+		}
+		if raw == nil {
+			break
+		}
+		m, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("unmarshal batch element: %v", err)
+		}
+		got = append(got, m)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("round-tripped %d messages, want %d", len(got), len(msgs))
+	}
+	if inv, ok := got[0].(*CommitInv); !ok || string(inv.Updates[0].Data) != "payload" {
+		t.Fatalf("first element corrupted: %#v", got[0])
+	}
+	if ack, ok := got[1].(*CommitAck); !ok || ack.From != 4 {
+		t.Fatalf("second element corrupted: %#v", got[1])
+	}
+}
+
+func TestBatchIterTruncated(t *testing.T) {
+	b := AppendMessage(nil, &CommitVal{Tx: TxID{Local: 1}})
+	// Truncated element body.
+	it := NewBatchIter(b[:len(b)-2])
+	if _, err := it.Next(); err == nil {
+		t.Fatal("truncated element must error")
+	}
+	// Truncated length prefix.
+	it = NewBatchIter(b[:2])
+	if _, err := it.Next(); err == nil {
+		t.Fatal("truncated length prefix must error")
+	}
+	// After an error the iterator is exhausted, not looping.
+	if raw, err := it.Next(); raw != nil || err != nil {
+		t.Fatalf("exhausted iterator returned (%v, %v)", raw, err)
+	}
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	m := &CommitInv{Tx: TxID{Pipe: PipeID{Node: 1}, Local: 5},
+		Updates: []Update{{Obj: 1, Version: 2, Data: []byte("x")}}}
+	prefix := []byte("prefix")
+	out := AppendMarshal(append([]byte(nil), prefix...), m)
+	if string(out[:len(prefix)]) != "prefix" {
+		t.Fatal("AppendMarshal clobbered the prefix")
+	}
+	if string(out[len(prefix):]) != string(Marshal(m)) {
+		t.Fatal("AppendMarshal and Marshal disagree")
+	}
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	b := GetBuf()
+	if len(b.B) != 0 {
+		t.Fatalf("fresh buf has len %d", len(b.B))
+	}
+	b.B = AppendMarshal(b.B, &CommitVal{Tx: TxID{Local: 9}})
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(b2.B) != 0 {
+		t.Fatal("pooled buf not reset")
+	}
+	PutBuf(b2)
+	// Oversized buffers are dropped, not pooled.
+	big := &Buf{B: make([]byte, 1<<17)}
+	PutBuf(big) // must not panic or pin
+}

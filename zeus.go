@@ -35,6 +35,7 @@ import (
 	"zeus/internal/dbapi"
 	"zeus/internal/netsim"
 	"zeus/internal/ownership"
+	"zeus/internal/transport"
 	"zeus/internal/wire"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// Network configures the simulated fabric (loss, duplication,
 	// latency); zero value = netsim defaults.
 	Network netsim.Config
+	// Transport tunes the reliable messaging layer over the simulated
+	// fabric (frame batching, delayed acks, RTO); zero fields keep the
+	// defaults derived from Network's latency scale. Ignored unless
+	// SimulatedNetwork is set.
+	Transport transport.ReliableConfig
 	// OnOwnershipLatency observes every successful ownership request's
 	// latency (the Figure 12 metric).
 	OnOwnershipLatency func(time.Duration)
@@ -88,6 +94,7 @@ func New(opts Options) *Cluster {
 		if co.Net.InboxDepth == 0 {
 			co.Net = netsim.DefaultConfig()
 		}
+		co.Reliable = opts.Transport
 	}
 	co.OnOwnershipLatency = opts.OnOwnershipLatency
 	return &Cluster{c: cluster.New(co)}
