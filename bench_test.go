@@ -7,6 +7,9 @@ package zeus_test
 
 import (
 	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -55,6 +58,63 @@ func BenchmarkLocalWriteTx(b *testing.B) {
 	}
 	b.StopTimer()
 	n.WaitReplication(5 * time.Second)
+}
+
+// BenchmarkLocalWriteTxParallel measures fully local write transactions on
+// distinct objects driven through all worker pipelines at once — the §7
+// multi-core path. Each benchmark goroutine owns one object and one worker
+// id (round-robin when goroutines exceed workers), so contention is exactly
+// what the engine imposes, not the workload: with the per-pipe commit locks,
+// striped ownership maps and sharded dispatch, sub-benchmarks should scale
+// with min(workers, GOMAXPROCS); on a single-core host all rows converge.
+func BenchmarkLocalWriteTxParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// DispatchShards stays on auto: min(workers, GOMAXPROCS)
+			// shards, so multi-core hosts get the parallel dispatch path
+			// and single-core hosts skip the pointless queue hop.
+			c := zeus.New(zeus.Options{Nodes: 3, Workers: workers})
+			defer c.Close()
+			// Seed an object per potential goroutine: RunParallel spawns
+			// GOMAXPROCS × parallelism of them.
+			procs := runtime.GOMAXPROCS(0)
+			par := (workers + procs - 1) / procs
+			if par < 1 {
+				par = 1
+			}
+			maxG := procs * par
+			for g := 0; g < maxG; g++ {
+				c.Seed(uint64(1+g), 0, make([]byte, 128))
+			}
+			n := c.Node(0)
+			var next atomic.Uint32
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := int(next.Add(1)) - 1
+				w := g % workers
+				obj := uint64(1 + g)
+				i := 0
+				for pb.Next() {
+					tx := n.BeginOn(w)
+					v, err := tx.Get(obj)
+					if err != nil {
+						b.Fatal(err)
+					}
+					binary.LittleEndian.PutUint64(v, uint64(i))
+					i++
+					if err := tx.Set(obj, v); err != nil {
+						b.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			n.WaitReplication(10 * time.Second)
+		})
+	}
 }
 
 // BenchmarkReadOnlyTx measures a local strictly serializable read-only
@@ -269,6 +329,20 @@ func BenchmarkTransportBatching(b *testing.B) {
 	b.ReportMetric(float64(r.Msgs)/float64(r.BatchedFrames), "msgs/frame")
 	b.ReportMetric(float64(r.BatchedAcks)/float64(r.BatchedFrames), "acks/frame")
 	b.ReportMetric(float64(r.NoDelayFrames)/float64(r.BatchedFrames), "frame-reduction-x")
+}
+
+// BenchmarkAblationScaling regenerates the worker-pipeline scaling ablation.
+func BenchmarkAblationScaling(b *testing.B) {
+	var r experiments.ScalingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Scaling(benchScale)
+	}
+	for _, row := range r.Rows {
+		if row.Workers == 8 {
+			b.ReportMetric(row.Speedup, "speedup-8w")
+			b.ReportMetric(row.Tps, "tps-8w")
+		}
+	}
 }
 
 // BenchmarkAblationPipelining regenerates the design-choice ablations.

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchRecord mirrors the BENCH_BASELINE.json / BENCH_AFTER.json layout that
+// the repo tracks across PRs; only the fields -compare consumes are decoded.
+type benchRecord struct {
+	Label      string `json:"label"`
+	Recorded   string `json:"recorded"`
+	Benchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadRecord(path string) (benchRecord, error) {
+	var r benchRecord
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("zeus-bench: %w", err)
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("zeus-bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compareRecords prints the ns/op delta between two benchmark records — the
+// CI bench-smoke step runs this so a PR's effect on the tracked benchmarks
+// shows up in the job log without digging through artefacts.
+func compareRecords(w io.Writer, oldPath, newPath string) error {
+	oldRec, err := loadRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := loadRecord(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchmark delta: %s (%s)\n         →       %s (%s)\n",
+		oldRec.Label, oldRec.Recorded, newRec.Label, newRec.Recorded)
+	names := make([]string, 0, len(oldRec.Benchmarks))
+	for name := range oldRec.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldRec.Benchmarks[name].NsPerOp
+		n, ok := newRec.Benchmarks[name]
+		if !ok || o <= 0 {
+			fmt.Fprintf(w, "  %-28s %10.0f ns/op  →  (absent)\n", name, o)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %10.0f ns/op  →  %10.0f ns/op  (%+.1f%%)\n",
+			name, o, n.NsPerOp, 100*(n.NsPerOp-o)/o)
+	}
+	added := make([]string, 0, len(newRec.Benchmarks))
+	for name := range newRec.Benchmarks {
+		if _, ok := oldRec.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "  %-28s       (new)        →  %10.0f ns/op\n", name, newRec.Benchmarks[name].NsPerOp)
+	}
+	return nil
+}

@@ -21,11 +21,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, all)")
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, all)")
 	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
 	list := flag.Bool("list", false, "list available experiments")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON records and print the delta")
+	oldFile := flag.String("old", "BENCH_BASELINE.json", "baseline record for -compare")
+	newFile := flag.String("new", "BENCH_AFTER.json", "current record for -compare")
 	flag.Parse()
 
+	if *compare {
+		if err := compareRecords(os.Stdout, *oldFile, *newFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		fmt.Println("available experiments:")
 		for _, e := range order {
@@ -98,5 +108,8 @@ var order = []entry{
 	}},
 	{"transport", "Transport frame batching + delayed acks vs per-message frames", func(s experiments.Scale) {
 		experiments.Transport(s).Print(os.Stdout)
+	}},
+	{"scaling", "Worker-pipeline scaling: local write tx with 1→8 workers", func(s experiments.Scale) {
+		experiments.Scaling(s).Print(os.Stdout)
 	}},
 }

@@ -61,7 +61,7 @@ type Node struct {
 	storeMu sync.RWMutex
 	objs    map[wire.ObjectID]*bobj
 
-	nextReq atomic.Uint64
+	nextReq atomic.Uint64 // low 48 bits of a reqID; see newReqID
 	callMu  sync.Mutex
 	calls   map[uint64]chan wire.Msg
 
@@ -122,6 +122,16 @@ func (n *Node) Backups(obj wire.ObjectID) []wire.NodeID {
 		out = append(out, wire.NodeID((p+uint64(i))%uint64(n.cfg.Nodes)))
 	}
 	return out
+}
+
+// newReqID mints a deployment-unique request id: the node id in the high
+// bits, a local counter in the low 48. Lock ownership (bobj.locked) is
+// compared against reqIDs from *every* coordinator, so a per-node counter
+// alone lets two coordinators collide on the same id and silently treat each
+// other's OCC locks as their own — two writers both "lock", both validate,
+// and one update is lost.
+func (n *Node) newReqID() uint64 {
+	return uint64(n.id)<<48 | (n.nextReq.Add(1) & (1<<48 - 1))
 }
 
 // Seed installs an object replica at this node directly (initial sharding).

@@ -56,7 +56,7 @@ func (tx *Txn) Get(obj uint64) ([]byte, error) {
 	} else {
 		// Remote access: one blocking round trip (§6.1).
 		n.stRemote.Add(1)
-		reqID := n.nextReq.Add(1)
+		reqID := n.newReqID()
 		resp, got := n.call(p, reqID, &wire.BReadReq{ReqID: reqID, From: n.id, Obj: id})
 		if got {
 			if r, isRead := resp.(*wire.BReadResp); isRead && r.OK {
@@ -108,7 +108,7 @@ func (tx *Txn) Commit() error {
 		return nil
 	}
 
-	reqID := n.nextReq.Add(1)
+	reqID := n.newReqID()
 	writeIDs := make([]wire.ObjectID, 0, len(tx.writes))
 	for id := range tx.writes {
 		writeIDs = append(writeIDs, id)
@@ -245,7 +245,7 @@ func (tx *Txn) validateReads(holder *uint64) error {
 	if holder != nil {
 		reqID = *holder
 	} else {
-		reqID = n.nextReq.Add(1)
+		reqID = n.newReqID()
 	}
 	for p, items := range byPrimary {
 		ok := false

@@ -232,7 +232,9 @@ func TestTimedRunnerSamples(t *testing.T) {
 	cfg.VotersPerNode = 200
 	vt := NewVoter(cfg)
 	vt.Seed(ZeusSeeder(c))
-	tr := TimedRunner{Name: "timed", DBs: ZeusDBs(c, nodes), WorkersPerNode: 2, Duration: 120 * time.Millisecond, Seed: 7}
+	// Duration ≫ interval: sleeps oversleep badly on loaded (-race,
+	// single-core) hosts, and a too-tight ratio yields a lone sample.
+	tr := TimedRunner{Name: "timed", DBs: ZeusDBs(c, nodes), WorkersPerNode: 2, Duration: 360 * time.Millisecond, Seed: 7}
 	samples, total := tr.RunTimed(vt.MakeOp, 30*time.Millisecond)
 	if len(samples) < 2 {
 		t.Fatalf("only %d samples", len(samples))

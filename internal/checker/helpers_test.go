@@ -3,3 +3,5 @@ package checker_test
 import "zeus/internal/wire"
 
 func wireObj(o uint64) wire.ObjectID { return wire.ObjectID(o) }
+
+func wireNode(n int) wire.NodeID { return wire.NodeID(n) }

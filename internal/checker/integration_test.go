@@ -74,40 +74,42 @@ func TestZeusHistoryStrictlySerializable(t *testing.T) {
 }
 
 // incrementBoth atomically bumps two counters, returning the versioned
-// footprint of the successful attempt.
+// footprint of the successful attempt. Conflicts retry under the standard
+// application loop (dbapi.Run): back-off matters here — a tight retry spin
+// burns through the owner's transfer-fairness yield window (§6.2) faster
+// than contending nodes can complete a handover, which livelocks the test
+// on slow (-race, single-core) hosts.
 func incrementBoth(db dbapi.DB, worker int, a, b uint64) (checker.Tx, bool) {
-	for attempt := 0; attempt < 2000; attempt++ {
+	var rec checker.Tx
+	err := dbapi.Run(db, worker, func(tx dbapi.Txn) error {
 		start := time.Now().UnixNano()
-		tx := db.Begin(worker)
 		av, err := tx.Get(a)
 		if err != nil {
-			tx.Abort()
-			continue
+			return err
 		}
 		bv, err := tx.Get(b)
 		if err != nil {
-			tx.Abort()
-			continue
+			return err
 		}
 		aVer, bVer := val(av), val(bv)
 		if err := tx.Set(a, u64(aVer+1)); err != nil {
-			tx.Abort()
-			continue
+			return err
 		}
 		if err := tx.Set(b, u64(bVer+1)); err != nil {
-			tx.Abort()
-			continue
+			return err
 		}
-		if err := tx.Commit(); err != nil {
-			continue
-		}
-		return checker.Tx{
-			Start: start, End: time.Now().UnixNano(),
+		rec = checker.Tx{
+			Start: start, End: 0, // End stamped after Commit returns
 			Reads:  []checker.Access{{Obj: a, Ver: aVer}, {Obj: b, Ver: bVer}},
 			Writes: []checker.Access{{Obj: a, Ver: aVer + 1}, {Obj: b, Ver: bVer + 1}},
-		}, true
+		}
+		return nil
+	})
+	if err != nil {
+		return checker.Tx{}, false
 	}
-	return checker.Tx{}, false
+	rec.End = time.Now().UnixNano()
+	return rec, true
 }
 
 func u64(v uint64) []byte {

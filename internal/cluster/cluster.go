@@ -36,7 +36,11 @@ type Options struct {
 	Nodes   int
 	Degree  int
 	Workers int
-	Fabric  FabricKind
+	// DispatchShards forwards to core.Config: handler goroutines for keyed
+	// inbound traffic (0 = min(Workers, GOMAXPROCS), <=1 inline, negative
+	// forces inline).
+	DispatchShards int
+	Fabric         FabricKind
 	// Net configures the simulated fabric (FabricSim only).
 	Net netsim.Config
 	// Reliable overrides the reliable transport's tuning for FabricSim
@@ -162,6 +166,7 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 	cfg := core.Config{
 		Degree:          c.opts.Degree,
 		Workers:         c.opts.Workers,
+		DispatchShards:  c.opts.DispatchShards,
 		TrimReplicas:    c.opts.TrimReplicas,
 		AutoAcquireRead: c.opts.AutoAcquireRead,
 		Ownership:       ocfg,

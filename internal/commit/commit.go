@@ -21,15 +21,24 @@
 // concurrent replayers are harmless. When a node has no pending commits left
 // from dead nodes it reports recovery-done; the ownership protocol resumes
 // only after every live node has reported (the membership barrier).
+//
+// Concurrency (§5.2/§7): the engine holds no global lock on any hot path.
+// Pipelines are looked up lock-free (copy-on-write maps — pipes are created
+// once per worker and read per message) and each outPipe/inPipe carries its
+// own mutex, so commits and deliveries on independent pipes never contend.
+// Per-object pending state lives on store.Object (an atomic counter), and
+// only recovery (the replay table) takes a dedicated slow-path lock.
 package commit
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zeus/internal/membership"
 	"zeus/internal/retry"
+	"zeus/internal/shardmap"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -63,6 +72,18 @@ var resendPolicy = retry.Policy{
 	Jitter:         0.25,
 }
 
+// maxPeers bounds the per-peer coalescer array (wire.Bitmap caps a
+// deployment at 64 nodes anyway).
+const maxPeers = 64
+
+// peerQueue is one peer's slice of the outbound coalescer. Each queue has
+// its own lock so workers enqueueing to different followers never contend;
+// two pipelines sharing a follower contend only on that follower's queue.
+type peerQueue struct {
+	mu   sync.Mutex
+	msgs []wire.Msg
+}
+
 // Engine runs the reliable commit protocol on one node.
 type Engine struct {
 	self  wire.NodeID
@@ -70,23 +91,32 @@ type Engine struct {
 	tr    transport.Transport
 	agent *membership.Agent
 
-	mu           sync.Mutex
-	outPipes     map[wire.Worker]*outPipe
-	inPipes      map[wire.PipeID]*inPipe
-	pendingByObj map[wire.ObjectID]int
-	replays      map[wire.TxID]*replaySlot
-	replayEpoch  wire.Epoch
+	// Pipelines: copy-on-write maps (lock-free lookup, mutex-serialized
+	// insertion — a pipe is created once and read per message). Per-slot
+	// state is guarded by each pipe's own mutex.
+	outPipes shardmap.COW[wire.Worker, *outPipe]
+	inPipes  shardmap.COW[wire.PipeID, *inPipe]
+
+	// Recovery slow path: the replay table is only touched around view
+	// changes, never on the failure-free hot path.
+	replayMu    sync.Mutex
+	replays     map[wire.TxID]*replaySlot
+	replayEpoch wire.Epoch
+	replayN     atomic.Int32 // fast-path probe: len(replays) without the lock
 
 	// Outbound coalescer: R-INV fan-out, R-ACKs and R-VALs accumulate in
 	// per-peer queues and leave as transport batches — either when a
 	// delivery tick's worth piled up (coalesceFlushCount) or within
 	// coalesceInterval. The pipeline never waits for any of these messages
 	// (§5.2), so the added latency is invisible to transactions while the
-	// per-message transport cost is amortized across the batch.
-	coMu     sync.Mutex
-	coByPeer map[wire.NodeID][]wire.Msg
-	coCount  int
-	coWake   chan struct{}
+	// per-message transport cost is amortized across the batch. The queues
+	// are locked per peer (see peerQueue); coCount is the cross-peer total
+	// that triggers count-based flushes.
+	coQ     [maxPeers]peerQueue
+	coDirty atomic.Uint64 // bitmask of peers with queued messages
+	coCount atomic.Int32  // approximate total (flush-threshold heuristic only)
+	coArmed atomic.Bool   // a timed flush cycle is pending
+	coWake  chan struct{}
 
 	closed chan struct{}
 	once   sync.Once
@@ -145,17 +175,13 @@ type inPipe struct {
 // New creates a reliable-commit engine.
 func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membership.Agent) *Engine {
 	e := &Engine{
-		self:         self,
-		st:           st,
-		tr:           tr,
-		agent:        agent,
-		outPipes:     make(map[wire.Worker]*outPipe),
-		inPipes:      make(map[wire.PipeID]*inPipe),
-		pendingByObj: make(map[wire.ObjectID]int),
-		replays:      make(map[wire.TxID]*replaySlot),
-		coByPeer:     make(map[wire.NodeID][]wire.Msg),
-		coWake:       make(chan struct{}, 1),
-		closed:       make(chan struct{}),
+		self:    self,
+		st:      st,
+		tr:      tr,
+		agent:   agent,
+		replays: make(map[wire.TxID]*replaySlot),
+		coWake:  make(chan struct{}, 1),
+		closed:  make(chan struct{}),
 	}
 	go e.resendLoop()
 	go e.coalesceLoop()
@@ -172,19 +198,24 @@ func (e *Engine) Close() {
 
 // enqueue queues one outbound protocol message for peer-coalesced sending.
 func (e *Engine) enqueue(to wire.NodeID, m wire.Msg) {
-	if to == e.self {
+	if to == e.self || int(to) >= maxPeers {
 		return
 	}
-	e.coMu.Lock()
-	e.coByPeer[to] = append(e.coByPeer[to], m)
-	e.coCount++
-	n := e.coCount
-	e.coMu.Unlock()
-	if n >= coalesceFlushCount {
+	q := &e.coQ[to]
+	q.mu.Lock()
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+	e.coDirty.Or(1 << to)
+	if e.coCount.Add(1) >= coalesceFlushCount {
 		e.flushOut()
 		return
 	}
-	if n == 1 {
+	// Arm a timed flush unless one is already pending. The flag (not the
+	// approximate count) carries the liveness guarantee: every enqueued
+	// message is followed by a flush within coalesceInterval, because the
+	// pending cycle disarms *before* it flushes — an enqueue racing with
+	// the flush re-arms the next cycle.
+	if !e.coArmed.Swap(true) {
 		select {
 		case e.coWake <- struct{}{}:
 		default:
@@ -193,18 +224,24 @@ func (e *Engine) enqueue(to wire.NodeID, m wire.Msg) {
 }
 
 // flushOut drains the coalescer, sending each peer's queue as one batch.
+// Only peers flagged dirty are visited; an enqueue racing with the swap
+// re-flags its peer (the Or runs after the append), so at worst a queue is
+// visited empty once or left for the already-armed next cycle.
 func (e *Engine) flushOut() {
-	e.coMu.Lock()
-	if e.coCount == 0 {
-		e.coMu.Unlock()
-		return
-	}
-	byPeer := e.coByPeer
-	e.coByPeer = make(map[wire.NodeID][]wire.Msg, len(byPeer))
-	e.coCount = 0
-	e.coMu.Unlock()
-	for to, msgs := range byPeer {
-		_ = transport.SendBatch(e.tr, to, msgs)
+	dirty := e.coDirty.Swap(0)
+	for dirty != 0 {
+		to := bits.TrailingZeros64(dirty)
+		dirty &^= 1 << to
+		q := &e.coQ[to]
+		q.mu.Lock()
+		msgs := q.msgs
+		q.msgs = nil
+		q.mu.Unlock()
+		if len(msgs) == 0 {
+			continue
+		}
+		e.coCount.Add(int32(-len(msgs)))
+		_ = transport.SendBatch(e.tr, wire.NodeID(to), msgs)
 	}
 }
 
@@ -224,6 +261,7 @@ func (e *Engine) coalesceLoop() {
 			return
 		case <-time.After(coalesceInterval):
 		}
+		e.coArmed.Store(false) // before the flush: racing enqueues re-arm
 		e.flushOut()
 	}
 }
@@ -261,49 +299,35 @@ func (e *Engine) Stats() Stats {
 }
 
 func (e *Engine) pipe(w wire.Worker) *outPipe {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.outPipes[w]
-	if !ok {
-		p = &outPipe{id: wire.PipeID{Node: e.self, Worker: w}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
-		e.outPipes[w] = p
-	}
-	return p
+	return e.outPipes.GetOrCreate(w, func() *outPipe {
+		return &outPipe{id: wire.PipeID{Node: e.self, Worker: w}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
+	})
 }
 
 func (e *Engine) inPipe(id wire.PipeID) *inPipe {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.inPipes[id]
-	if !ok {
-		p = &inPipe{stored: make(map[uint64]*wire.CommitInv), done: make(map[uint64]bool), waiting: make(map[uint64]*wire.CommitInv)}
-		e.inPipes[id] = p
-	}
-	return p
+	return e.inPipes.GetOrCreate(id, func() *inPipe {
+		return &inPipe{stored: make(map[uint64]*wire.CommitInv), done: make(map[uint64]bool), waiting: make(map[uint64]*wire.CommitInv)}
+	})
 }
 
 // HasPending reports whether reliable commits involving obj are in flight at
 // this coordinator. The ownership protocol NACKs transfers while true (§4.1).
+// The check is an atomic counter read on the object itself — no engine state,
+// no object lock — so it is safe from callers holding other object mutexes.
 func (e *Engine) HasPending(obj wire.ObjectID) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pendingByObj[obj] > 0
+	o, ok := e.st.Get(obj)
+	return ok && o.PendingCommits.Load() > 0
 }
 
 // PendingSlots returns the number of unvalidated coordinator slots.
 func (e *Engine) PendingSlots() int {
-	e.mu.Lock()
-	pipes := make([]*outPipe, 0, len(e.outPipes))
-	for _, p := range e.outPipes {
-		pipes = append(pipes, p)
-	}
-	e.mu.Unlock()
 	n := 0
-	for _, p := range pipes {
+	e.outPipes.Range(func(_ wire.Worker, p *outPipe) bool {
 		p.mu.Lock()
 		n += len(p.slots)
 		p.mu.Unlock()
-	}
+		return true
+	})
 	return n
 }
 
@@ -324,8 +348,9 @@ func (e *Engine) WaitIdle(timeout time.Duration) bool {
 // worker w's pipeline and returns immediately (the pipeline never blocks the
 // application, §5.2). The store must already hold the new t_data/t_version
 // with t_state = Write; PendingCommits must already be incremented by the
-// caller under the object locks. The returned channel closes when the slot is
-// validated (tests and drain paths wait on it; applications do not).
+// caller under the object locks (that counter is the engine's only per-object
+// pending state — see HasPending). The returned channel closes when the slot
+// is validated (tests and drain paths wait on it; applications do not).
 func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bitmap) (wire.TxID, <-chan struct{}) {
 	p := e.pipe(w)
 	live := e.agent.View().Live
@@ -365,12 +390,6 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 	}
 	p.slots[local] = slot
 	p.mu.Unlock()
-
-	e.mu.Lock()
-	for _, u := range updates {
-		e.pendingByObj[u.Obj]++
-	}
-	e.mu.Unlock()
 
 	if followers.Count() == 0 {
 		// No live followers (replication degree 1 or all backups dead):
@@ -420,22 +439,12 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 			if o.TVersion == u.Version && o.TState == store.TWrite {
 				o.TState = store.TValid
 			}
-			if o.PendingCommits > 0 {
-				o.PendingCommits--
+			if o.PendingCommits.Load() > 0 {
+				o.PendingCommits.Add(-1)
 			}
 			o.Mu.Unlock()
 		}
 	}
-	e.mu.Lock()
-	for _, u := range s.inv.Updates {
-		if e.pendingByObj[u.Obj] > 0 {
-			e.pendingByObj[u.Obj]--
-		}
-		if e.pendingByObj[u.Obj] == 0 {
-			delete(e.pendingByObj, u.Obj)
-		}
-	}
-	e.mu.Unlock()
 
 	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
 	for _, n := range s.followers.Union(extra).Nodes() {
@@ -579,10 +588,8 @@ func (e *Engine) handleAck(m *wire.CommitAck) {
 	// fact regardless of the epoch the ACK crossed; completeness is always
 	// evaluated against the *current* live set anyway.
 	if m.Tx.Pipe.Node == e.self {
-		e.mu.Lock()
-		p := e.outPipes[m.Tx.Pipe.Worker]
-		e.mu.Unlock()
-		if p == nil {
+		p, ok := e.outPipes.Get(m.Tx.Pipe.Worker)
+		if !ok {
 			return
 		}
 		p.mu.Lock()
@@ -601,7 +608,12 @@ func (e *Engine) handleAck(m *wire.CommitAck) {
 		return
 	}
 	// ACK for a transaction this node is replaying (dead coordinator).
-	e.mu.Lock()
+	// Fast-path probe: replays are empty except around a view change, so
+	// stray ACKs for foreign pipes skip the slow-path lock entirely.
+	if e.replayN.Load() == 0 {
+		return
+	}
+	e.replayMu.Lock()
 	rs := e.replays[m.Tx]
 	if rs != nil {
 		rs.acked = rs.acked.Add(m.From)
@@ -610,7 +622,7 @@ func (e *Engine) handleAck(m *wire.CommitAck) {
 			e.finishReplayLocked(rs)
 		}
 	}
-	e.mu.Unlock()
+	e.replayMu.Unlock()
 }
 
 // ---------------------------------------------------------------------------
@@ -642,17 +654,11 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 
 	// 1. Own open slots: rewrite epochs, drop dead followers, re-send to
 	// the survivors (they may have missed the original in the old epoch).
-	e.mu.Lock()
-	pipes := make([]*outPipe, 0, len(e.outPipes))
-	for _, p := range e.outPipes {
-		pipes = append(pipes, p)
-	}
-	e.mu.Unlock()
 	var toComplete []struct {
 		p *outPipe
 		s *outSlot
 	}
-	for _, p := range pipes {
+	e.outPipes.Range(func(_ wire.Worker, p *outPipe) bool {
 		p.mu.Lock()
 		for _, s := range p.slots {
 			s.followers = s.followers.Intersect(live)
@@ -677,29 +683,31 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 			}
 		}
 		p.mu.Unlock()
-	}
+		return true
+	})
 	for _, c := range toComplete {
 		e.completeSlot(c.p, c.s)
 	}
 
 	// 2. Stored R-INVs of dead coordinators: replay them.
-	e.mu.Lock()
-	e.replayEpoch = epoch
 	type item struct {
 		pipe wire.PipeID
 		inv  *wire.CommitInv
 	}
 	var items []item
-	for id, p := range e.inPipes {
+	e.inPipes.Range(func(id wire.PipeID, p *inPipe) bool {
 		if live.Contains(id.Node) {
-			continue
+			return true
 		}
 		p.mu.Lock()
 		for _, inv := range p.stored {
 			items = append(items, item{pipe: id, inv: inv})
 		}
 		p.mu.Unlock()
-	}
+		return true
+	})
+	e.replayMu.Lock()
+	e.replayEpoch = epoch
 	for _, it := range items {
 		inv := *it.inv // shallow copy; updates shared (immutable)
 		inv.Epoch = epoch
@@ -709,11 +717,14 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 		if wait, ok := rs.retr.Next(); ok {
 			rs.nextResend = time.Now().Add(wait)
 		}
+		if _, dup := e.replays[inv.Tx]; !dup {
+			e.replayN.Add(1)
+		}
 		e.replays[inv.Tx] = rs
 		e.stReplays.Add(1)
 	}
-	// Snapshot inv/followers under e.mu: the resendLoop rewrites both
-	// fields (also under e.mu), so they must not be read lock-free below.
+	// Snapshot inv/followers under replayMu: the resendLoop rewrites both
+	// fields (also under replayMu), so they must not be read lock-free below.
 	type replayOut struct {
 		rs        *replaySlot
 		inv       *wire.CommitInv
@@ -723,16 +734,16 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 	for _, rs := range e.replays {
 		replays = append(replays, replayOut{rs: rs, inv: rs.inv, followers: rs.followers})
 	}
-	e.mu.Unlock()
+	e.replayMu.Unlock()
 
 	for _, ro := range replays {
 		if ro.followers.Count() == 0 {
-			e.mu.Lock()
+			e.replayMu.Lock()
 			if !ro.rs.finished {
 				ro.rs.finished = true
 				e.finishReplayLocked(ro.rs)
 			}
-			e.mu.Unlock()
+			e.replayMu.Unlock()
 			continue
 		}
 		for _, n := range ro.followers.Nodes() {
@@ -742,11 +753,12 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 	e.maybeReportDone()
 }
 
-// finishReplayLocked validates a replayed transaction (e.mu held): the local
-// stored copy flips Valid, survivors get R-VAL.
+// finishReplayLocked validates a replayed transaction (replayMu held): the
+// local stored copy flips Valid, survivors get R-VAL.
 func (e *Engine) finishReplayLocked(rs *replaySlot) {
 	tx := rs.inv.Tx
 	delete(e.replays, tx)
+	e.replayN.Add(-1)
 	epoch := rs.inv.Epoch
 	followers := rs.followers
 	go func() {
@@ -800,10 +812,7 @@ func (e *Engine) resendLoop() {
 			lastEpoch = epoch
 			graceUntil = now.Add(epochGrace)
 		}
-		e.mu.Lock()
-		replayCount := len(e.replays)
-		e.mu.Unlock()
-		if now.After(graceUntil) && replayCount == 0 {
+		if now.After(graceUntil) && e.replayN.Load() == 0 {
 			t.Reset(idleTick)
 			continue
 		}
@@ -819,13 +828,7 @@ func (e *Engine) resendLoop() {
 			s *outSlot
 		}
 
-		e.mu.Lock()
-		pipes := make([]*outPipe, 0, len(e.outPipes))
-		for _, p := range e.outPipes {
-			pipes = append(pipes, p)
-		}
-		e.mu.Unlock()
-		for _, p := range pipes {
+		e.outPipes.Range(func(_ wire.Worker, p *outPipe) bool {
 			p.mu.Lock()
 			for _, s := range p.slots {
 				if s.valed || now.Before(s.nextResend) {
@@ -853,12 +856,13 @@ func (e *Engine) resendLoop() {
 				}
 			}
 			p.mu.Unlock()
-		}
+			return true
+		})
 		for _, c := range complete {
 			e.completeSlot(c.p, c.s)
 		}
 
-		e.mu.Lock()
+		e.replayMu.Lock()
 		for _, rs := range e.replays {
 			if rs.finished || now.Before(rs.nextResend) {
 				continue
@@ -881,7 +885,7 @@ func (e *Engine) resendLoop() {
 				}
 			}
 		}
-		e.mu.Unlock()
+		e.replayMu.Unlock()
 
 		if len(sends) > 0 {
 			// Still-unacked slots right after an epoch change: keep the
@@ -898,10 +902,10 @@ func (e *Engine) resendLoop() {
 
 // maybeReportDone reports recovery completion once no replays remain.
 func (e *Engine) maybeReportDone() {
-	e.mu.Lock()
+	e.replayMu.Lock()
 	n := len(e.replays)
 	epoch := e.replayEpoch
-	e.mu.Unlock()
+	e.replayMu.Unlock()
 	if n == 0 && epoch != 0 {
 		e.agent.ReportRecoveryDone(epoch)
 	}

@@ -83,7 +83,7 @@ func (c *tcluster) localWrite(owner wire.NodeID, w wire.Worker, objs []wire.Obje
 		o.TVersion++
 		o.Data = []byte(val)
 		o.TState = store.TWrite
-		o.PendingCommits++
+		o.PendingCommits.Add(1)
 		updates = append(updates, wire.Update{Obj: id, Version: o.TVersion, Data: []byte(val)})
 		followers = followers.Union(o.Replicas.Readers)
 		o.Mu.Unlock()
@@ -461,7 +461,7 @@ func TestConcurrentCommitsManyObjects(t *testing.T) {
 				o.TVersion++
 				ver := o.TVersion
 				o.TState = store.TWrite
-				o.PendingCommits++
+				o.PendingCommits.Add(1)
 				followers := o.Replicas.Readers
 				o.Mu.Unlock()
 				nd.eng.Commit(w, []wire.Update{{Obj: obj, Version: ver, Data: []byte("c")}}, followers)

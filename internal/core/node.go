@@ -20,7 +20,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +42,12 @@ type Config struct {
 	Degree int
 	// Workers is the number of worker threads; each owns a commit pipeline.
 	Workers int
+	// DispatchShards is the number of inbound handler goroutines for keyed
+	// protocol traffic (per-pipe for reliable commits, per-object for
+	// ownership — see transport.Router). 0 picks min(Workers, GOMAXPROCS);
+	// values <= 1 keep inline dispatch (single delivery goroutine, the
+	// right choice on single-core hosts where extra hops only add cost).
+	DispatchShards int
 	// TrimReplicas restores the replication degree out of the critical
 	// path after a non-replica acquired ownership (§6.2).
 	TrimReplicas bool
@@ -83,6 +91,14 @@ type Node struct {
 
 	nextWorker atomic.Uint32
 
+	// trimQ feeds the bounded replica-trim pool (see maybeTrim): dropping a
+	// reader is best-effort background work, so a fixed pool with a bounded
+	// queue replaces the old unbounded one-goroutine-per-object spawn —
+	// an ownership churn storm used to fork one goroutine per object.
+	trimQ     chan trimReq
+	closedCh  chan struct{}
+	closeOnce sync.Once
+
 	stCommits   atomic.Uint64
 	stAborts    atomic.Uint64
 	stROCommits atomic.Uint64
@@ -101,7 +117,8 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		cfg.Workers = 8
 	}
 	st := store.New()
-	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent}
+	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent,
+		trimQ: make(chan trimReq, trimQueueDepth), closedCh: make(chan struct{})}
 	n.router = transport.NewRouter()
 	n.cmt = commit.New(id, st, tr, agent)
 	n.own = ownership.New(id, st, tr, agent, cfg.Ownership)
@@ -112,8 +129,23 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	n.own.HasPendingCommit = n.cmt.HasPending
 	n.own.Register(n.router)
 	n.cmt.Register(n.router)
+	// Sharded delivery (§5.2/§7): keyed protocol traffic fans out to
+	// per-pipe / per-object handler goroutines so independent pipelines
+	// apply in parallel. Defaults to min(Workers, GOMAXPROCS) — extra
+	// shards on a single-core host only add queue hops.
+	shards := cfg.DispatchShards
+	if shards == 0 {
+		shards = cfg.Workers
+		if p := runtime.GOMAXPROCS(0); p < shards {
+			shards = p
+		}
+	}
+	n.router.EnableSharding(shards)
 	tr.SetHandler(n.router.Dispatch)
 	transport.SetTick(tr, n.router.Tick)
+	for i := 0; i < trimWorkers; i++ {
+		go n.trimLoop()
+	}
 
 	agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
 		if removed.Count() == 0 {
@@ -157,8 +189,10 @@ func (n *Node) Stats() Stats {
 
 // Close shuts down the node's engines.
 func (n *Node) Close() {
+	n.closeOnce.Do(func() { close(n.closedCh) })
 	n.own.Close()
 	n.cmt.Close()
+	n.router.CloseShards()
 	_ = n.tr.Close()
 }
 
@@ -213,7 +247,7 @@ func (n *Node) CreateObjectWithReaders(obj wire.ObjectID, data []byte, readers w
 	o.TVersion++
 	o.Data = append([]byte(nil), data...)
 	o.TState = store.TWrite
-	o.PendingCommits++
+	o.PendingCommits.Add(1)
 	followers := o.Replicas.Readers
 	ver := o.TVersion
 	o.Mu.Unlock()
@@ -410,8 +444,34 @@ func ownershipErr(err error) error {
 	}
 }
 
+// trimWorkers / trimQueueDepth bound the background replica-trim pool: a
+// fixed number of goroutines drain a bounded queue, so a burst of ownership
+// acquisitions (or a view change re-homing thousands of objects) can no
+// longer spawn one DropReader goroutine per object. Overflow is dropped —
+// trimming is best-effort and retried on the object's next acquisition.
+const (
+	trimWorkers    = 2
+	trimQueueDepth = 1024
+)
+
+type trimReq struct {
+	obj  wire.ObjectID
+	drop wire.NodeID
+}
+
+func (n *Node) trimLoop() {
+	for {
+		select {
+		case r := <-n.trimQ:
+			_ = n.own.DropReader(r.obj, r.drop)
+		case <-n.closedCh:
+			return
+		}
+	}
+}
+
 // maybeTrim restores the replication degree after ownership grew the replica
-// set, out of the critical path (§6.2).
+// set, out of the critical path (§6.2), via the bounded trim pool.
 func (n *Node) maybeTrim(id wire.ObjectID) {
 	if !n.cfg.TrimReplicas {
 		return
@@ -430,7 +490,10 @@ func (n *Node) maybeTrim(id wire.ObjectID) {
 	}
 	o.Mu.Unlock()
 	if drop != wire.NoNode {
-		go func() { _ = n.own.DropReader(id, drop) }()
+		select {
+		case n.trimQ <- trimReq{obj: id, drop: drop}:
+		default: // pool saturated: skip, the next acquisition re-trims
+		}
 	}
 }
 
@@ -526,7 +589,7 @@ func (tx *Tx) Commit() error {
 		o.Data = data
 		o.TVersion++
 		o.TState = store.TWrite
-		o.PendingCommits++
+		o.PendingCommits.Add(1)
 		updates = append(updates, wire.Update{Obj: id, Version: o.TVersion, Data: data})
 		followers = followers.Union(o.Replicas.Readers)
 		o.Mu.Unlock()

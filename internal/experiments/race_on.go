@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// See race_off.go for why experiment assertions consult it.
+const raceEnabled = true

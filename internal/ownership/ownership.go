@@ -35,6 +35,7 @@ import (
 
 	"zeus/internal/membership"
 	"zeus/internal/retry"
+	"zeus/internal/shardmap"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -129,11 +130,24 @@ type Engine struct {
 	// detected by the engine itself via Object.LocalOwner.
 	HasPendingCommit func(wire.ObjectID) bool
 
-	mu        sync.Mutex
-	nextReq   uint64
-	pending   map[uint64]*pendingReq     // requester side, by reqID
-	recov     map[uint64]*recovState     // recovery-driver side, by reqID
-	valsAwait map[wire.ObjectID]wire.OTS // VALs that overtook their INV
+	// Hot-path state is striped so concurrent requests on different
+	// objects (or different request ids) never serialize on one engine
+	// lock (§7: worker threads are independent):
+	//
+	//   - pending, striped by reqID: the requester-side ACK collection.
+	//   - valsAwait, striped by ObjectID: VALs that overtook their INV.
+	//
+	// Only recovery keeps a single slow-path mutex (recovMu): arb-replays
+	// happen around view changes, never in the failure-free flow, and the
+	// atomic recovN count lets handleAck skip the lock entirely while no
+	// replay is in flight.
+	nextReq   atomic.Uint64
+	pending   *shardmap.Striped[uint64, *pendingReq]
+	valsAwait *shardmap.Striped[wire.ObjectID, wire.OTS]
+
+	recovMu sync.Mutex
+	recov   map[uint64]*recovState // recovery-driver side, by reqID
+	recovN  atomic.Int32
 
 	recovering atomic.Bool
 	closed     chan struct{}
@@ -206,9 +220,9 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 		tr:               tr,
 		agent:            agent,
 		cfg:              cfg,
-		pending:          make(map[uint64]*pendingReq),
+		pending:          shardmap.NewStriped[uint64, *pendingReq](shardmap.Mix64),
 		recov:            make(map[uint64]*recovState),
-		valsAwait:        make(map[wire.ObjectID]wire.OTS),
+		valsAwait:        shardmap.NewStriped[wire.ObjectID, wire.OTS](func(id wire.ObjectID) uint64 { return shardmap.Mix64(uint64(id)) }),
 		closed:           make(chan struct{}),
 		selfQ:            make(chan wire.Msg, 4096),
 		rng:              rand.New(rand.NewSource(int64(self)*7919 + 1)),
@@ -349,18 +363,13 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 
 	var req *pendingReq
 	newRequest := func() *pendingReq {
-		e.mu.Lock()
-		e.nextReq++
-		id := uint64(e.self)<<48 | e.nextReq
+		id := uint64(e.self)<<48 | e.nextReq.Add(1)
 		r := &pendingReq{id: id, obj: obj, mode: mode, done: make(chan outcome, 8)}
-		e.pending[id] = r
-		e.mu.Unlock()
+		e.pending.Put(id, r)
 		return r
 	}
 	dropRequest := func(r *pendingReq) {
-		e.mu.Lock()
-		delete(e.pending, r.id)
-		e.mu.Unlock()
+		e.pending.Delete(r.id)
 	}
 
 	req = newRequest()
@@ -551,8 +560,11 @@ func (e *Engine) handleReq(m *wire.OwnReq) {
 	// When the driver itself is the current owner, it enforces the
 	// pending-commit rule before arbitrating away its own write access
 	// (pending reliable commits or an executing local transaction, §4.1).
+	// HasPendingCommit reads the object's atomic PendingCommits counter
+	// (bumped under the object lock at local-commit time) when wired to
+	// the commit engine, and is a stub seam in tests.
 	if o.Level == wire.Owner && m.Requester != e.self &&
-		(o.LocalOwner != store.NoLocalOwner || o.PendingCommits > 0 || e.HasPendingCommit(m.Obj)) {
+		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
 		o.YieldLocalUntil = time.Now().Add(transferYield)
 		o.Mu.Unlock()
 		e.stNacks.Add(1)
@@ -730,13 +742,14 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 
 	// The current owner refuses to hand the object over while reliable
 	// commits involving it are pending (§4.1); pipelines drain first.
-	// o.PendingCommits (bumped under the object lock at local-commit time)
-	// closes the window before the commit engine's own counter is up.
+	// HasPendingCommit reads the object's atomic PendingCommits counter,
+	// bumped under the object lock at local-commit time — there is no
+	// window between the local commit and the guard seeing it.
 	// Replayed INVs bypass this: the locally committed values are final
 	// (an initiated reliable commit cannot abort) and replication of the
 	// in-flight slots completes independently.
 	if !m.Recovery && e.self == m.PrevOwner && o.Level == wire.Owner &&
-		(o.LocalOwner != store.NoLocalOwner || o.PendingCommits > 0 || e.HasPendingCommit(m.Obj)) {
+		(o.LocalOwner != store.NoLocalOwner || e.HasPendingCommit(m.Obj)) {
 		// Transfer fairness: a back-to-back local write stream would keep
 		// this guard busy forever, so defer new local write grants long
 		// enough for the pipeline to drain and the requester to re-probe.
@@ -774,14 +787,14 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 	}
 
 	// Did a VAL overtake this INV? Apply immediately if so.
-	e.mu.Lock()
-	awaited, hasVal := e.valsAwait[m.Obj]
-	if hasVal && awaited == m.TS {
-		delete(e.valsAwait, m.Obj)
-	} else {
-		hasVal = false
-	}
-	e.mu.Unlock()
+	hasVal := false
+	e.valsAwait.Update(m.Obj, func(awaited wire.OTS, ok bool) (wire.OTS, bool, bool) {
+		if ok && awaited == m.TS {
+			hasVal = true
+			return awaited, false, true // consume the stashed VAL
+		}
+		return awaited, false, false
+	})
 	if hasVal {
 		e.applyLocked(o)
 	}
@@ -839,11 +852,12 @@ func (e *Engine) handleVal(m *wire.OwnVal) {
 		// VAL overtook its INV (different senders): stash until the INV
 		// arrives.
 		o.Mu.Unlock()
-		e.mu.Lock()
-		if cur, ok := e.valsAwait[m.Obj]; !ok || cur.Less(m.TS) {
-			e.valsAwait[m.Obj] = m.TS
-		}
-		e.mu.Unlock()
+		e.valsAwait.Update(m.Obj, func(cur wire.OTS, ok bool) (wire.OTS, bool, bool) {
+			if !ok || cur.Less(m.TS) {
+				return m.TS, true, false
+			}
+			return cur, false, false
+		})
 	}
 }
 
@@ -855,14 +869,18 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 	if m.Epoch != e.agent.Epoch() {
 		return
 	}
-	e.mu.Lock()
-	if rs, ok := e.recov[m.ReqID]; ok && rs.ts == m.TS {
-		e.handleRecoveryAckLocked(rs, m)
-		e.mu.Unlock()
-		return
+	// Recovery ACKs are rare (arb-replays around view changes); the atomic
+	// count keeps the failure-free path off the recovery lock entirely.
+	if e.recovN.Load() > 0 {
+		e.recovMu.Lock()
+		if rs, ok := e.recov[m.ReqID]; ok && rs.ts == m.TS {
+			e.handleRecoveryAckLocked(rs, m)
+			e.recovMu.Unlock()
+			return
+		}
+		e.recovMu.Unlock()
 	}
-	req, ok := e.pending[m.ReqID]
-	e.mu.Unlock()
+	req, ok := e.pending.Get(m.ReqID)
 	if !ok {
 		return // late ACK for a finished/abandoned request
 	}
@@ -966,9 +984,7 @@ func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.Repl
 }
 
 func (e *Engine) handleNack(m *wire.OwnNack) {
-	e.mu.Lock()
-	req, ok := e.pending[m.ReqID]
-	e.mu.Unlock()
+	req, ok := e.pending.Get(m.ReqID)
 	if !ok {
 		return
 	}
@@ -1046,13 +1062,14 @@ func (e *Engine) arbReplay(obj wire.ObjectID, pend store.PendingOwn, epoch wire.
 		arbiters: pend.Arbiters.Intersect(live).Add(e.self),
 		pend:     pend,
 	}
-	e.mu.Lock()
+	e.recovMu.Lock()
 	if _, dup := e.recov[pend.ReqID]; dup {
-		e.mu.Unlock()
+		e.recovMu.Unlock()
 		return
 	}
 	e.recov[pend.ReqID] = rs
-	e.mu.Unlock()
+	e.recovN.Add(1)
+	e.recovMu.Unlock()
 
 	inv := invFromPending(obj, &pend)
 	inv.Epoch = epoch
@@ -1066,10 +1083,10 @@ func (e *Engine) arbReplay(obj wire.ObjectID, pend store.PendingOwn, epoch wire.
 		e.send(n, inv)
 	}
 	// Count the replayer's own ACK.
-	e.mu.Lock()
+	e.recovMu.Lock()
 	rs.acked = rs.acked.Add(e.self)
 	e.checkRecoveryCompleteLocked(rs, epoch)
-	e.mu.Unlock()
+	e.recovMu.Unlock()
 }
 
 func (e *Engine) handleRecoveryAckLocked(rs *recovState, m *wire.OwnAck) {
@@ -1091,6 +1108,7 @@ func (e *Engine) checkRecoveryCompleteLocked(rs *recovState, epoch wire.Epoch) {
 	}
 	rs.finished = true
 	delete(e.recov, rs.reqID)
+	e.recovN.Add(-1)
 	live := e.agent.View().Live
 	p := rs.pend
 	if live.Contains(p.Requester) && p.Requester != e.self {
@@ -1132,9 +1150,7 @@ func (e *Engine) handleResp(m *wire.OwnResp) {
 		return
 	}
 	e.applyAsRequester(m.Obj, m.TS, m.NewReplicas, m.Mode, m.HasData, m.TVersion, m.Data)
-	e.mu.Lock()
-	req, ok := e.pending[m.ReqID]
-	e.mu.Unlock()
+	req, ok := e.pending.Get(m.ReqID)
 	if ok {
 		select {
 		case req.done <- outcome{ok: true}:

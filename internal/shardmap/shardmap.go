@@ -1,0 +1,200 @@
+// Package shardmap provides the two small concurrent-map shapes the Zeus
+// hot paths are built on after the per-engine global locks were stripped
+// (§5.2/§7: worker pipelines must never serialize on shared engine state):
+//
+//   - COW: a copy-on-write map with lock-free reads. Lookups cost one atomic
+//     pointer load; inserts copy the map under a mutex. The right shape for
+//     small, almost-static key sets read on every message — commit pipelines
+//     (one per worker per node) are created once and looked up millions of
+//     times.
+//   - Striped: a fixed-stripe hash of mutex-guarded maps. Both lookups and
+//     updates lock only their stripe, so operations on different objects or
+//     requests proceed in parallel. The right shape for churning key sets —
+//     pending ownership requests, overtaking-VAL stashes.
+package shardmap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// COW is a copy-on-write map: Get is a lock-free atomic load, mutations
+// replace the whole map under a mutex. Zero value is ready to use.
+type COW[K comparable, V any] struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[K]V]
+}
+
+// Get returns the value for k, lock-free.
+func (c *COW[K, V]) Get(k K) (V, bool) {
+	if m := c.m.Load(); m != nil {
+		v, ok := (*m)[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCreate returns the value for k, inserting mk() if absent. Creation is
+// serialized; mk runs at most once per inserted key.
+func (c *COW[K, V]) GetOrCreate(k K, mk func() V) V {
+	if v, ok := c.Get(k); ok {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.m.Load()
+	if old != nil {
+		if v, ok := (*old)[k]; ok {
+			return v
+		}
+	}
+	next := make(map[K]V, 1+lenOf(old))
+	if old != nil {
+		for kk, vv := range *old {
+			next[kk] = vv
+		}
+	}
+	v := mk()
+	next[k] = v
+	c.m.Store(&next)
+	return v
+}
+
+// Range calls fn for every entry of the current snapshot. Entries inserted
+// concurrently may or may not be visited; fn must not mutate the map.
+func (c *COW[K, V]) Range(fn func(K, V) bool) {
+	m := c.m.Load()
+	if m == nil {
+		return
+	}
+	for k, v := range *m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Len returns the size of the current snapshot.
+func (c *COW[K, V]) Len() int { return lenOf(c.m.Load()) }
+
+func lenOf[K comparable, V any](m *map[K]V) int {
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}
+
+// stripeCount is a power of two so the stripe index is a mask; 64 stripes
+// keep false sharing negligible for up to ~dozens of worker threads.
+const stripeCount = 64
+
+// Striped is a hash map split into stripeCount independently locked stripes.
+// The zero value is NOT ready; use NewStriped.
+type Striped[K comparable, V any] struct {
+	stripes [stripeCount]struct {
+		mu sync.Mutex
+		m  map[K]V
+	}
+	hash func(K) uint64
+}
+
+// NewStriped creates a striped map with the given key hash. Fibonacci-mix the
+// hash input if keys are dense integers.
+func NewStriped[K comparable, V any](hash func(K) uint64) *Striped[K, V] {
+	s := &Striped[K, V]{hash: hash}
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[K]V)
+	}
+	return s
+}
+
+func (s *Striped[K, V]) stripe(k K) *struct {
+	mu sync.Mutex
+	m  map[K]V
+} {
+	return &s.stripes[s.hash(k)&(stripeCount-1)]
+}
+
+// Get returns the value for k.
+func (s *Striped[K, V]) Get(k K) (V, bool) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	v, ok := st.m[k]
+	st.mu.Unlock()
+	return v, ok
+}
+
+// Put inserts or replaces the value for k.
+func (s *Striped[K, V]) Put(k K, v V) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	st.m[k] = v
+	st.mu.Unlock()
+}
+
+// Delete removes k.
+func (s *Striped[K, V]) Delete(k K) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	delete(st.m, k)
+	st.mu.Unlock()
+}
+
+// Update runs fn with the stripe locked, passing the current value (or the
+// zero value) and whether k was present; fn's return value is stored when
+// store is true, and k is deleted when store is false but del is true.
+// This is the striped analogue of a check-and-act sequence under one mutex.
+func (s *Striped[K, V]) Update(k K, fn func(v V, ok bool) (nv V, store, del bool)) {
+	st := s.stripe(k)
+	st.mu.Lock()
+	v, ok := st.m[k]
+	nv, store, del := fn(v, ok)
+	if store {
+		st.m[k] = nv
+	} else if del {
+		delete(st.m, k)
+	}
+	st.mu.Unlock()
+}
+
+// Range calls fn for every entry, one stripe at a time (each stripe is
+// snapshotted under its lock, then released before fn runs).
+func (s *Striped[K, V]) Range(fn func(K, V) bool) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		keys := make([]K, 0, len(st.m))
+		vals := make([]V, 0, len(st.m))
+		for k, v := range st.m {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		st.mu.Unlock()
+		for j := range keys {
+			if !fn(keys[j], vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the total entry count (taken stripe by stripe; approximate
+// under concurrent mutation).
+func (s *Striped[K, V]) Len() int {
+	n := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		n += len(s.stripes[i].m)
+		s.stripes[i].mu.Unlock()
+	}
+	return n
+}
+
+// Mix64 is a Fibonacci/SplitMix-style integer mixer for dense keys.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,128 @@
+package shardmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCOWGetOrCreateReturnsOneInstance(t *testing.T) {
+	var m COW[int, *int]
+	const goroutines = 16
+	var made atomic.Int32
+	results := make([]*int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = m.GetOrCreate(7, func() *int {
+				made.Add(1)
+				v := new(int)
+				return v
+			})
+		}(g)
+	}
+	wg.Wait()
+	if made.Load() != 1 {
+		t.Fatalf("mk ran %d times, want 1", made.Load())
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d got a different instance", g)
+		}
+	}
+	if v, ok := m.Get(7); !ok || v != results[0] {
+		t.Fatalf("Get after GetOrCreate: %v %v", v, ok)
+	}
+	if _, ok := m.Get(8); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestCOWInsertPreservesExistingEntries(t *testing.T) {
+	var m COW[int, int]
+	for i := 0; i < 100; i++ {
+		m.GetOrCreate(i, func() int { return i * 10 })
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	seen := 0
+	m.Range(func(k, v int) bool {
+		if v != k*10 {
+			t.Fatalf("entry %d = %d", k, v)
+		}
+		seen++
+		return true
+	})
+	if seen != 100 {
+		t.Fatalf("Range visited %d", seen)
+	}
+}
+
+func TestStripedUpdateContract(t *testing.T) {
+	s := NewStriped[uint64, string](Mix64)
+
+	// store=true inserts.
+	s.Update(1, func(v string, ok bool) (string, bool, bool) {
+		if ok {
+			t.Fatal("unexpected existing value")
+		}
+		return "a", true, false
+	})
+	if v, ok := s.Get(1); !ok || v != "a" {
+		t.Fatalf("after insert: %q %v", v, ok)
+	}
+	// store=false, del=false keeps.
+	s.Update(1, func(v string, ok bool) (string, bool, bool) {
+		if !ok || v != "a" {
+			t.Fatalf("keep saw %q %v", v, ok)
+		}
+		return "ignored", false, false
+	})
+	if v, _ := s.Get(1); v != "a" {
+		t.Fatalf("keep mutated value to %q", v)
+	}
+	// store=false, del=true deletes.
+	s.Update(1, func(string, bool) (string, bool, bool) { return "", false, true })
+	if _, ok := s.Get(1); ok {
+		t.Fatal("delete left the entry")
+	}
+	// store wins over del.
+	s.Update(2, func(string, bool) (string, bool, bool) { return "b", true, true })
+	if v, ok := s.Get(2); !ok || v != "b" {
+		t.Fatalf("store+del: %q %v", v, ok)
+	}
+}
+
+func TestStripedConcurrentDisjointKeys(t *testing.T) {
+	s := NewStriped[uint64, int](Mix64)
+	const keys = 128
+	var wg sync.WaitGroup
+	for k := uint64(0); k < keys; k++ {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Update(k, func(v int, ok bool) (int, bool, bool) { return v + 1, true, false })
+			}
+		}(k)
+	}
+	wg.Wait()
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+	s.Range(func(k uint64, v int) bool {
+		if v != 100 {
+			t.Fatalf("key %d = %d, want 100 (lost striped updates)", k, v)
+		}
+		return true
+	})
+	for k := uint64(0); k < keys; k++ {
+		s.Delete(k)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after deletes = %d", s.Len())
+	}
+}

@@ -7,6 +7,7 @@ package store
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zeus/internal/wire"
@@ -120,8 +121,13 @@ type Object struct {
 
 	// PendingCommits counts reliable commits involving this object that
 	// have not been validated yet; the owner NACKs ownership requests
-	// while it is non-zero (§4.1, §5.2).
-	PendingCommits int32
+	// while it is non-zero (§4.1, §5.2). Writers (the local-commit path and
+	// the commit engine's slot completion) always also hold Mu, so the
+	// counter stays consistent with TState; it is atomic so the ownership
+	// engine's HasPendingCommit hook can read it without taking Mu — the
+	// hook runs with other object locks held, and a lock-free read keeps
+	// pending checks off every engine-global structure.
+	PendingCommits atomic.Int32
 
 	// YieldLocalUntil implements transfer fairness (§6.2 starvation
 	// avoidance): after NACKing an ownership request for pending commits,

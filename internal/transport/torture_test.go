@@ -245,8 +245,15 @@ func TestReliableAckCoalescingRatio(t *testing.T) {
 	if frames >= N/2 {
 		t.Fatalf("batching inert: %d frames for %d messages", frames, N)
 	}
-	if ratio := float64(acks) / float64(frames); ratio >= 0.5 {
-		t.Fatalf("pure-ack:data frame ratio = %.2f, want < 0.5 (ack coalescing inert)", ratio)
+	// Race instrumentation slows delivery enough that delayed-ack timers
+	// beat the every-8th-frame counter; the tight ratio is asserted only on
+	// un-instrumented builds (see race_off_test.go).
+	ackBound := 0.5
+	if raceEnabled {
+		ackBound = 4.0
+	}
+	if ratio := float64(acks) / float64(frames); ratio >= ackBound {
+		t.Fatalf("pure-ack:data frame ratio = %.2f, want < %.1f (ack coalescing inert)", ratio, ackBound)
 	}
 	if drops := b.DecodeDrops(); drops != 0 {
 		t.Fatalf("decode drops = %d, want 0", drops)

@@ -123,11 +123,39 @@ func Broadcast(t Transport, set wire.Bitmap, m wire.Msg) {
 // Router dispatches inbound messages to per-kind handlers, so that the
 // ownership engine, reliable-commit engine, membership agent, Hermes KV and
 // baseline engine can share one Transport.
+//
+// # Sharded dispatch
+//
+// By default every message is handled inline on the transport's delivery
+// goroutine, which serializes the whole node on one goroutine even when the
+// traffic targets independent commit pipelines. EnableSharding(n) switches
+// keyed protocol traffic to n handler goroutines:
+//
+//   - reliable-commit messages (R-INV/R-ACK/R-VAL) are keyed by their
+//     PipeID, preserving the per-pipe FIFO that pipeline ordering (§5.2)
+//     requires while letting independent pipes apply in parallel;
+//   - ownership messages (REQ/INV/ACK/VAL/NACK/RESP) are keyed by ObjectID,
+//     preserving per-object FIFO while unrelated arbitrations proceed
+//     concurrently.
+//
+// Messages of the same key always land on the same shard, so the only
+// ordering the mode gives up is *across* keys (and between keyed and unkeyed
+// traffic) — orderings the Zeus protocols do not rely on: cross-pipe commit
+// ordering does not exist in the paper either, the ownership protocol
+// tolerates cross-object reordering by construction (o_ts arbitration), and
+// VAL-vs-INV races on one object are impossible across shards because both
+// carry the same ObjectID. Unkeyed kinds (membership, Hermes KV, baseline
+// RPCs) keep today's inline delivery. Shard queues are unbounded FIFOs: the
+// commit pipeline's MaxPipelineDepth backpressure bounds them in steady
+// state, and never blocking the transport goroutine rules out delivery
+// deadlocks between mutually-loaded nodes.
 type Router struct {
 	mu       sync.RWMutex
 	handlers [64]Handler
 	fallback Handler
 	ticks    []func()
+
+	shards []*shardQ
 }
 
 // NewRouter returns an empty router.
@@ -162,8 +190,29 @@ func (r *Router) OnTick(f func()) {
 	r.ticks = append(r.ticks, f)
 }
 
-// Tick fans a delivery tick out to every registered hook.
+// Tick fans a delivery tick out to every registered hook. In sharded mode
+// the tick is forwarded as a queue token to every shard that received a
+// message since its last token, so hooks still run *after* the frame's
+// messages were handled (the property engines use to coalesce responses);
+// the inline run is reserved for frames whose messages all stayed inline —
+// running it when tokens were pushed would fire the hooks mid-frame and
+// split the coalesced response batch.
 func (r *Router) Tick() {
+	r.mu.RLock()
+	shards := r.shards
+	r.mu.RUnlock()
+	forwarded := false
+	for _, s := range shards {
+		if s.pushTickIfDirty() {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		r.runTicks()
+	}
+}
+
+func (r *Router) runTicks() {
 	r.mu.RLock()
 	ticks := r.ticks
 	r.mu.RUnlock()
@@ -179,8 +228,156 @@ func (r *Router) Dispatch(from wire.NodeID, m wire.Msg) {
 	if h == nil {
 		h = r.fallback
 	}
+	shards := r.shards
 	r.mu.RUnlock()
-	if h != nil {
-		h(from, m)
+	if h == nil {
+		return
+	}
+	if len(shards) > 0 {
+		if key, ok := shardKey(m); ok {
+			shards[key%uint64(len(shards))].push(shardItem{from: from, m: m, h: h})
+			return
+		}
+	}
+	h(from, m)
+}
+
+// shardKey maps a message to its FIFO domain: commit traffic to its pipe,
+// ownership traffic to its object. Unkeyed kinds return false and stay on
+// the inline path. Keys are Fibonacci-mixed so dense object ids and pipe ids
+// spread across shards.
+func shardKey(m wire.Msg) (uint64, bool) {
+	const mix = 0x9E3779B97F4A7C15
+	switch v := m.(type) {
+	case *wire.CommitInv:
+		return pipeKey(v.Tx.Pipe) * mix, true
+	case *wire.CommitAck:
+		return pipeKey(v.Tx.Pipe) * mix, true
+	case *wire.CommitVal:
+		return pipeKey(v.Tx.Pipe) * mix, true
+	case *wire.OwnReq:
+		return uint64(v.Obj) * mix, true
+	case *wire.OwnInv:
+		return uint64(v.Obj) * mix, true
+	case *wire.OwnAck:
+		return uint64(v.Obj) * mix, true
+	case *wire.OwnVal:
+		return uint64(v.Obj) * mix, true
+	case *wire.OwnNack:
+		return uint64(v.Obj) * mix, true
+	case *wire.OwnResp:
+		return uint64(v.Obj) * mix, true
+	}
+	return 0, false
+}
+
+func pipeKey(p wire.PipeID) uint64 {
+	return uint64(p.Node)<<16 | uint64(p.Worker)
+}
+
+// EnableSharding starts n handler goroutines and routes keyed traffic to
+// them (see the Router doc). n <= 1 is a no-op: dispatch stays inline.
+// Call CloseShards when the node shuts down. Enabling must happen before
+// traffic flows; re-enabling on a live router is not supported.
+func (r *Router) EnableSharding(n int) {
+	if n <= 1 {
+		return
+	}
+	shards := make([]*shardQ, n)
+	for i := range shards {
+		s := &shardQ{router: r}
+		s.cond = sync.NewCond(&s.mu)
+		shards[i] = s
+		go s.loop()
+	}
+	r.mu.Lock()
+	r.shards = shards
+	r.mu.Unlock()
+}
+
+// CloseShards stops the shard goroutines; queued messages are dropped (the
+// node is shutting down).
+func (r *Router) CloseShards() {
+	r.mu.Lock()
+	shards := r.shards
+	r.shards = nil
+	r.mu.Unlock()
+	for _, s := range shards {
+		s.close()
+	}
+}
+
+// shardItem is one queued dispatch; a nil m is a tick token.
+type shardItem struct {
+	from wire.NodeID
+	m    wire.Msg
+	h    Handler
+}
+
+// shardQ is one shard's unbounded FIFO plus its worker goroutine state.
+type shardQ struct {
+	router *Router
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []shardItem
+	dirty  bool // received a message since the last tick token
+	closed bool
+}
+
+func (s *shardQ) push(it shardItem) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.items = append(s.items, it)
+	s.dirty = true
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// pushTickIfDirty queues a tick token behind the shard's pending messages if
+// any arrived since the last token; it reports whether a token was queued.
+func (s *shardQ) pushTickIfDirty() bool {
+	s.mu.Lock()
+	if s.closed || !s.dirty {
+		s.mu.Unlock()
+		return false
+	}
+	s.dirty = false
+	s.items = append(s.items, shardItem{})
+	s.mu.Unlock()
+	s.cond.Signal()
+	return true
+}
+
+func (s *shardQ) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.items = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *shardQ) loop() {
+	var batch []shardItem
+	for {
+		s.mu.Lock()
+		for len(s.items) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch, s.items = s.items, batch[:0]
+		s.mu.Unlock()
+		for _, it := range batch {
+			if it.m == nil {
+				s.router.runTicks()
+				continue
+			}
+			it.h(it.from, it.m)
+		}
 	}
 }

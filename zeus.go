@@ -57,6 +57,13 @@ type Options struct {
 	// Workers is the number of worker threads per node; each worker owns a
 	// reliable-commit pipeline (default 8).
 	Workers int
+	// DispatchShards is the number of inbound handler goroutines per node
+	// for keyed protocol traffic: reliable-commit messages fan out per
+	// pipeline, ownership messages per object, each preserving its key's
+	// FIFO while independent keys apply in parallel. 0 (the default) picks
+	// min(Workers, GOMAXPROCS); any value <= 1 (e.g. -1) keeps the single
+	// inline delivery goroutine.
+	DispatchShards int
 	// SimulatedNetwork, when true, runs over the lossy simulated fabric
 	// with the reliable messaging layer instead of the perfect in-process
 	// hub. Configure faults via Network.
@@ -88,6 +95,7 @@ func New(opts Options) *Cluster {
 	if opts.Workers > 0 {
 		co.Workers = opts.Workers
 	}
+	co.DispatchShards = opts.DispatchShards
 	if opts.SimulatedNetwork {
 		co.Fabric = cluster.FabricSim
 		co.Net = opts.Network
