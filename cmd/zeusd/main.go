@@ -10,7 +10,10 @@
 //	zeusd -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002
 //
 // The membership service is static in this mode (all listed peers are
-// assumed live); failure handling requires the in-process harness.
+// assumed live): each process self-hosts a private view-service ensemble
+// (see internal/viewsvc) seeded with the peer list. Dynamic failure handling
+// across processes requires pointing every node at one shared ensemble,
+// which the in-process harness (internal/cluster) demonstrates.
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 	defer tr.Close()
 
 	mgr := membership.NewManager(membership.Config{Lease: 50 * time.Millisecond}, members)
+	defer mgr.Close()
 	agent := mgr.Agent(wire.NodeID(*id))
 
 	dirs := wire.Bitmap(0)

@@ -44,7 +44,19 @@ func main() {
 	// The commute: handovers A→B→C. Each handover is two transactions
 	// (leave the old station, join the new one); the stations' contexts
 	// migrate to the executing node exactly once.
-	for _, hop := range []struct{ from, to uint64 }{{stationA, stationB}, {stationB, stationC}} {
+	//
+	// Mid-commute, the leader replica of the membership view service
+	// crashes. The data plane never notices: ownership migrations and
+	// commits need no membership decisions in the failure-free path, and
+	// the surviving view replicas elect a new leader by ballot takeover,
+	// so a later node failure would still be handled.
+	for i, hop := range []struct{ from, to uint64 }{{stationA, stationB}, {stationB, stationC}} {
+		if i == 1 {
+			if err := c.KillViewReplica(0); err != nil {
+				log.Fatalf("kill view replica: %v", err)
+			}
+			fmt.Println("membership view-service leader crashed; commute continues")
+		}
 		if err := handover(n0, hop.from, hop.to); err != nil {
 			log.Fatalf("handover: %v", err)
 		}

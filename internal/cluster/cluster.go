@@ -17,6 +17,7 @@ import (
 	"zeus/internal/ownership"
 	"zeus/internal/store"
 	"zeus/internal/transport"
+	"zeus/internal/viewsvc"
 	"zeus/internal/wire"
 )
 
@@ -49,6 +50,14 @@ type Options struct {
 	Reliable transport.ReliableConfig
 	// Lease is the membership lease duration.
 	Lease time.Duration
+	// ViewReplicas is the view-service ensemble size (default 3; values
+	// above 3 clamp — the reserved transport-id range 61..63 caps the
+	// ensemble). The replicas live on the cluster's own fabric, so
+	// fault-injection tests can crash them like any node.
+	ViewReplicas int
+	// View overrides the view-service tuning (heartbeat, takeover,
+	// client retry). Zero fields derive from Lease.
+	View viewsvc.Config
 	// DirNodes overrides the directory placement (default: first 3 nodes).
 	DirNodes wire.Bitmap
 	// TrimReplicas / AutoAcquireRead forward to core.Config.
@@ -80,6 +89,8 @@ type Cluster struct {
 	hub   *transport.Hub
 	net   *netsim.Network
 	mgr   *membership.Manager
+	views *viewsvc.Ensemble
+	vsIDs []wire.NodeID
 	nodes map[wire.NodeID]*core.Node
 	trs   map[wire.NodeID]transport.Transport
 	dirs  wire.Bitmap
@@ -99,6 +110,15 @@ func New(opts Options) *Cluster {
 	if opts.Lease <= 0 {
 		opts.Lease = 2 * time.Millisecond
 	}
+	if opts.Nodes > int(viewsvc.MaxDataNode)+1 {
+		panic(fmt.Sprintf("cluster: at most %d data nodes (ids above are reserved for the view service)", viewsvc.MaxDataNode+1))
+	}
+	if opts.ViewReplicas <= 0 {
+		opts.ViewReplicas = 3
+	}
+	if opts.ViewReplicas > 3 {
+		opts.ViewReplicas = 3
+	}
 	var members wire.Bitmap
 	for i := 0; i < opts.Nodes; i++ {
 		members = members.Add(wire.NodeID(i))
@@ -115,7 +135,6 @@ func New(opts Options) *Cluster {
 	}
 	c := &Cluster{
 		opts:  opts,
-		mgr:   membership.NewManager(membership.Config{Lease: opts.Lease}, members),
 		nodes: make(map[wire.NodeID]*core.Node),
 		trs:   make(map[wire.NodeID]transport.Transport),
 		dirs:  dirs,
@@ -126,49 +145,79 @@ func New(opts Options) *Cluster {
 	default:
 		c.hub = transport.NewHub()
 	}
+	// View service first: the ensemble and the membership client live on
+	// reserved endpoint ids of the same fabric as the data nodes, so every
+	// membership decision (epoch bump, lease expiry, recovery barrier)
+	// crosses the wire — and tests can crash view replicas like any node.
+	vcfg := c.opts.View
+	if vcfg.Lease <= 0 {
+		vcfg.Lease = opts.Lease
+	}
+	c.vsIDs = viewsvc.ReplicaIDs(opts.ViewReplicas)
+	vtrs := make([]transport.Transport, len(c.vsIDs))
+	for i, id := range c.vsIDs {
+		vtrs[i] = c.endpoint(id)
+	}
+	c.views = viewsvc.StartEnsemble(vcfg, c.vsIDs, vtrs, members)
+	cli := viewsvc.NewClient(vcfg, c.endpoint(viewsvc.ClientID), c.vsIDs, members)
+	c.mgr = membership.NewManagerOver(membership.Config{Lease: opts.Lease}, cli)
 	for i := 0; i < opts.Nodes; i++ {
 		c.startNode(wire.NodeID(i))
 	}
 	return c
 }
 
-func (c *Cluster) startNode(id wire.NodeID) *core.Node {
-	var tr transport.Transport
+// endpoint attaches a transport for id to the cluster's fabric.
+func (c *Cluster) endpoint(id wire.NodeID) transport.Transport {
 	if c.net != nil {
-		rc := c.opts.Reliable
-		if rc.RTO <= 0 {
-			rc.RTO = transport.DefaultReliableConfig().RTO
-			// Scale the initial retransmission timeout with the fabric's
-			// latency so slow-motion fabrics do not trigger spurious
-			// retransmits before the adaptive estimator has RTT samples;
-			// the floor keeps the adapted RTO above one round trip.
-			if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
-				rc.RTO = rto
-			}
-		}
-		if rc.MinRTO <= 0 {
-			if min := 2 * c.opts.Net.MaxLatency; min > rc.MinRTO {
-				rc.MinRTO = min // NewReliable floors this at 2×FlushInterval
-			}
-		}
-		if rc.DeliveryDepth <= 0 {
-			rc.DeliveryDepth = transport.DefaultReliableConfig().DeliveryDepth
-		}
-		tr = transport.NewReliable(c.net.Endpoint(id), rc)
-	} else {
-		tr = c.hub.Node(id)
+		return transport.NewReliable(c.net.Endpoint(id), c.reliableCfg())
 	}
+	return c.hub.Node(id)
+}
+
+// reliableCfg derives the reliable-transport tuning from the fabric's
+// latency scale (FabricSim only).
+func (c *Cluster) reliableCfg() transport.ReliableConfig {
+	rc := c.opts.Reliable
+	if rc.RTO <= 0 {
+		rc.RTO = transport.DefaultReliableConfig().RTO
+		// Scale the initial retransmission timeout with the fabric's
+		// latency so slow-motion fabrics do not trigger spurious
+		// retransmits before the adaptive estimator has RTT samples;
+		// the floor keeps the adapted RTO above one round trip.
+		if rto := 4*c.opts.Net.MaxLatency + 2*time.Millisecond; rto > rc.RTO {
+			rc.RTO = rto
+		}
+	}
+	if rc.MinRTO <= 0 {
+		if min := 2 * c.opts.Net.MaxLatency; min > rc.MinRTO {
+			rc.MinRTO = min // NewReliable floors this at 2×FlushInterval
+		}
+	}
+	if rc.DeliveryDepth <= 0 {
+		rc.DeliveryDepth = transport.DefaultReliableConfig().DeliveryDepth
+	}
+	return rc
+}
+
+func (c *Cluster) startNode(id wire.NodeID) *core.Node {
+	tr := c.endpoint(id)
 	ocfg := ownership.DefaultConfig(c.dirs)
 	if c.opts.OwnershipDeadline > 0 {
 		ocfg.Deadline = c.opts.OwnershipDeadline
 	}
 	ocfg.OnLatency = c.opts.OnOwnershipLatency
+	renew := c.opts.Lease / 3
+	if renew < time.Millisecond {
+		renew = time.Millisecond
+	}
 	cfg := core.Config{
 		Degree:          c.opts.Degree,
 		Workers:         c.opts.Workers,
 		DispatchShards:  c.opts.DispatchShards,
 		TrimReplicas:    c.opts.TrimReplicas,
 		AutoAcquireRead: c.opts.AutoAcquireRead,
+		LeaseRenewEvery: renew,
 		Ownership:       ocfg,
 	}
 	n := core.NewNode(id, tr, c.mgr.Agent(id), cfg)
@@ -185,6 +234,24 @@ func (c *Cluster) Nodes() int { return len(c.nodes) }
 
 // Manager exposes the membership manager.
 func (c *Cluster) Manager() *membership.Manager { return c.mgr }
+
+// ViewService exposes the view-service ensemble (tests and tooling).
+func (c *Cluster) ViewService() *viewsvc.Ensemble { return c.views }
+
+// KillViewReplica crash-stops view-service replica k (0-based ensemble
+// index). The data plane must keep working as long as a replica quorum
+// survives; killing the leader triggers a ballot takeover.
+func (c *Cluster) KillViewReplica(k int) error {
+	if k < 0 || k >= len(c.vsIDs) {
+		return fmt.Errorf("cluster: no view replica %d", k)
+	}
+	if c.net != nil {
+		c.net.SetDown(c.vsIDs[k], true)
+	} else {
+		c.hub.SetDown(c.vsIDs[k], true)
+	}
+	return nil
+}
 
 // Live returns the current live set.
 func (c *Cluster) Live() wire.Bitmap { return c.mgr.View().Live }
@@ -253,6 +320,8 @@ func (c *Cluster) Close() {
 	for _, n := range c.nodes {
 		n.Close()
 	}
+	c.mgr.Close()
+	c.views.Close()
 	if c.net != nil {
 		c.net.Close()
 	}

@@ -54,6 +54,14 @@ type Config struct {
 	// AutoAcquireRead lets read accesses on non-replica nodes acquire
 	// reader level via the ownership protocol (first access only).
 	AutoAcquireRead bool
+	// LeaseRenewEvery is the period of the node's background membership
+	// lease renewal (§3.1: live nodes continuously renew so that failure
+	// declarations wait out a full lease). 0 picks a 5ms default;
+	// negative disables the loop (tests that drive renewals manually).
+	// Renewal state is striped per node all the way down (an atomic slot
+	// plus a throttled multicast at the membership client), so these
+	// loops never contend on a shared mutex.
+	LeaseRenewEvery time.Duration
 	// Ownership configures the ownership engine (directory nodes etc).
 	Ownership ownership.Config
 }
@@ -156,7 +164,29 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		n.cmt.OnViewChange(next, removed) // reports recovery-done when drained
 	})
 	agent.OnRecovered(func(wire.Epoch) { n.own.Resume() })
+	if cfg.LeaseRenewEvery >= 0 {
+		every := cfg.LeaseRenewEvery
+		if every == 0 {
+			every = 5 * time.Millisecond
+		}
+		go n.renewLoop(every)
+	}
 	return n
+}
+
+// renewLoop keeps this node's membership lease fresh. The membership client
+// throttles the wire traffic, so the ticker can run finer than the lease.
+func (n *Node) renewLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closedCh:
+			return
+		case <-t.C:
+			n.agent.Renew()
+		}
+	}
 }
 
 // ID returns the node id.

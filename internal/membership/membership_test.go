@@ -11,6 +11,7 @@ import (
 
 func TestInitialView(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	v := m.View()
 	if v.Epoch != 1 || v.Live != wire.BitmapOf(0, 1, 2) {
 		t.Fatalf("initial view: %+v", v)
@@ -30,6 +31,7 @@ func TestInitialView(t *testing.T) {
 func TestFailWaitsForLease(t *testing.T) {
 	lease := 30 * time.Millisecond
 	m := NewManager(Config{Lease: lease}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	a := m.Agent(0)
 	a.Renew()
 	start := time.Now()
@@ -53,6 +55,7 @@ func TestFailWaitsForLease(t *testing.T) {
 
 func TestFailIsIdempotent(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	m.Fail(2)
 	m.Fail(2)
 	if !m.WaitEpoch(2, time.Second) {
@@ -71,6 +74,7 @@ func TestFailIsIdempotent(t *testing.T) {
 
 func TestChangeCallbackCarriesRemovedSet(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	a := m.Agent(0)
 	type change struct {
 		old, next wire.View
@@ -96,6 +100,7 @@ func TestChangeCallbackCarriesRemovedSet(t *testing.T) {
 
 func TestDeadAgentNotNotified(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1))
+	defer m.Close()
 	dead := m.Agent(1)
 	var notified atomic.Bool
 	dead.OnChange(func(_, _ wire.View, _ wire.Bitmap) { notified.Store(true) })
@@ -111,6 +116,7 @@ func TestDeadAgentNotNotified(t *testing.T) {
 
 func TestRecoveryBarrier(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	a0, a1 := m.Agent(0), m.Agent(1)
 	var mu sync.Mutex
 	recovered := map[wire.NodeID][]wire.Epoch{}
@@ -156,6 +162,7 @@ func TestRecoveryBarrier(t *testing.T) {
 
 func TestRecoveryDoneStaleEpochIgnored(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	a0 := m.Agent(0)
 	// Reporting for an epoch with no open barrier is a no-op.
 	a0.ReportRecoveryDone(1)
@@ -167,6 +174,7 @@ func TestRecoveryDoneStaleEpochIgnored(t *testing.T) {
 
 func TestJoinBumpsEpochWithoutBarrier(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1))
+	defer m.Close()
 	a0 := m.Agent(0)
 	var removedSeen atomic.Int32
 	a0.OnChange(func(_, _ wire.View, removed wire.Bitmap) {
@@ -191,6 +199,7 @@ func TestJoinBumpsEpochWithoutBarrier(t *testing.T) {
 
 func TestLeaveOpensBarrierImmediately(t *testing.T) {
 	m := NewManager(Config{Lease: time.Hour}, wire.BitmapOf(0, 1, 2))
+	defer m.Close()
 	m.Leave(2)
 	v := m.View()
 	if v.Epoch != 2 || v.Live.Contains(2) {
@@ -203,6 +212,7 @@ func TestLeaveOpensBarrierImmediately(t *testing.T) {
 
 func TestAgentIgnoresStaleViews(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1))
+	defer m.Close()
 	a := m.Agent(0)
 	old := wire.View{Epoch: 0, Live: wire.BitmapOf(0)}
 	a.apply(old, old, 0) // stale epoch: ignored
@@ -214,6 +224,7 @@ func TestAgentIgnoresStaleViews(t *testing.T) {
 func TestRenewExtendsLease(t *testing.T) {
 	lease := 25 * time.Millisecond
 	m := NewManager(Config{Lease: lease}, wire.BitmapOf(0, 1))
+	defer m.Close()
 	a1 := m.Agent(1)
 	// Renew right before failing: expiry counts from the renewal.
 	time.Sleep(5 * time.Millisecond)
@@ -230,6 +241,7 @@ func TestRenewExtendsLease(t *testing.T) {
 
 func TestConcurrentFailuresDistinctEpochs(t *testing.T) {
 	m := NewManager(Config{Lease: time.Millisecond}, wire.BitmapOf(0, 1, 2, 3, 4, 5))
+	defer m.Close()
 	m.Fail(4)
 	m.Fail(5)
 	if !m.WaitEpoch(3, time.Second) {

@@ -14,6 +14,7 @@
 package shardmap
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -85,35 +86,52 @@ func lenOf[K comparable, V any](m *map[K]V) int {
 	return len(*m)
 }
 
-// stripeCount is a power of two so the stripe index is a mask; 64 stripes
-// keep false sharing negligible for up to ~dozens of worker threads.
-const stripeCount = 64
+// ScaledCount is the shared shard/stripe sizing policy for the concurrent
+// maps Zeus hot paths are built on (this package's stripes, the store's
+// shards): 8 per processor keeps lock contention negligible under full
+// worker fan-out, clamped to a power of two in [64, 1024] — 64 matches the
+// old compile-time constant, so small hosts behave exactly as before, and
+// the cap bounds per-map memory on huge ones.
+func ScaledCount(procs int) int {
+	n := 64
+	for n < 8*procs && n < 1024 {
+		n <<= 1
+	}
+	return n
+}
+
+// stripeCount scales with the host (see ScaledCount).
+var stripeCount = ScaledCount(runtime.GOMAXPROCS(0))
+
+type stripe[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
 
 // Striped is a hash map split into stripeCount independently locked stripes.
 // The zero value is NOT ready; use NewStriped.
 type Striped[K comparable, V any] struct {
-	stripes [stripeCount]struct {
-		mu sync.Mutex
-		m  map[K]V
-	}
-	hash func(K) uint64
+	stripes []stripe[K, V]
+	mask    uint64
+	hash    func(K) uint64
 }
 
 // NewStriped creates a striped map with the given key hash. Fibonacci-mix the
 // hash input if keys are dense integers.
 func NewStriped[K comparable, V any](hash func(K) uint64) *Striped[K, V] {
-	s := &Striped[K, V]{hash: hash}
+	s := &Striped[K, V]{
+		stripes: make([]stripe[K, V], stripeCount),
+		mask:    uint64(stripeCount - 1),
+		hash:    hash,
+	}
 	for i := range s.stripes {
 		s.stripes[i].m = make(map[K]V)
 	}
 	return s
 }
 
-func (s *Striped[K, V]) stripe(k K) *struct {
-	mu sync.Mutex
-	m  map[K]V
-} {
-	return &s.stripes[s.hash(k)&(stripeCount-1)]
+func (s *Striped[K, V]) stripe(k K) *stripe[K, V] {
+	return &s.stripes[s.hash(k)&s.mask]
 }
 
 // Get returns the value for k.

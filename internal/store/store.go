@@ -6,10 +6,13 @@
 package store
 
 import (
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zeus/internal/shardmap"
 	"zeus/internal/wire"
 )
 
@@ -198,7 +201,9 @@ func (o *Object) Snapshot() (TState, uint64, []byte) {
 	return o.TState, o.TVersion, d
 }
 
-const shardCount = 64
+// shardCount scales with the host (the same policy as the ownership
+// engine's stripes — see shardmap.ScaledCount).
+var shardCount = shardmap.ScaledCount(runtime.GOMAXPROCS(0))
 
 type shard struct {
 	mu   sync.RWMutex
@@ -207,12 +212,18 @@ type shard struct {
 
 // Store is a sharded map of objects.
 type Store struct {
-	shards [shardCount]shard
+	shift  uint
+	shards []shard
 }
 
 // New creates an empty store.
 func New() *Store {
-	s := &Store{}
+	n := shardCount
+	s := &Store{
+		// Top log2(n) bits of the mixed hash index the shard.
+		shift:  64 - uint(bits.TrailingZeros(uint(n))),
+		shards: make([]shard, n),
+	}
 	for i := range s.shards {
 		s.shards[i].objs = make(map[wire.ObjectID]*Object)
 	}
@@ -221,7 +232,7 @@ func New() *Store {
 
 func (s *Store) shard(id wire.ObjectID) *shard {
 	// Fibonacci hashing spreads dense benchmark key ranges.
-	return &s.shards[(uint64(id)*0x9E3779B97F4A7C15)>>58%shardCount]
+	return &s.shards[(uint64(id)*0x9E3779B97F4A7C15)>>s.shift]
 }
 
 // Get returns the object if present.

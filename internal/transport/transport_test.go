@@ -427,19 +427,38 @@ func TestHubMulticastDeliversFreshCopies(t *testing.T) {
 	b.SetHandler(cb.handler)
 	c2.SetHandler(cc.handler)
 
-	m := &wire.CommitInv{Tx: wire.TxID{Local: 1}, Updates: []wire.Update{{Obj: 1, Version: 1, Data: []byte("abc")}}}
+	// Non-commit kinds go through the codec: receivers never alias.
+	m := &wire.HermesInv{Key: 1, TS: wire.OTS{Ver: 1}, Val: []byte("abc")}
 	if err := a.Multicast([]wire.NodeID{1, 2}, m); err != nil {
 		t.Fatal(err)
 	}
 	cb.waitN(t, 1, time.Second)
 	cc.waitN(t, 1, time.Second)
-	mb := cb.msgs[0].(*wire.CommitInv)
-	mc := cc.msgs[0].(*wire.CommitInv)
-	if &mb.Updates[0].Data[0] == &mc.Updates[0].Data[0] {
+	mb := cb.msgs[0].(*wire.HermesInv)
+	mc := cc.msgs[0].(*wire.HermesInv)
+	if &mb.Val[0] == &mc.Val[0] {
 		t.Fatal("multicast receivers alias the same memory")
 	}
 	if h.Messages() != 2 {
 		t.Fatalf("multicast to 2 peers must count 2 messages, got %d", h.Messages())
+	}
+
+	// Commit-protocol kinds ride the zero-copy fast path: both receivers
+	// observe the sender's message (immutable by protocol contract), with
+	// no marshal/unmarshal round trip, and byte accounting stays exact.
+	before := h.Bytes()
+	inv := &wire.CommitInv{Tx: wire.TxID{Local: 1}, Updates: []wire.Update{{Obj: 1, Version: 1, Data: []byte("abc")}}}
+	if err := a.Multicast([]wire.NodeID{1, 2}, inv); err != nil {
+		t.Fatal(err)
+	}
+	cb.waitN(t, 2, time.Second)
+	cc.waitN(t, 2, time.Second)
+	if cb.msgs[1].(*wire.CommitInv) != inv || cc.msgs[1].(*wire.CommitInv) != inv {
+		t.Fatal("commit fan-out must be zero-copy on the hub")
+	}
+	want := uint64(2 * len(wire.Marshal(inv)))
+	if got := h.Bytes() - before; got != want {
+		t.Fatalf("zero-copy byte accounting = %d, want %d", got, want)
 	}
 }
 

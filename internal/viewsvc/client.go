@@ -1,0 +1,328 @@
+package viewsvc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Client is a deployment's handle on the view service: it caches the last
+// committed state, receives state pushes (VSCommit), proposes membership
+// commands, renews data-node leases, and reports recovery-barrier progress.
+//
+// Clients never locate the leader: every proposal is multicast to the whole
+// ensemble (only the leader acts; commands are deduplicated against the
+// committed state) and retried until its effect is visible in the cached
+// state, which makes proposals survive leader failure and ballot takeover
+// without any redirect machinery.
+type Client struct {
+	cfg      Config
+	tr       transport.Transport
+	replicas []wire.NodeID
+
+	mu    sync.Mutex
+	state wire.VSState
+
+	onView      func(old, next wire.View, removed wire.Bitmap)
+	onRecovered func(wire.Epoch)
+
+	// Renewal coalescing, entirely atomic — concurrent renewals never
+	// serialize on the client mutex (or any mutex): Renew sets the node's
+	// bit in renewPending; one multicast per throttle window carries the
+	// whole bitmap (so renewal wire traffic is independent of the node
+	// count), sent inline by whichever renewal crosses the window first
+	// and swept by a background ticker for bits set inside it.
+	renewPending atomic.Uint64
+	renewFlushed atomic.Int64 // unix nanos of the last renewal multicast
+
+	events chan wire.VSState
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewClient attaches a client to the ensemble at ids over tr, seeded with
+// the deployment's initial view {epoch 1, members}. The client installs its
+// handler on tr and subscribes to commit pushes with an initial query.
+func NewClient(cfg Config, tr transport.Transport, ids []wire.NodeID, members wire.Bitmap) *Client {
+	c := &Client{
+		cfg:      cfg.withDefaults(),
+		tr:       tr,
+		replicas: append([]wire.NodeID(nil), ids...),
+		state:    wire.VSState{Index: 0, Epoch: 1, Live: members},
+		events:   make(chan wire.VSState, 1024),
+		closed:   make(chan struct{}),
+	}
+	tr.SetHandler(c.handle)
+	go c.pump()
+	go c.renewLoop()
+	c.query()
+	return c
+}
+
+// Close stops the client's goroutines and closes its transport.
+func (c *Client) Close() {
+	c.once.Do(func() {
+		close(c.closed)
+		_ = c.tr.Close()
+	})
+}
+
+// OnView registers the (single) view-change callback; it runs on the
+// client's notification goroutine, in commit order.
+func (c *Client) OnView(fn func(old, next wire.View, removed wire.Bitmap)) {
+	c.mu.Lock()
+	c.onView = fn
+	c.mu.Unlock()
+}
+
+// OnRecovered registers the (single) barrier-completion callback.
+func (c *Client) OnRecovered(fn func(wire.Epoch)) {
+	c.mu.Lock()
+	c.onRecovered = fn
+	c.mu.Unlock()
+}
+
+// View returns the cached committed view.
+func (c *Client) View() wire.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wire.View{Epoch: c.state.Epoch, Live: c.state.Live}
+}
+
+// State returns the full cached committed state.
+func (c *Client) State() wire.VSState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// RecoveryPending reports whether a recovery barrier is open.
+func (c *Client) RecoveryPending() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.Barrier != 0
+}
+
+// WaitEpoch blocks until the cached epoch reaches e or timeout elapses,
+// querying the ensemble periodically as a lost-push backstop.
+func (c *Client) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	nextQuery := time.Now().Add(c.cfg.RetryEvery)
+	for {
+		c.mu.Lock()
+		cur := c.state.Epoch
+		c.mu.Unlock()
+		if cur >= e {
+			return true
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			return false
+		}
+		if now.After(nextQuery) {
+			c.query()
+			nextQuery = now.Add(c.cfg.RetryEvery)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Renew renews node's lease: an atomic bit set, plus — at most once per
+// throttle window across ALL nodes — one bitmap multicast. No lock anywhere.
+func (c *Client) Renew(node wire.NodeID) {
+	if node >= wire.MaxNodes {
+		return
+	}
+	c.renewPending.Or(1 << node)
+	now := time.Now().UnixNano()
+	last := c.renewFlushed.Load()
+	if now-last < int64(c.cfg.Lease/4) {
+		return // a recent flush covers us; the sweeper sends the rest
+	}
+	if c.renewFlushed.CompareAndSwap(last, now) {
+		c.flushRenewals()
+	}
+}
+
+// flushRenewals multicasts (and clears) the pending renewal bitmap.
+func (c *Client) flushRenewals() {
+	bits := c.renewPending.Swap(0)
+	if bits == 0 {
+		return
+	}
+	_ = transport.Multicast(c.tr, c.replicas, &wire.VSLeaseMsg{Nodes: wire.Bitmap(bits)})
+	transport.Flush(c.tr)
+}
+
+// renewLoop sweeps renewal bits that arrived inside a throttle window. The
+// floor keeps idle clients from ticking hot on millisecond-scale leases
+// (the inline flush in Renew covers first renewals immediately).
+func (c *Client) renewLoop() {
+	every := c.cfg.Lease / 4
+	if every < 2*time.Millisecond {
+		every = 2 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			if c.renewPending.Load() != 0 {
+				c.renewFlushed.Store(time.Now().UnixNano())
+				c.flushRenewals()
+			}
+		}
+	}
+}
+
+// Fail reports a crashed node. It returns immediately (the view change
+// happens after the lease expires); a background loop re-proposes until the
+// node has left the view, so the report survives view-service leader crashes.
+func (c *Client) Fail(node wire.NodeID) {
+	go c.driveUntil(wire.VSCommand{Op: wire.VSFail, Node: node}, func(s wire.VSState) bool {
+		return !s.Live.Contains(node)
+	}, c.cfg.Lease+10*time.Second)
+}
+
+// Join adds a node (scale-out) and blocks until the view reflects it.
+// It reports false if the ensemble could not commit the change in time
+// (e.g. no replica quorum survives).
+func (c *Client) Join(node wire.NodeID) bool {
+	return c.driveUntil(wire.VSCommand{Op: wire.VSJoin, Node: node}, func(s wire.VSState) bool {
+		return s.Live.Contains(node)
+	}, 5*time.Second)
+}
+
+// Leave removes a node gracefully and blocks until the view reflects it;
+// false means the ensemble could not commit the change in time.
+func (c *Client) Leave(node wire.NodeID) bool {
+	return c.driveUntil(wire.VSCommand{Op: wire.VSLeave, Node: node}, func(s wire.VSState) bool {
+		return !s.Live.Contains(node)
+	}, 5*time.Second)
+}
+
+// ReportRecoveryDone records that node finished replaying pending reliable
+// commits for epoch. Retried in the background until the barrier no longer
+// expects the node.
+func (c *Client) ReportRecoveryDone(epoch wire.Epoch, node wire.NodeID) {
+	go c.driveUntil(wire.VSCommand{Op: wire.VSRecoveryDone, Node: node, Epoch: epoch}, func(s wire.VSState) bool {
+		return s.Barrier == 0 || s.BarrierEpoch != epoch || !s.Barrier.Contains(node)
+	}, 10*time.Second)
+}
+
+// driveUntil multicasts cmd to the ensemble until the cached state satisfies
+// done, reporting whether it did before the deadline (false ⇒ the ensemble
+// made no progress, e.g. quorum lost). Commands are deduplicated leader-side,
+// so the retries cost only wire traffic.
+func (c *Client) driveUntil(cmd wire.VSCommand, done func(wire.VSState) bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		s := c.state
+		c.mu.Unlock()
+		if done(s) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		_ = transport.Multicast(c.tr, c.replicas, &wire.VSPropose{Cmd: cmd})
+		transport.Flush(c.tr)
+		// Fine-grained wait: re-check the cache well before the next
+		// re-proposal is due (the command usually commits in microseconds).
+		next := time.Now().Add(c.cfg.RetryEvery)
+		for time.Now().Before(next) {
+			c.mu.Lock()
+			s = c.state
+			c.mu.Unlock()
+			if done(s) {
+				return true
+			}
+			select {
+			case <-c.closed:
+				return false
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}
+}
+
+// query asks every replica for its committed state (the responses heal any
+// missed push; the Index guard drops stale ones).
+func (c *Client) query() {
+	_ = transport.Multicast(c.tr, c.replicas, &wire.VSQuery{})
+	transport.Flush(c.tr)
+}
+
+func (c *Client) handle(_ wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.VSCommit:
+		c.enqueue(v.State)
+	case *wire.VSQuery:
+		if v.Resp {
+			c.enqueue(v.State)
+		}
+	}
+}
+
+// enqueue hands a received committed state to the pump. Installation happens
+// THERE, not here: the cached state (what View/WaitEpoch/RecoveryPending
+// observe) must only advance after the callbacks for everything it implies
+// have run, otherwise a caller polling RecoveryPending could see the barrier
+// closed while the recovered callbacks are still in flight and read
+// not-yet-recovered engine state.
+func (c *Client) enqueue(s wire.VSState) {
+	select {
+	case c.events <- s:
+	case <-c.closed:
+	}
+}
+
+// pump serializes state installation and notification delivery in commit
+// order (view changes strictly before the barrier completion that follows
+// them). Barrier completion is derived from the state *transition*
+// (open → closed), not from the VSCommit flag: a query response from a
+// lagging replica may deliver the closing state before (and thereby
+// suppress, via the Index guard) the leader's flagged push, and the
+// transition rule also covers a client that healed across several missed
+// commits in one jump.
+func (c *Client) pump() {
+	for {
+		var s wire.VSState
+		select {
+		case <-c.closed:
+			return
+		case s = <-c.events:
+		}
+		c.mu.Lock()
+		if s.Index <= c.state.Index {
+			c.mu.Unlock()
+			continue
+		}
+		old := wire.View{Epoch: c.state.Epoch, Live: c.state.Live}
+		oldBarrier := c.state.Barrier
+		next := wire.View{Epoch: s.Epoch, Live: s.Live}
+		removed := old.Live &^ next.Live
+		viewChanged := next.Epoch > old.Epoch
+		recovered := s.Barrier == 0 && (oldBarrier != 0 || (viewChanged && removed != 0))
+		onView, onRecovered := c.onView, c.onRecovered
+		c.mu.Unlock()
+		// Callbacks first, install second: by the time WaitEpoch or
+		// RecoveryPending observe the new state, its consequences (engine
+		// pause/recovery/resume) have fully propagated.
+		if viewChanged && onView != nil {
+			onView(old, next, removed)
+		}
+		if recovered && onRecovered != nil {
+			onRecovered(s.BarrierEpoch)
+		}
+		c.mu.Lock()
+		c.state = s
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,79 @@
+package viewsvc
+
+import (
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Reserved transport ids for the view service on a shared fabric: the
+// ensemble lives at the top of the NodeID space so data nodes (0..MaxDataNode)
+// never collide with it.
+const (
+	// ClientID is the conventional endpoint id for a deployment's client.
+	ClientID wire.NodeID = 60
+	// MaxDataNode is the largest data-node id on a fabric that also hosts
+	// the view service.
+	MaxDataNode wire.NodeID = ClientID - 1
+)
+
+// ReplicaIDs returns the reserved transport ids for an n-replica ensemble
+// (61, 62, 63 for the production-shape three replicas).
+func ReplicaIDs(n int) []wire.NodeID {
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(61 + i)
+	}
+	return ids
+}
+
+// Ensemble owns a set of running replicas and their transports.
+type Ensemble struct {
+	replicas []*Replica
+	trs      []transport.Transport
+	ids      []wire.NodeID
+}
+
+// StartEnsemble boots one replica per transport (trs[i] serves ids[i]) with
+// the initial view {epoch 1, members}. The caller picks the fabric: hub
+// endpoints for in-process deployments, reliable transports over netsim for
+// fault-injection tests, TCP for real ones.
+func StartEnsemble(cfg Config, ids []wire.NodeID, trs []transport.Transport, members wire.Bitmap) *Ensemble {
+	e := &Ensemble{ids: append([]wire.NodeID(nil), ids...), trs: trs}
+	for i, tr := range trs {
+		e.replicas = append(e.replicas, NewReplica(cfg, ids, i, tr, members))
+	}
+	return e
+}
+
+// IDs returns the ensemble's transport ids.
+func (e *Ensemble) IDs() []wire.NodeID { return e.ids }
+
+// Size returns the replica count.
+func (e *Ensemble) Size() int { return len(e.replicas) }
+
+// Replica returns ensemble member i (tests).
+func (e *Ensemble) Replica(i int) *Replica { return e.replicas[i] }
+
+// LeaderIndex returns the index of the replica with the highest ballot that
+// believes it is leading, or -1 when no replica currently claims leadership.
+func (e *Ensemble) LeaderIndex() int {
+	best, bestBallot := -1, uint64(0)
+	for i, r := range e.replicas {
+		r.mu.Lock()
+		if r.leading && (best == -1 || r.ballot > bestBallot) {
+			best, bestBallot = i, r.ballot
+		}
+		r.mu.Unlock()
+	}
+	return best
+}
+
+// Close stops every replica and closes their transports.
+func (e *Ensemble) Close() {
+	for _, r := range e.replicas {
+		r.Close()
+	}
+	for _, tr := range e.trs {
+		_ = tr.Close()
+	}
+}

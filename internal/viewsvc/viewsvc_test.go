@@ -1,0 +1,150 @@
+package viewsvc
+
+import (
+	"testing"
+	"time"
+
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// rig is a hub-backed ensemble plus a client for protocol-level tests.
+type rig struct {
+	hub *transport.Hub
+	ens *Ensemble
+	cli *Client
+}
+
+func newRig(t *testing.T, replicas int, members wire.Bitmap, cfg Config) *rig {
+	t.Helper()
+	hub := transport.NewHub()
+	ids := ReplicaIDs(replicas)
+	trs := make([]transport.Transport, len(ids))
+	for i, id := range ids {
+		trs[i] = hub.Node(id)
+	}
+	ens := StartEnsemble(cfg, ids, trs, members)
+	cli := NewClient(cfg, hub.Node(ClientID), ids, members)
+	r := &rig{hub: hub, ens: ens, cli: cli}
+	t.Cleanup(func() {
+		cli.Close()
+		ens.Close()
+	})
+	return r
+}
+
+func TestQuorumCommitUpdatesClient(t *testing.T) {
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), Config{Lease: time.Millisecond})
+	r.cli.Join(7)
+	v := r.cli.View()
+	if v.Epoch != 2 || !v.Live.Contains(7) {
+		t.Fatalf("post-join view: %+v", v)
+	}
+	// Every replica converges on the committed state.
+	deadline := time.Now().Add(time.Second)
+	for i := 0; i < r.ens.Size(); i++ {
+		for r.ens.Replica(i).State().Index != 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never committed: %+v", i, r.ens.Replica(i).State())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestDuplicateProposalsCommitOnce(t *testing.T) {
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), Config{Lease: time.Millisecond})
+	// Multicast the same join several times by hand: the leader must
+	// deduplicate against state, queue and accepted entry.
+	for i := 0; i < 5; i++ {
+		_ = transport.Multicast(r.cli.tr, r.cli.replicas, &wire.VSPropose{Cmd: wire.VSCommand{Op: wire.VSJoin, Node: 9}})
+	}
+	if !r.cli.WaitEpoch(2, time.Second) {
+		t.Fatal("join never committed")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if e := r.cli.View().Epoch; e != 2 {
+		t.Fatalf("duplicate proposals bumped epoch to %d", e)
+	}
+}
+
+func TestFollowerCrashQuorumSurvives(t *testing.T) {
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), Config{Lease: time.Millisecond})
+	r.hub.SetDown(r.ens.IDs()[2], true) // a follower, not the leader
+	r.cli.Leave(2)
+	v := r.cli.View()
+	if v.Live.Contains(2) || v.Epoch != 2 {
+		t.Fatalf("leave through 2/3 quorum failed: %+v", v)
+	}
+}
+
+func TestLeaderCrashBallotTakeover(t *testing.T) {
+	cfg := Config{Lease: time.Millisecond, Heartbeat: time.Millisecond, TakeoverAfter: 5 * time.Millisecond}
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), cfg)
+	if r.ens.LeaderIndex() != 0 {
+		t.Fatalf("initial leader = %d, want 0", r.ens.LeaderIndex())
+	}
+	r.hub.SetDown(r.ens.IDs()[0], true)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if li := r.ens.LeaderIndex(); li > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no ballot takeover after leader crash")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The new leader must make progress: commit a membership change.
+	r.cli.Join(5)
+	if v := r.cli.View(); !v.Live.Contains(5) {
+		t.Fatalf("post-takeover join failed: %+v", v)
+	}
+	// Ballots are strictly above the old leadership.
+	li := r.ens.LeaderIndex()
+	if b := r.ens.Replica(li).Ballot(); b == 0 || int(b%3) != li {
+		t.Fatalf("leader %d has inconsistent ballot %d", li, b)
+	}
+}
+
+func TestBarrierAcrossTakeover(t *testing.T) {
+	cfg := Config{Lease: time.Millisecond, Heartbeat: time.Millisecond, TakeoverAfter: 5 * time.Millisecond}
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), cfg)
+	r.cli.Fail(2)
+	if !r.cli.WaitEpoch(2, time.Second) {
+		t.Fatal("fail never committed")
+	}
+	if !r.cli.RecoveryPending() {
+		t.Fatal("failure must open the recovery barrier")
+	}
+	// Leader dies while the barrier is open; reports must still close it
+	// through the next leader.
+	r.hub.SetDown(r.ens.IDs()[0], true)
+	r.cli.ReportRecoveryDone(2, 0)
+	r.cli.ReportRecoveryDone(2, 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.cli.RecoveryPending() {
+		if time.Now().After(deadline) {
+			t.Fatal("barrier never closed after leader takeover")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRenewalsLockFree(t *testing.T) {
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), Config{Lease: 50 * time.Millisecond})
+	// Concurrent renewals from all nodes: must not race (run under -race)
+	// and must reach the replicas' lease tables.
+	done := make(chan struct{})
+	for n := wire.NodeID(0); n < 3; n++ {
+		go func(n wire.NodeID) {
+			for i := 0; i < 100; i++ {
+				r.cli.Renew(n)
+			}
+			done <- struct{}{}
+		}(n)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}

@@ -73,6 +73,18 @@ func (e *enc) objs(os []ObjectID) {
 		e.obj(o)
 	}
 }
+func (e *enc) vscmd(c VSCommand) {
+	e.u8(uint8(c.Op))
+	e.node(c.Node)
+	e.epoch(c.Epoch)
+}
+func (e *enc) vsstate(s VSState) {
+	e.u64(s.Index)
+	e.epoch(s.Epoch)
+	e.bitmap(s.Live)
+	e.bitmap(s.Barrier)
+	e.epoch(s.BarrierEpoch)
+}
 
 type dec struct {
 	b   []byte
@@ -155,6 +167,21 @@ func (d *dec) bytes() []byte {
 	d.off += int(n)
 	return out
 }
+func (d *dec) skip(n int) {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return
+	}
+	d.off += n
+}
+
+// updates decodes an Update list with two allocations total — the Update
+// array and one shared data slab carved into per-update sub-slices — instead
+// of one allocation per update. R-INV decode sits on the replication hot
+// path, so a pre-scan over the (already validated-length) buffer is cheaper
+// than the saved allocator round trips. The slab is never reused: decoded
+// updates are retained by followers (stored R-INVs) and by the store itself
+// (o.Data aliases u.Data), so ownership must pass to the caller.
 func (d *dec) updates() []Update {
 	n := d.u32()
 	if d.err != nil || n > math.MaxUint32 {
@@ -164,9 +191,31 @@ func (d *dec) updates() []Update {
 		d.err = ErrTooLarge
 		return nil
 	}
-	out := make([]Update, 0, n)
+	start := d.off
+	total := 0
 	for i := uint32(0); i < n && d.err == nil; i++ {
-		out = append(out, Update{Obj: d.obj(), Version: d.u64(), Data: d.bytes()})
+		d.skip(16) // obj + version
+		l := d.u32()
+		if d.err == nil && l > maxBlob {
+			d.err = ErrTooLarge
+		}
+		d.skip(int(l))
+		total += int(l)
+	}
+	if d.err != nil {
+		return nil
+	}
+	d.off = start
+	slab := make([]byte, 0, total)
+	out := make([]Update, n)
+	for i := range out {
+		out[i].Obj = d.obj()
+		out[i].Version = d.u64()
+		if l := int(d.u32()); l > 0 {
+			slab = append(slab, d.b[d.off:d.off+l]...)
+			out[i].Data = slab[len(slab)-l : len(slab) : len(slab)]
+			d.off += l
+		}
 	}
 	return out
 }
@@ -185,6 +234,15 @@ func (d *dec) bvers() []BVer {
 	}
 	return out
 }
+func (d *dec) vscmd() VSCommand {
+	return VSCommand{Op: VSOp(d.u8()), Node: d.node(), Epoch: d.epoch()}
+}
+func (d *dec) vsstate() VSState {
+	return VSState{
+		Index: d.u64(), Epoch: d.epoch(), Live: d.bitmap(),
+		Barrier: d.bitmap(), BarrierEpoch: d.epoch(),
+	}
+}
 func (d *dec) objsList() []ObjectID {
 	n := d.u32()
 	if d.err != nil {
@@ -201,9 +259,51 @@ func (d *dec) objsList() []ObjectID {
 	return out
 }
 
+// EncodedSize returns an upper bound on m's marshalled size, exact for the
+// payload-carrying kinds. Marshal uses it to allocate the output buffer in
+// one shot instead of growing through append.
+func EncodedSize(m Msg) int {
+	const fixed = 96 // covers every fixed-size message kind
+	switch v := m.(type) {
+	case *CommitInv:
+		n := fixed
+		for _, u := range v.Updates {
+			n += 24 + len(u.Data)
+		}
+		return n
+	case *OwnAck:
+		return fixed + len(v.Data)
+	case *OwnResp:
+		return fixed + len(v.Data)
+	case *HermesInv:
+		return fixed + len(v.Val)
+	case *BReadResp:
+		return fixed + len(v.Data)
+	case *BLock:
+		return fixed + 16*len(v.Items)
+	case *BValidate:
+		return fixed + 16*len(v.Items)
+	case *BBackup:
+		n := fixed
+		for _, u := range v.Updates {
+			n += 24 + len(u.Data)
+		}
+		return n
+	case *BCommit:
+		n := fixed
+		for _, u := range v.Updates {
+			n += 24 + len(u.Data)
+		}
+		return n
+	case *BAbort:
+		return fixed + 8*len(v.Objs)
+	}
+	return fixed
+}
+
 // Marshal serializes a message: one kind byte followed by the body.
 func Marshal(m Msg) []byte {
-	return AppendMarshal(make([]byte, 0, 64), m)
+	return AppendMarshal(make([]byte, 0, EncodedSize(m)), m)
 }
 
 // AppendMarshal appends m's serialization to dst and returns the extended
@@ -346,6 +446,31 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.u64(v.ReqID)
 		e.node(v.From)
 		e.objs(v.Objs)
+	case *VSPropose:
+		e.vscmd(v.Cmd)
+	case *VSAccept:
+		e.u64(v.Ballot)
+		e.u8(v.Phase)
+		e.vscmd(v.Cmd)
+		e.vsstate(v.State)
+		e.boolean(v.HasAcc)
+		e.u64(v.AccBallot)
+		e.vscmd(v.AccCmd)
+		e.vsstate(v.AccState)
+	case *VSCommit:
+		e.u64(v.Ballot)
+		e.vscmd(v.Cmd)
+		e.vsstate(v.State)
+		e.boolean(v.BarrierDone)
+		e.epoch(v.DoneEpoch)
+	case *VSLeaseMsg:
+		e.bitmap(v.Nodes)
+		e.boolean(v.Heartbeat)
+		e.u64(v.Ballot)
+	case *VSQuery:
+		e.boolean(v.Resp)
+		e.u64(v.Ballot)
+		e.vsstate(v.State)
 	default:
 		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
 	}
@@ -435,6 +560,23 @@ func Unmarshal(p []byte) (Msg, error) {
 		m = &BCommitAck{ReqID: d.u64(), From: d.node()}
 	case KindBAbort:
 		m = &BAbort{ReqID: d.u64(), From: d.node(), Objs: d.objsList()}
+	case KindVSPropose:
+		m = &VSPropose{Cmd: d.vscmd()}
+	case KindVSAccept:
+		m = &VSAccept{
+			Ballot: d.u64(), Phase: d.u8(), Cmd: d.vscmd(), State: d.vsstate(),
+			HasAcc: d.boolean(), AccBallot: d.u64(), AccCmd: d.vscmd(),
+			AccState: d.vsstate(),
+		}
+	case KindVSCommit:
+		m = &VSCommit{
+			Ballot: d.u64(), Cmd: d.vscmd(), State: d.vsstate(),
+			BarrierDone: d.boolean(), DoneEpoch: d.epoch(),
+		}
+	case KindVSLease:
+		m = &VSLeaseMsg{Nodes: d.bitmap(), Heartbeat: d.boolean(), Ballot: d.u64()}
+	case KindVSQuery:
+		m = &VSQuery{Resp: d.boolean(), Ballot: d.u64(), State: d.vsstate()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

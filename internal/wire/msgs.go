@@ -43,6 +43,13 @@ const (
 	KindBCommitAck
 	KindBAbort
 
+	// Replicated view service (Vertical-Paxos-lite membership, §3.1/§5.1).
+	KindVSPropose
+	KindVSAccept
+	KindVSCommit
+	KindVSLease
+	KindVSQuery
+
 	kindSentinel // keep last
 )
 
@@ -53,6 +60,7 @@ func (k Kind) String() string {
 		"h-inv", "h-ack", "h-val", "b-read-req", "b-read-resp", "b-lock",
 		"b-lock-resp", "b-validate", "b-validate-resp", "b-backup",
 		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
+		"vs-propose", "vs-accept", "vs-commit", "vs-lease", "vs-query",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -384,3 +392,147 @@ type BAbort struct {
 }
 
 func (*BAbort) Kind() Kind { return KindBAbort }
+
+// ---------------------------------------------------------------------------
+// Replicated view service messages (internal/viewsvc).
+//
+// The membership service the paper assumes (§3.1: a fault-tolerant,
+// lease-protected Vertical-Paxos view service) is implemented as a small
+// leader-driven replicated state machine. Ballots order leaderships; every
+// committed command produces a full post-state snapshot (VSState) so that
+// replication and leader takeover are state transfer, not log replay —
+// "Vertical Paxos lite".
+// ---------------------------------------------------------------------------
+
+// VSOp enumerates view-service commands.
+type VSOp uint8
+
+const (
+	// VSNoop commits no state change (used by a new leader to re-publish
+	// the committed state after a ballot takeover).
+	VSNoop VSOp = iota
+	// VSFail removes a crashed node (after its lease expired).
+	VSFail
+	// VSJoin adds a node (scale-out; no recovery barrier).
+	VSJoin
+	// VSLeave removes a node gracefully (scale-in; barrier still runs).
+	VSLeave
+	// VSRecoveryDone records one node's recovery-barrier report.
+	VSRecoveryDone
+)
+
+func (o VSOp) String() string {
+	switch o {
+	case VSNoop:
+		return "noop"
+	case VSFail:
+		return "fail"
+	case VSJoin:
+		return "join"
+	case VSLeave:
+		return "leave"
+	case VSRecoveryDone:
+		return "recovery-done"
+	default:
+		return fmt.Sprintf("VSOp(%d)", uint8(o))
+	}
+}
+
+// VSCommand is one state-machine command. Node is the subject (the failed /
+// joining / leaving / reporting node); Epoch is only meaningful for
+// VSRecoveryDone (the barrier epoch the report belongs to).
+type VSCommand struct {
+	Op    VSOp
+	Node  NodeID
+	Epoch Epoch
+}
+
+// VSState is the complete view-service state after applying a command: the
+// membership view plus the open recovery barrier. Index is the commit index
+// of the command that produced it (strictly increasing), which makes state
+// transfer idempotent: receivers keep the highest Index they have seen.
+type VSState struct {
+	Index        uint64
+	Epoch        Epoch
+	Live         Bitmap
+	Barrier      Bitmap // nodes that still owe a recovery report (0 = closed)
+	BarrierEpoch Epoch  // epoch whose barrier is (or was last) open
+}
+
+// VSPropose asks the view-service leader to run a command. Clients multicast
+// proposals to every replica; non-leaders ignore them, and commands are
+// deduplicated against the current state (a VSFail of an already-dead node is
+// a no-op), so retries and duplicate delivery are harmless.
+type VSPropose struct {
+	Cmd VSCommand
+}
+
+func (*VSPropose) Kind() Kind { return KindVSPropose }
+
+// VSAccept carries the quorum-replication and ballot-takeover phases.
+//
+//	Phase VSPhaseAccept:  leader → replica, replicate entry (Cmd, State).
+//	Phase VSPhaseAck:     replica → leader, entry accepted.
+//	Phase VSPhasePrepare: candidate → replica, promise ballots < Ballot.
+//	Phase VSPhasePromise: replica → candidate, carrying the replica's
+//	                      committed state and (if any) accepted entry.
+type VSAccept struct {
+	Ballot uint64
+	Phase  uint8
+	Cmd    VSCommand
+	State  VSState // accept/ack: the entry; promise: committed state
+
+	// Promise-only: the replica's accepted-but-uncommitted entry.
+	HasAcc    bool
+	AccBallot uint64
+	AccCmd    VSCommand
+	AccState  VSState
+}
+
+// VSAccept phases.
+const (
+	VSPhaseAccept uint8 = iota
+	VSPhaseAck
+	VSPhasePrepare
+	VSPhasePromise
+)
+
+func (*VSAccept) Kind() Kind { return KindVSAccept }
+
+// VSCommit announces a committed command and its post-state to replicas and
+// subscribed clients. BarrierDone marks the command that closed the recovery
+// barrier for DoneEpoch; the flag is advisory (clients derive completion
+// from the open→closed state transition, which also covers commits they
+// learned via VSQuery instead of this push).
+type VSCommit struct {
+	Ballot      uint64
+	Cmd         VSCommand
+	State       VSState
+	BarrierDone bool
+	DoneEpoch   Epoch
+}
+
+func (*VSCommit) Kind() Kind { return KindVSCommit }
+
+// VSLeaseMsg is a lease renewal (client → replicas, Nodes = the data nodes
+// renewing — a client coalesces all of its agents' renewals into one bitmap
+// per throttle window) or a leader heartbeat (leader → replicas, Heartbeat
+// set; Ballot lets replicas track the current leadership).
+type VSLeaseMsg struct {
+	Nodes     Bitmap
+	Heartbeat bool
+	Ballot    uint64
+}
+
+func (*VSLeaseMsg) Kind() Kind { return KindVSLease }
+
+// VSQuery reads the committed state from a replica (Resp=false) or carries
+// the reply (Resp=true). Clients use it to seed their cache and as a backstop
+// when a pushed VSCommit was lost.
+type VSQuery struct {
+	Resp   bool
+	Ballot uint64
+	State  VSState
+}
+
+func (*VSQuery) Kind() Kind { return KindVSQuery }

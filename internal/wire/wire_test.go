@@ -177,6 +177,17 @@ func allMessages() []Msg {
 		&BCommit{ReqID: 5, From: 2, Updates: []Update{{Obj: 1, Version: 3, Data: data}}},
 		&BCommitAck{ReqID: 5, From: 0},
 		&BAbort{ReqID: 5, From: 2, Objs: []ObjectID{1, 2, 3}},
+		&VSPropose{Cmd: VSCommand{Op: VSFail, Node: 3, Epoch: 0}},
+		&VSAccept{Ballot: 4, Phase: VSPhasePromise,
+			Cmd:    VSCommand{Op: VSLeave, Node: 2},
+			State:  VSState{Index: 9, Epoch: 5, Live: BitmapOf(0, 1), Barrier: BitmapOf(0), BarrierEpoch: 5},
+			HasAcc: true, AccBallot: 3, AccCmd: VSCommand{Op: VSJoin, Node: 6},
+			AccState: VSState{Index: 10, Epoch: 6, Live: BitmapOf(0, 1, 6)}},
+		&VSCommit{Ballot: 4, Cmd: VSCommand{Op: VSRecoveryDone, Node: 1, Epoch: 5},
+			State:       VSState{Index: 11, Epoch: 5, Live: BitmapOf(0, 1)},
+			BarrierDone: true, DoneEpoch: 5},
+		&VSLeaseMsg{Nodes: BitmapOf(2, 5), Heartbeat: true, Ballot: 7},
+		&VSQuery{Resp: true, Ballot: 7, State: VSState{Index: 3, Epoch: 2, Live: BitmapOf(0, 1, 2)}},
 	}
 }
 

@@ -64,6 +64,13 @@ type Options struct {
 	// min(Workers, GOMAXPROCS); any value <= 1 (e.g. -1) keeps the single
 	// inline delivery goroutine.
 	DispatchShards int
+	// ViewReplicas is the size of the replicated membership (view service)
+	// ensemble backing the deployment (default and maximum 3 — the
+	// ensemble lives in a reserved transport-id range; larger values are
+	// clamped). The replicas run the Vertical-Paxos-lite protocol over
+	// the cluster's fabric; the deployment tolerates the crash of any
+	// minority of the actual ensemble.
+	ViewReplicas int
 	// SimulatedNetwork, when true, runs over the lossy simulated fabric
 	// with the reliable messaging layer instead of the perfect in-process
 	// hub. Configure faults via Network.
@@ -96,6 +103,7 @@ func New(opts Options) *Cluster {
 		co.Workers = opts.Workers
 	}
 	co.DispatchShards = opts.DispatchShards
+	co.ViewReplicas = opts.ViewReplicas
 	if opts.SimulatedNetwork {
 		co.Fabric = cluster.FabricSim
 		co.Net = opts.Network
@@ -121,6 +129,11 @@ func (c *Cluster) Nodes() int { return c.c.Nodes() }
 // recovery barrier (pending reliable commits of the dead node are replayed
 // by the survivors before ownership requests resume).
 func (c *Cluster) Kill(i int) error { return c.c.Kill(i) }
+
+// KillViewReplica crash-stops membership view-service replica i. The
+// deployment keeps working as long as a replica quorum survives; killing
+// the current leader triggers a ballot takeover by the next replica.
+func (c *Cluster) KillViewReplica(i int) error { return c.c.KillViewReplica(i) }
 
 // AddNode joins a fresh node (scale-out) and returns it.
 func (c *Cluster) AddNode() *Node { return &Node{n: c.c.AddNode()} }
