@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, all)")
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, directory, all)")
 	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
 	list := flag.Bool("list", false, "list available experiments")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON records and print the delta")
@@ -111,5 +111,8 @@ var order = []entry{
 	}},
 	{"scaling", "Worker-pipeline scaling: local write tx with 1→8 workers", func(s experiments.Scale) {
 		experiments.Scaling(s).Print(os.Stdout)
+	}},
+	{"directory", "Sharded ownership directory: REQ throughput vs shard count", func(s experiments.Scale) {
+		experiments.Directory(s).Print(os.Stdout)
 	}},
 }

@@ -40,6 +40,7 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated id=host:port pairs for all nodes")
 	degree := flag.Int("degree", 3, "replication degree")
 	workers := flag.Int("workers", 8, "worker threads")
+	dirShards := flag.Int("dir-shards", 0, "ownership-directory shard count (0 = legacy fixed 3-node directory; every process MUST pass the same value)")
 	demo := flag.Bool("demo", false, "run a small demo workload after startup")
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 	}
 	defer tr.Close()
 
-	mgr := membership.NewManager(membership.Config{Lease: 50 * time.Millisecond}, members)
+	mgr := membership.NewManager(membership.Config{Lease: 50 * time.Millisecond, DirShards: *dirShards}, members)
 	defer mgr.Close()
 	agent := mgr.Agent(wire.NodeID(*id))
 
@@ -75,6 +76,10 @@ func main() {
 	cfg.Degree = *degree
 	cfg.Workers = *workers
 	cfg.Ownership = ownership.DefaultConfig(dirs)
+	// Sharded directory (§6.2): each process self-hosts its view service,
+	// so the replicated placement is only consistent across processes when
+	// every zeusd is started with the same -dir-shards value and peer list.
+	cfg.DirectoryShards = *dirShards
 	node := core.NewNode(wire.NodeID(*id), tr, agent, cfg)
 	defer node.Close()
 

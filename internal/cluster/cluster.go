@@ -9,12 +9,14 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"zeus/internal/core"
 	"zeus/internal/membership"
 	"zeus/internal/netsim"
 	"zeus/internal/ownership"
+	"zeus/internal/shardmap"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/viewsvc"
@@ -58,7 +60,16 @@ type Options struct {
 	// View overrides the view-service tuning (heartbeat, takeover,
 	// client retry). Zero fields derive from Lease.
 	View viewsvc.Config
-	// DirNodes overrides the directory placement (default: first 3 nodes).
+	// DirShards partitions the ownership directory into hash shards
+	// (§6.2), each driven by up to three nodes rendezvous-hashed from the
+	// live view, with the shard→drivers placement replicated through the
+	// view service. 0 picks the host-scaled default
+	// (shardmap.ScaledCount); negative — or an explicit DirNodes — keeps
+	// the legacy fixed directory (the 1-shard compat shim).
+	DirShards int
+	// DirNodes overrides the directory placement with a fixed driver set
+	// (default: first 3 nodes). Setting it selects the legacy static
+	// directory; leave it zero to use the sharded directory.
 	DirNodes wire.Bitmap
 	// TrimReplicas / AutoAcquireRead forward to core.Config.
 	TrimReplicas    bool
@@ -85,15 +96,16 @@ func DefaultOptions(nodes int) Options {
 
 // Cluster is an in-process Zeus deployment.
 type Cluster struct {
-	opts  Options
-	hub   *transport.Hub
-	net   *netsim.Network
-	mgr   *membership.Manager
-	views *viewsvc.Ensemble
-	vsIDs []wire.NodeID
-	nodes map[wire.NodeID]*core.Node
-	trs   map[wire.NodeID]transport.Transport
-	dirs  wire.Bitmap
+	opts      Options
+	hub       *transport.Hub
+	net       *netsim.Network
+	mgr       *membership.Manager
+	views     *viewsvc.Ensemble
+	vsIDs     []wire.NodeID
+	nodes     map[wire.NodeID]*core.Node
+	trs       map[wire.NodeID]transport.Transport
+	dirs      wire.Bitmap
+	dirShards int // > 0: sharded directory; <= 0: legacy static DirNodes
 }
 
 // New builds and starts a cluster.
@@ -133,11 +145,23 @@ func New(opts Options) *Cluster {
 			dirs = dirs.Add(wire.NodeID(i))
 		}
 	}
+	// Directory sharding (§6.2): the default is the sharded directory at
+	// host scale; an explicit DirNodes set — which pins the driver set, as
+	// documented — or a negative DirShards keeps the legacy fixed
+	// directory as the compat shim.
+	dirShards := opts.DirShards
+	if opts.DirNodes != 0 {
+		dirShards = -1
+	}
+	if dirShards == 0 {
+		dirShards = shardmap.ScaledCount(runtime.GOMAXPROCS(0))
+	}
 	c := &Cluster{
-		opts:  opts,
-		nodes: make(map[wire.NodeID]*core.Node),
-		trs:   make(map[wire.NodeID]transport.Transport),
-		dirs:  dirs,
+		opts:      opts,
+		nodes:     make(map[wire.NodeID]*core.Node),
+		trs:       make(map[wire.NodeID]transport.Transport),
+		dirs:      dirs,
+		dirShards: dirShards,
 	}
 	switch opts.Fabric {
 	case FabricSim:
@@ -152,6 +176,9 @@ func New(opts Options) *Cluster {
 	vcfg := c.opts.View
 	if vcfg.Lease <= 0 {
 		vcfg.Lease = opts.Lease
+	}
+	if c.dirShards > 0 && vcfg.DirShards <= 0 {
+		vcfg.DirShards = c.dirShards
 	}
 	c.vsIDs = viewsvc.ReplicaIDs(opts.ViewReplicas)
 	vtrs := make([]transport.Transport, len(c.vsIDs))
@@ -220,6 +247,9 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 		LeaseRenewEvery: renew,
 		Ownership:       ocfg,
 	}
+	if c.dirShards > 0 {
+		cfg.DirectoryShards = c.dirShards
+	}
 	n := core.NewNode(id, tr, c.mgr.Agent(id), cfg)
 	c.nodes[id] = n
 	c.trs[id] = tr
@@ -256,8 +286,30 @@ func (c *Cluster) KillViewReplica(k int) error {
 // Live returns the current live set.
 func (c *Cluster) Live() wire.Bitmap { return c.mgr.View().Live }
 
-// Dirs returns the directory node set.
+// Dirs returns the legacy static directory node set (the compat shim's
+// driver set). Sharded deployments resolve drivers per object — see
+// DirDrivers.
 func (c *Cluster) Dirs() wire.Bitmap { return c.dirs }
+
+// DirShards returns the directory shard count (1 for the legacy static
+// directory).
+func (c *Cluster) DirShards() int {
+	if c.dirShards > 0 {
+		return c.dirShards
+	}
+	return 1
+}
+
+// DirDrivers returns the arbitration driver set for obj under the current
+// placement (the static set on legacy deployments).
+func (c *Cluster) DirDrivers(obj wire.ObjectID) wire.Bitmap {
+	if c.dirShards > 0 {
+		if p := c.mgr.Placement(); p != nil && !p.IsZero() {
+			return p.DriversFor(obj)
+		}
+	}
+	return c.dirs
+}
 
 // Kill crash-stops node i and waits for the view change and the recovery
 // barrier to complete.
@@ -356,7 +408,10 @@ func (c *Cluster) Bytes() uint64 {
 func (c *Cluster) Seed(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap, data []byte) {
 	reps := wire.ReplicaSet{Owner: owner, Readers: readers.Remove(owner)}
 	ts := wire.OTS{Ver: 1, Node: owner}
-	targets := reps.All().Union(c.dirs)
+	// Directory entries land at the object's arbitration drivers; the
+	// legacy dirs set is seeded too so compat tooling keeps seeing entries
+	// at the first three nodes (a stale never-driving entry is inert).
+	targets := reps.All().Union(c.dirs).Union(c.DirDrivers(obj))
 	for _, id := range targets.Nodes() {
 		n, ok := c.nodes[id]
 		if !ok {
@@ -370,8 +425,7 @@ func (c *Cluster) Seed(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap
 		o.Level = reps.LevelOf(id)
 		if o.Level != wire.NonReplica {
 			o.Data = append([]byte(nil), data...)
-			o.TVersion = 1
-			o.TState = store.TValid
+			o.SetTLocked(1, store.TValid)
 		}
 		o.Mu.Unlock()
 	}

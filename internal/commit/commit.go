@@ -437,7 +437,7 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 		if o, ok := e.st.Get(u.Obj); ok {
 			o.Mu.Lock()
 			if o.TVersion == u.Version && o.TState == store.TWrite {
-				o.TState = store.TValid
+				o.SetTLocked(o.TVersion, store.TValid)
 			}
 			if o.PendingCommits.Load() > 0 {
 				o.PendingCommits.Add(-1)
@@ -493,8 +493,7 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 		o.Mu.Lock()
 		if u.Version > o.TVersion {
 			o.Data = u.Data
-			o.TVersion = u.Version
-			o.TState = store.TInvalid
+			o.SetTLocked(u.Version, store.TInvalid)
 		}
 		o.Mu.Unlock()
 	}
@@ -515,8 +514,7 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 			o.Mu.Lock()
 			if u.Version > o.TVersion {
 				o.Data = u.Data
-				o.TVersion = u.Version
-				o.TState = store.TInvalid
+				o.SetTLocked(u.Version, store.TInvalid)
 			}
 			o.Mu.Unlock()
 		}
@@ -557,7 +555,7 @@ func (e *Engine) handleVal(m *wire.CommitVal) {
 		if o, ok := e.st.Get(u.Obj); ok {
 			o.Mu.Lock()
 			if o.TVersion == u.Version && o.TState == store.TInvalid {
-				o.TState = store.TValid
+				o.SetTLocked(o.TVersion, store.TValid)
 			}
 			o.Mu.Unlock()
 		}

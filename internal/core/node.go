@@ -28,6 +28,7 @@ import (
 
 	"zeus/internal/commit"
 	"zeus/internal/dbapi"
+	"zeus/internal/directory"
 	"zeus/internal/membership"
 	"zeus/internal/ownership"
 	"zeus/internal/store"
@@ -62,6 +63,14 @@ type Config struct {
 	// plus a throttled multicast at the membership client), so these
 	// loops never contend on a shared mutex.
 	LeaseRenewEvery time.Duration
+	// DirectoryShards selects the ownership-directory implementation
+	// (§6.2): a value > 0 builds the sharded directory subsystem
+	// (internal/directory) — object → shard → drivers resolved from the
+	// placement map replicated through the view service, with the value as
+	// the shard count of the local fallback placement. 0 keeps the legacy
+	// static directory over Ownership.DirNodes (the degenerate 1-shard
+	// compat shim).
+	DirectoryShards int
 	// Ownership configures the ownership engine (directory nodes etc).
 	Ownership ownership.Config
 }
@@ -96,6 +105,7 @@ type Node struct {
 	agent  *membership.Agent
 	own    *ownership.Engine
 	cmt    *commit.Engine
+	dirsvc *directory.Service // nil with the static compat directory
 
 	nextWorker atomic.Uint32
 
@@ -125,7 +135,22 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		cfg.Workers = 8
 	}
 	st := store.New()
-	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent,
+	// Sharded ownership directory (§6.2): when enabled, ownership REQs
+	// resolve object → shard → drivers through the replicated placement
+	// map instead of the fixed DirNodes set. The service registers its
+	// view-change hook here, BEFORE the engines', so a placement diff (and
+	// the shard metadata pulls it triggers) precedes the ownership pause /
+	// recovery machinery of the same view change. The cfg fix-up happens
+	// before the Node copies it, so there is exactly one Config to read.
+	var dirsvc *directory.Service
+	if cfg.DirectoryShards > 0 && cfg.Ownership.Directory == nil {
+		dirsvc = directory.NewService(id, st, tr, agent, directory.Options{
+			Shards: cfg.DirectoryShards,
+			Degree: 3,
+		})
+		cfg.Ownership.Directory = dirsvc
+	}
+	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent, dirsvc: dirsvc,
 		trimQ: make(chan trimReq, trimQueueDepth), closedCh: make(chan struct{})}
 	n.router = transport.NewRouter()
 	n.cmt = commit.New(id, st, tr, agent)
@@ -137,6 +162,9 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	n.own.HasPendingCommit = n.cmt.HasPending
 	n.own.Register(n.router)
 	n.cmt.Register(n.router)
+	if n.dirsvc != nil {
+		n.dirsvc.Register(n.router)
+	}
 	// Sharded delivery (§5.2/§7): keyed protocol traffic fans out to
 	// per-pipe / per-object handler goroutines so independent pipelines
 	// apply in parallel. Defaults to min(Workers, GOMAXPROCS) — extra
@@ -200,6 +228,10 @@ func (n *Node) Router() *transport.Router { return n.router }
 
 // OwnershipEngine exposes the ownership engine (experiments measure it).
 func (n *Node) OwnershipEngine() *ownership.Engine { return n.own }
+
+// DirectoryService exposes the sharded-directory service, or nil when the
+// node runs the legacy static directory.
+func (n *Node) DirectoryService() *directory.Service { return n.dirsvc }
 
 // CommitEngine exposes the reliable-commit engine.
 func (n *Node) CommitEngine() *commit.Engine { return n.cmt }
@@ -274,9 +306,8 @@ func (n *Node) CreateObjectWithReaders(obj wire.ObjectID, data []byte, readers w
 	}
 	o, _ := n.st.GetOrCreate(obj)
 	o.Mu.Lock()
-	o.TVersion++
 	o.Data = append([]byte(nil), data...)
-	o.TState = store.TWrite
+	o.SetTLocked(o.TVersion+1, store.TWrite)
 	o.PendingCommits.Add(1)
 	followers := o.Replicas.Readers
 	ver := o.TVersion
@@ -351,14 +382,13 @@ func (tx *Tx) Get(obj uint64) ([]byte, error) {
 	if !ok {
 		return nil, dbapi.ErrNoReplica
 	}
-	o.Mu.Lock()
-	st, ver := o.TState, o.TVersion
-	var data []byte
-	if o.Data != nil {
-		data = append([]byte(nil), o.Data...)
-	}
-	lvl := o.Level
-	o.Mu.Unlock()
+	// Copy-on-read elision: the read buffer aliases the object's payload
+	// instead of copying it under the lock (store.Object.SnapshotRef; Data
+	// is replace-only) — a later commit installs a new slice and never
+	// mutates this one, so the buffered snapshot stays exactly the bytes
+	// read at `ver`, which is what opacity needs anyway. Only the
+	// app-facing return below pays a copy.
+	st, ver, lvl, data := o.SnapshotRef()
 
 	// Invalidated objects cannot be read (§5.3); the owner may read its
 	// own locally committed (Write-state) values thanks to pipelining.
@@ -527,8 +557,13 @@ func (n *Node) maybeTrim(id wire.ObjectID) {
 	}
 }
 
-// validateReadsLocked re-checks every read version (caller holds no locks;
-// each object is locked briefly).
+// validateReadsLocked re-checks every read version (caller holds no locks).
+// Read-only transactions validate lock-free: a single atomic load of the
+// packed ⟨t_version, t_state⟩ word (store.Object.TSnapshot) replaces the
+// object lock — the seqlock-style check of the ROADMAP's "reader-local RO
+// snapshots" item, exact because RO only ever accepts TValid. Write
+// transactions still lock briefly: their validation additionally reads the
+// access level (owner-visible TWrite values).
 func (tx *Tx) validateReadsLocked() bool {
 	for id, ver := range tx.reads {
 		if _, written := tx.writes[id]; written {
@@ -538,9 +573,16 @@ func (tx *Tx) validateReadsLocked() bool {
 		if !ok {
 			return false
 		}
+		if tx.ro {
+			v, st := o.TSnapshot()
+			if v != ver || st != store.TValid {
+				return false
+			}
+			continue
+		}
 		o.Mu.Lock()
 		okv := o.TVersion == ver && (o.TState == store.TValid ||
-			(o.TState == store.TWrite && o.Level == wire.Owner && !tx.ro))
+			(o.TState == store.TWrite && o.Level == wire.Owner))
 		o.Mu.Unlock()
 		if !okv {
 			return false
@@ -617,8 +659,7 @@ func (tx *Tx) Commit() error {
 		data := tx.writes[id]
 		o.Mu.Lock()
 		o.Data = data
-		o.TVersion++
-		o.TState = store.TWrite
+		o.SetTLocked(o.TVersion+1, store.TWrite)
 		o.PendingCommits.Add(1)
 		updates = append(updates, wire.Update{Obj: id, Version: o.TVersion, Data: data})
 		followers = followers.Union(o.Replicas.Readers)

@@ -1,0 +1,476 @@
+// Package directory is the sharded ownership directory (§6.2): the
+// control-plane subsystem that decides, per object, which nodes arbitrate
+// ownership requests.
+//
+// The paper's evaluation replicates the directory across three fixed nodes;
+// at scale that turns the directory into the coordination bottleneck — every
+// ownership REQ for every object funnels through the same three arbiters.
+// This package hash-partitions the directory into S shards. Each shard is
+// driven by a small driver set (three nodes by default) chosen by rendezvous
+// hashing from the live view, and the shard→drivers placement map is part of
+// the replicated view-service state (wire.VSState.Placement): placement is
+// quorum-committed, versioned by the membership epoch, and survives view
+// changes and view-leader takeover exactly like membership itself.
+//
+// Two implementations of the Directory interface exist:
+//
+//   - Static: the degenerate 1-shard compat shim — a fixed driver set, the
+//     pre-sharding behaviour (ownership.Config.DirNodes).
+//   - Service: the full subsystem. It resolves placement from the node's
+//     membership agent (one atomic load on the REQ path), and heals driver
+//     churn: when a placement change makes this node a NEW driver of a
+//     shard (the previous driver crashed, or a joined node ranked into the
+//     set), the service pulls the shard's directory metadata — replica sets
+//     and ownership timestamps, never object data — from the surviving
+//     drivers (DIR-PULL / DIR-STATE), NACKing ownership REQs for that shard
+//     until the first snapshot lands (Ready). In-flight arbitrations need no
+//     transfer at all: every arbiter stores the full pending record, so the
+//     existing arb-replay path completes them per shard.
+package directory
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/membership"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// Directory resolves object → shard → arbitration drivers for the ownership
+// engine.
+type Directory interface {
+	// Shards returns the shard count of the current placement.
+	Shards() int
+	// ShardOf maps an object to its directory shard.
+	ShardOf(obj wire.ObjectID) int
+	// DriversFor returns the driver set of obj's shard (not live-filtered;
+	// callers intersect with the view).
+	DriversFor(obj wire.ObjectID) wire.Bitmap
+	// DrivesShard reports whether n drives obj's shard.
+	DrivesShard(n wire.NodeID, obj wire.ObjectID) bool
+	// Ready reports whether this node may drive obj's shard right now (a
+	// new driver is not ready until it synced the shard's metadata).
+	Ready(obj wire.ObjectID) bool
+	// Authoritative reports whether one driver's directory answer is final
+	// (the fixed static directory) or requires corroboration (a sharded
+	// driver may have been force-readied with incomplete entries).
+	Authoritative() bool
+	// PlacementEpoch returns the current placement version.
+	PlacementEpoch() wire.Epoch
+}
+
+// ---------------------------------------------------------------------------
+// Static: the 1-shard compat shim.
+// ---------------------------------------------------------------------------
+
+// Static is the fixed-driver-set directory: one shard driven by the
+// configured nodes, always ready. It reproduces the pre-sharding DirNodes
+// behaviour exactly.
+type Static struct{ drivers wire.Bitmap }
+
+// NewStatic builds the compat shim over a fixed driver set.
+func NewStatic(drivers wire.Bitmap) Static { return Static{drivers: drivers} }
+
+func (s Static) Shards() int                                  { return 1 }
+func (s Static) ShardOf(wire.ObjectID) int                    { return 0 }
+func (s Static) DriversFor(wire.ObjectID) wire.Bitmap         { return s.drivers }
+func (s Static) DrivesShard(n wire.NodeID, _ wire.ObjectID) bool {
+	return s.drivers.Contains(n)
+}
+func (s Static) Ready(wire.ObjectID) bool   { return true }
+func (s Static) Authoritative() bool        { return true }
+func (s Static) PlacementEpoch() wire.Epoch { return 0 }
+
+// ---------------------------------------------------------------------------
+// Service: the sharded directory.
+// ---------------------------------------------------------------------------
+
+// Options tunes a Service.
+type Options struct {
+	// Shards and Degree parameterize the LOCAL fallback placement, used
+	// only when the membership agent replicates no placement (hand-rolled
+	// deployments). When the view service replicates a placement — the
+	// normal case — the replicated map is authoritative, including its
+	// shard count.
+	Shards int
+	Degree int
+	// SyncTimeout bounds how long a newly assigned shard may wait for a
+	// DIR-STATE snapshot before the driver gives up and serves with what it
+	// has (liveness backstop: all snapshot sources may be dead, in which
+	// case the metadata is reconstructed lazily through arbitrations).
+	// Default 250ms.
+	SyncTimeout time.Duration
+}
+
+// Stats counts Service activity (tests and diagnostics).
+type Stats struct {
+	Pulls       uint64 // DIR-PULL rounds issued (shards this node newly drives)
+	Synced      uint64 // shards healed by a DIR-STATE snapshot
+	ForcedReady uint64 // shards or suspects force-readied by the timeout backstop
+	Entries     uint64 // directory entries installed from snapshots
+	Syncing     int    // shards currently awaiting a snapshot
+	Suspect     int    // objects awaiting an in-flight arbitration's outcome
+}
+
+// Service is one node's directory resolver plus the shard-sync engine.
+type Service struct {
+	self  wire.NodeID
+	st    *store.Store
+	tr    transport.Transport
+	agent *membership.Agent
+	opts  Options
+
+	// fallback caches the locally computed placement per epoch when the
+	// agent replicates none.
+	fallback atomic.Pointer[wire.DirPlacement]
+
+	mu      sync.Mutex
+	last    wire.DirPlacement  // placement last diffed by viewChanged
+	syncing map[int]wire.Epoch // shard → placement epoch of the pending pull
+	// suspect holds objects whose snapshot entry carried an in-flight
+	// arbitration (DirEntry.Pending): the applied state this node synced
+	// may be superseded the moment that arbitration's replay completes, so
+	// this node refuses to DRIVE those objects (Ready=false) until it has
+	// observed the outcome — the replay reaches it directly, because
+	// arb-replays address the object's current drivers — or the backstop
+	// timer fires. Keyed to the snapshot's o_ts: the suspicion lifts once
+	// the local entry advances past it (or holds the pending itself).
+	suspect  map[wire.ObjectID]wire.OTS
+	suspectN atomic.Int32
+	syncN   atomic.Int32       // fast-path probe: len(syncing) without the lock
+	// diffed is the placement epoch viewChanged last processed. Ready is
+	// answered pessimistically while the visible placement is newer: the
+	// replicated placement becomes visible (one atomic store at the agent)
+	// strictly BEFORE the view-change callback chain reaches viewChanged,
+	// and in that window a REQ handler would otherwise see
+	// DrivesShard=true with an unpopulated syncing set — arbitrating a
+	// freshly assigned shard from an empty entry, the exact hole Ready
+	// exists to close.
+	diffed atomic.Uint32
+
+	stPulls   atomic.Uint64
+	stSynced  atomic.Uint64
+	stForced  atomic.Uint64
+	stEntries atomic.Uint64
+}
+
+// NewService builds the sharded directory for one node and hooks it into the
+// membership agent's view-change stream. Call Register to install its
+// DIR-PULL / DIR-STATE handlers before traffic flows.
+func NewService(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membership.Agent, opts Options) *Service {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Degree <= 0 {
+		opts.Degree = 3
+	}
+	if opts.SyncTimeout <= 0 {
+		opts.SyncTimeout = 250 * time.Millisecond
+	}
+	s := &Service{
+		self:    self,
+		st:      st,
+		tr:      tr,
+		agent:   agent,
+		opts:    opts,
+		syncing: make(map[int]wire.Epoch),
+		suspect: make(map[wire.ObjectID]wire.OTS),
+	}
+	s.last = *s.placement()
+	s.diffed.Store(uint32(s.last.Epoch))
+	agent.OnChange(func(_, _ wire.View, _ wire.Bitmap) { s.viewChanged() })
+	return s
+}
+
+// Register installs the service's handlers on the router. The sync kinds are
+// unkeyed, so they stay on the inline dispatch path (they are rare).
+func (s *Service) Register(r *transport.Router) {
+	r.HandleMany(s.Handle, wire.KindDirPull, wire.KindDirState)
+}
+
+// Stats returns a snapshot of counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Pulls:       s.stPulls.Load(),
+		Synced:      s.stSynced.Load(),
+		ForcedReady: s.stForced.Load(),
+		Entries:     s.stEntries.Load(),
+		Syncing:     int(s.syncN.Load()),
+		Suspect:     int(s.suspectN.Load()),
+	}
+}
+
+// placement resolves the current placement: the replicated one when the
+// agent has it (one atomic load), else a locally computed per-epoch fallback.
+func (s *Service) placement() *wire.DirPlacement {
+	if p := s.agent.Placement(); p != nil && !p.IsZero() {
+		return p
+	}
+	v := s.agent.View()
+	if p := s.fallback.Load(); p != nil && p.Epoch == v.Epoch {
+		return p
+	}
+	np := wire.ComputePlacement(s.opts.Shards, s.opts.Degree, v.Epoch, v.Live)
+	s.fallback.Store(&np)
+	return &np
+}
+
+// Directory interface.
+
+func (s *Service) Shards() int                 { return len(s.placement().Shards) }
+func (s *Service) ShardOf(obj wire.ObjectID) int { return s.placement().ShardOf(obj) }
+func (s *Service) DriversFor(obj wire.ObjectID) wire.Bitmap {
+	return s.placement().DriversFor(obj)
+}
+func (s *Service) DrivesShard(n wire.NodeID, obj wire.ObjectID) bool {
+	return s.placement().Drives(n, obj)
+}
+func (s *Service) PlacementEpoch() wire.Epoch { return s.placement().Epoch }
+
+// Authoritative is false: a sharded driver may have been force-readied with
+// incomplete entries, so requesters corroborate unknown-object answers.
+func (s *Service) Authoritative() bool { return false }
+
+// Ready reports whether this node may drive obj's shard: false while a
+// freshly assigned shard awaits its metadata snapshot, while a newly
+// visible placement has not been diffed yet (see diffed), and for the
+// specific objects whose snapshot flagged an in-flight arbitration (see
+// suspect) until the outcome is visible locally.
+func (s *Service) Ready(obj wire.ObjectID) bool {
+	p := s.placement()
+	if wire.Epoch(s.diffed.Load()) != p.Epoch {
+		return false
+	}
+	if s.suspectN.Load() > 0 && !s.clearedSuspect(obj) {
+		return false
+	}
+	if s.syncN.Load() == 0 {
+		return true
+	}
+	sh := p.ShardOf(obj)
+	s.mu.Lock()
+	_, syncing := s.syncing[sh]
+	s.mu.Unlock()
+	return !syncing
+}
+
+// clearedSuspect reports whether obj is clear of suspicion, lifting it when
+// the local entry caught up: either the in-flight arbitration reached this
+// node (o.Pending set — the ownership engine then handles it natively) or
+// its completion did (o_ts advanced past the snapshot's).
+func (s *Service) clearedSuspect(obj wire.ObjectID) bool {
+	s.mu.Lock()
+	ts, bad := s.suspect[obj]
+	s.mu.Unlock()
+	if !bad {
+		return true
+	}
+	o, ok := s.st.Get(obj)
+	if !ok {
+		return false
+	}
+	o.Mu.Lock()
+	caughtUp := o.Pending != nil || ts.Less(o.OTS)
+	o.Mu.Unlock()
+	if !caughtUp {
+		return false
+	}
+	s.mu.Lock()
+	if _, still := s.suspect[obj]; still {
+		delete(s.suspect, obj)
+		s.suspectN.Store(int32(len(s.suspect)))
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// viewChanged diffs the new placement against the last one and starts a
+// metadata pull for every shard this node NEWLY drives. It runs on the
+// agent's view-change callback, before the ownership engine pauses/resumes,
+// so pulls overlap the recovery barrier and are usually done by the time
+// ownership requests flow again.
+func (s *Service) viewChanged() {
+	p := *s.placement()
+	live := s.agent.View().Live
+	// Shards are grouped by their source set so each source scans its store
+	// ONCE per view change, however many shards this node newly drives.
+	groups := make(map[wire.Bitmap][]uint32)
+
+	s.mu.Lock()
+	prev := s.last
+	s.last = p
+	for sh, ds := range p.Shards {
+		if !ds.Contains(s.self) {
+			// Not (or no longer) a driver: nothing to sync. Stale entries
+			// this node may keep are harmless — it will never arbitrate
+			// from them.
+			delete(s.syncing, sh)
+			continue
+		}
+		var old wire.Bitmap
+		if sh < len(prev.Shards) {
+			old = prev.Shards[sh]
+		}
+		if old.Contains(s.self) {
+			continue // already a driver: entries are current
+		}
+		// Pull from the shard's surviving previous drivers.
+		sources := old.Intersect(live).Remove(s.self)
+		if sources == 0 {
+			// Every previous driver is gone — a simultaneous loss of a
+			// whole driver set, outside the tolerated fault envelope (like
+			// losing all replicas of a data object). Serve with what we
+			// have rather than block: CreateObject registrations and bulk
+			// seeding rebuild entries for new objects, but pre-existing
+			// objects of this shard stay unknown to the directory until
+			// re-seeded (README documents the availability gap).
+			delete(s.syncing, sh)
+			continue
+		}
+		s.syncing[sh] = p.Epoch
+		groups[sources] = append(groups[sources], uint32(sh))
+	}
+	s.syncN.Store(int32(len(s.syncing)))
+	s.diffed.Store(uint32(p.Epoch))
+	s.mu.Unlock()
+
+	for sources, shards := range groups {
+		s.stPulls.Add(uint64(len(shards)))
+		msg := &wire.DirPull{Shards: shards, PlacementEpoch: p.Epoch, From: s.self}
+		_ = transport.Multicast(s.tr, sources.Nodes(), msg)
+		for _, sh := range shards {
+			sh, ep := int(sh), p.Epoch
+			time.AfterFunc(s.opts.SyncTimeout, func() { s.forceReady(sh, ep) })
+		}
+	}
+	if len(groups) > 0 {
+		transport.Flush(s.tr)
+	}
+}
+
+// forceReady is the liveness backstop: a shard whose snapshot never arrived
+// (sources crashed, messages lost beyond the transport's patience) starts
+// serving anyway; unknown entries heal through arbitration traffic.
+func (s *Service) forceReady(shard int, epoch wire.Epoch) {
+	s.mu.Lock()
+	if ep, ok := s.syncing[shard]; ok && ep == epoch {
+		delete(s.syncing, shard)
+		s.syncN.Store(int32(len(s.syncing)))
+		s.stForced.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Handle dispatches one inbound directory-sync message.
+func (s *Service) Handle(from wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.DirPull:
+		s.handlePull(v)
+	case *wire.DirState:
+		s.handleState(v)
+	}
+}
+
+// handlePull snapshots the requested shards' directory metadata in ONE store
+// scan and ships one DirState per shard to the pulling driver, echoing the
+// pull's placement epoch. Any node answers (the snapshot is only metadata);
+// pullers target previous drivers, which hold complete entries.
+func (s *Service) handlePull(m *wire.DirPull) {
+	if len(m.Shards) == 0 {
+		return
+	}
+	p := s.placement()
+	wanted := make(map[int][]wire.DirEntry, len(m.Shards))
+	for _, sh := range m.Shards {
+		wanted[int(sh)] = nil
+	}
+	s.st.ForEach(func(o *store.Object) bool {
+		sh := p.ShardOf(o.ID)
+		entries, ok := wanted[sh]
+		if !ok {
+			return true
+		}
+		o.Mu.Lock()
+		if o.Replicas.Owner != wire.NoNode || o.Replicas.Readers != 0 || o.Pending != nil {
+			wanted[sh] = append(entries, wire.DirEntry{
+				Obj: o.ID, TS: o.OTS, Replicas: o.Replicas, Pending: o.Pending != nil,
+			})
+		}
+		o.Mu.Unlock()
+		return true
+	})
+	for sh, entries := range wanted {
+		_ = s.tr.Send(m.From, &wire.DirState{
+			Shard: uint32(sh), PlacementEpoch: m.PlacementEpoch, From: s.self, Entries: entries,
+		})
+	}
+	transport.Flush(s.tr)
+}
+
+// handleState installs a shard snapshot: each entry only overwrites a
+// strictly older ownership timestamp and never a pending arbitration, so
+// duplicate snapshots and races with live arbitration traffic are harmless.
+func (s *Service) handleState(m *wire.DirState) {
+	live := s.agent.View().Live
+	var flagged []wire.ObjectID
+	for _, e := range m.Entries {
+		o, _ := s.st.GetOrCreate(e.Obj)
+		o.Mu.Lock()
+		if o.Pending == nil && o.OTS.Less(e.TS) {
+			o.OTS = e.TS
+			o.Replicas = e.Replicas.Prune(live)
+			s.stEntries.Add(1)
+		}
+		o.Mu.Unlock()
+		if e.Pending {
+			s.mu.Lock()
+			if cur, ok := s.suspect[e.Obj]; !ok || cur.Less(e.TS) {
+				s.suspect[e.Obj] = e.TS
+				s.suspectN.Store(int32(len(s.suspect)))
+				flagged = append(flagged, e.Obj)
+			}
+			s.mu.Unlock()
+		}
+	}
+	if len(flagged) > 0 {
+		// Backstop: suspicion must not outlive the arbitration it guards.
+		// Replays force-complete within StaleAfter-scale time; after four
+		// sync windows, drive with what we have and count the override.
+		// The timer only lifts the suspicion it armed: an object re-flagged
+		// at a higher o_ts by a later snapshot (a NEW in-flight
+		// arbitration) keeps its own full window.
+		objs := flagged
+		armed := make([]wire.OTS, len(objs))
+		s.mu.Lock()
+		for i, obj := range objs {
+			armed[i] = s.suspect[obj]
+		}
+		s.mu.Unlock()
+		time.AfterFunc(4*s.opts.SyncTimeout, func() {
+			s.mu.Lock()
+			for i, obj := range objs {
+				if cur, ok := s.suspect[obj]; ok && !armed[i].Less(cur) {
+					delete(s.suspect, obj)
+					s.stForced.Add(1)
+				}
+			}
+			s.suspectN.Store(int32(len(s.suspect)))
+			s.mu.Unlock()
+		})
+	}
+	// Mark the shard ready only when the snapshot answers THIS placement's
+	// pull: a delayed DirState from a superseded placement may miss entries
+	// minted since and must not short-circuit the newer sync (its entries,
+	// installed above, are still useful — the install guard keeps them
+	// safe). Same epoch-match rule as forceReady.
+	s.mu.Lock()
+	if ep, ok := s.syncing[int(m.Shard)]; ok && ep == m.PlacementEpoch {
+		delete(s.syncing, int(m.Shard))
+		s.syncN.Store(int32(len(s.syncing)))
+		s.stSynced.Add(1)
+	}
+	s.mu.Unlock()
+}

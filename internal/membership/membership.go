@@ -24,6 +24,7 @@ package membership
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zeus/internal/transport"
@@ -36,6 +37,11 @@ type Config struct {
 	// Lease is how long a failed node's lease remains valid; the view
 	// change is deferred until it expires.
 	Lease time.Duration
+	// DirShards seeds the shard count of the replicated ownership-directory
+	// placement (§6.2) when this manager self-hosts its view-service
+	// ensemble (NewManager). 0 picks the view service's scaled default.
+	// Multi-process deployments must pass the same value everywhere.
+	DirShards int
 }
 
 // DefaultConfig uses a short lease suitable for simulation.
@@ -57,6 +63,11 @@ type Manager struct {
 	// Self-hosted ensemble (NewManager only; nil under NewManagerOver).
 	ens *viewsvc.Ensemble
 
+	// placement caches the latest committed directory placement (§6.2); it
+	// is fanned out to every agent's atomic slot so the ownership hot path
+	// resolves object → drivers with one atomic load.
+	placement atomic.Pointer[wire.DirPlacement]
+
 	mu     sync.Mutex
 	agents map[wire.NodeID]*Agent
 }
@@ -69,7 +80,7 @@ func NewManager(cfg Config, members wire.Bitmap) *Manager {
 		cfg.Lease = DefaultConfig().Lease
 	}
 	hub := transport.NewHub()
-	vcfg := viewsvc.Config{Lease: cfg.Lease}
+	vcfg := viewsvc.Config{Lease: cfg.Lease, DirShards: cfg.DirShards}
 	ids := []wire.NodeID{0, 1, 2} // private fabric: ids are free
 	trs := make([]transport.Transport, len(ids))
 	for i, id := range ids {
@@ -93,6 +104,11 @@ func NewManagerOver(cfg Config, cli *viewsvc.Client) *Manager {
 
 func newManager(cfg Config, cli *viewsvc.Client) *Manager {
 	m := &Manager{cfg: cfg, cli: cli, agents: make(map[wire.NodeID]*Agent)}
+	if s := cli.State(); !s.Placement.IsZero() {
+		p := s.Placement
+		m.placement.Store(&p)
+	}
+	cli.OnState(m.fanoutState)
 	cli.OnView(m.fanoutView)
 	cli.OnRecovered(m.fanoutRecovered)
 	return m
@@ -111,7 +127,7 @@ func (m *Manager) Close() {
 func (m *Manager) View() wire.View { return m.cli.View() }
 
 // Agent creates (or returns) the agent embedded in node id. The agent starts
-// with the service's current view.
+// with the service's current view and placement.
 func (m *Manager) Agent(id wire.NodeID) *Agent {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -123,8 +139,31 @@ func (m *Manager) Agent(id wire.NodeID) *Agent {
 		view:    m.cli.View(),
 		changed: make(chan struct{}),
 	}
+	if p := m.placement.Load(); p != nil {
+		a.placement.Store(p)
+	}
 	m.agents[id] = a
 	return a
+}
+
+// Placement returns the latest committed directory placement (§6.2), or nil
+// when the view service replicates none.
+func (m *Manager) Placement() *wire.DirPlacement { return m.placement.Load() }
+
+// fanoutState propagates replicated side-state (the directory placement) to
+// every agent. It runs before the view-change callbacks of the same state,
+// so engines reacting to a view change always see its placement.
+func (m *Manager) fanoutState(s wire.VSState) {
+	if s.Placement.IsZero() {
+		return
+	}
+	p := s.Placement
+	m.mu.Lock()
+	m.placement.Store(&p)
+	for _, a := range m.agents {
+		a.placement.Store(&p)
+	}
+	m.mu.Unlock()
 }
 
 // Renew records a lease renewal from node id. Renewal state is striped per
@@ -194,6 +233,11 @@ type Agent struct {
 	self wire.NodeID
 	mgr  *Manager
 
+	// placement is the node's cached directory placement (§6.2): one atomic
+	// load on the ownership request path, updated by the manager's state
+	// fanout strictly before the view change it belongs to.
+	placement atomic.Pointer[wire.DirPlacement]
+
 	mu          sync.Mutex
 	view        wire.View
 	changed     chan struct{} // closed and replaced on every view change
@@ -217,6 +261,11 @@ func (a *Agent) Epoch() wire.Epoch {
 	defer a.mu.Unlock()
 	return a.view.Epoch
 }
+
+// Placement returns the replicated directory placement (§6.2), or nil when
+// the manager's view service replicates none. The returned value and its
+// shard slice are immutable.
+func (a *Agent) Placement() *wire.DirPlacement { return a.placement.Load() }
 
 // IsLive reports whether node n is live in the agent's view.
 func (a *Agent) IsLive(n wire.NodeID) bool {

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zeus/internal/directory"
 	"zeus/internal/membership"
 	"zeus/internal/retry"
 	"zeus/internal/shardmap"
@@ -74,8 +75,13 @@ var (
 
 // Config tunes the engine.
 type Config struct {
-	// DirNodes is the set of directory nodes (the paper replicates the
-	// directory across three nodes regardless of deployment size).
+	// Directory resolves object → shard → arbitration drivers (§6.2). When
+	// nil, the engine falls back to the degenerate 1-shard directory over
+	// DirNodes — the pre-sharding behaviour.
+	Directory directory.Directory
+	// DirNodes is the fixed driver set of the compat shim used when
+	// Directory is nil (the paper's evaluation replicates the directory
+	// across three fixed nodes).
 	DirNodes wire.Bitmap
 	// AttemptTimeout bounds one REQ→final-ACK attempt.
 	AttemptTimeout time.Duration
@@ -122,6 +128,7 @@ type Engine struct {
 	tr    transport.Transport
 	agent *membership.Agent
 	cfg   Config
+	dir   directory.Directory
 
 	// HasPendingCommit is wired to the reliable-commit engine: the owner
 	// NACKs ownership requests for objects with pending reliable commits.
@@ -167,6 +174,7 @@ type Engine struct {
 type outcome struct {
 	ok     bool
 	reason wire.NackReason
+	from   wire.NodeID // NACK sender (unknown-object opinions are per driver)
 }
 
 type pendingReq struct {
@@ -214,12 +222,17 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = 250 * time.Millisecond
 	}
+	dir := cfg.Directory
+	if dir == nil {
+		dir = directory.NewStatic(cfg.DirNodes)
+	}
 	e := &Engine{
 		self:             self,
 		st:               st,
 		tr:               tr,
 		agent:            agent,
 		cfg:              cfg,
+		dir:              dir,
 		pending:          shardmap.NewStriped[uint64, *pendingReq](shardmap.Mix64),
 		recov:            make(map[uint64]*recovState),
 		valsAwait:        shardmap.NewStriped[wire.ObjectID, wire.OTS](func(id wire.ObjectID) uint64 { return shardmap.Mix64(uint64(id)) }),
@@ -253,8 +266,15 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// IsDirNode reports whether n hosts a directory replica.
-func (e *Engine) IsDirNode(n wire.NodeID) bool { return e.cfg.DirNodes.Contains(n) }
+// DrivesShard reports whether n drives the directory shard of obj (§6.2).
+// With the 1-shard compat directory this degenerates to the old "is n a
+// directory node" check.
+func (e *Engine) DrivesShard(n wire.NodeID, obj wire.ObjectID) bool {
+	return e.dir.DrivesShard(n, obj)
+}
+
+// Directory exposes the engine's directory resolver (tests and tooling).
+func (e *Engine) Directory() directory.Directory { return e.dir }
 
 // send routes self-addressed messages through an in-process queue (a node
 // can be requester, driver and arbiter at once) and everything else through
@@ -375,6 +395,22 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 	req = newRequest()
 	defer func() { dropRequest(req) }()
 
+	// unknownFrom collects the DISTINCT drivers that answered
+	// unknown-object. One driver's word is no longer final under the
+	// sharded directory: a driver whose shard sync was force-readied (all
+	// snapshot sources dead or silent) may hold no entry for an object its
+	// peers know. The request only fails as unknown once several distinct
+	// drivers — or every live driver of the shard — agree, and pickDriver
+	// steers retries away from the drivers that already said unknown. The
+	// static compat directory is always authoritative (fixed driver set,
+	// never syncing), so there the first NACK stands and a genuine unknown
+	// object keeps its one-round-trip error.
+	var unknownFrom wire.Bitmap
+	unknownRetries := 3
+	if e.dir.Authoritative() {
+		unknownRetries = 1
+	}
+
 	for {
 		select {
 		case <-e.closed:
@@ -389,11 +425,12 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 		}
 		o.Mu.Unlock()
 
-		driver := e.pickDriver()
+		driver := e.pickDriver(obj, unknownFrom)
 		e.stRequests.Add(1)
 		e.send(driver, &wire.OwnReq{
 			ReqID: req.id, Obj: obj, Requester: e.self, Mode: mode,
 			Epoch: e.agent.Epoch(), Target: target,
+			Shard: uint32(e.dir.ShardOf(obj)),
 		})
 
 		var out outcome
@@ -415,8 +452,15 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 			}
 			return nil
 		case !timedOut && out.reason == wire.NackUnknownObject:
-			e.resetRequestState(obj)
-			return fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+			unknownFrom = unknownFrom.Add(out.from)
+			liveDrivers := e.dir.DriversFor(obj).Intersect(e.agent.View().Live)
+			if unknownFrom.Count() >= unknownRetries ||
+				unknownFrom.Intersect(liveDrivers) == liveDrivers {
+				e.resetRequestState(obj)
+				return fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+			}
+			dropRequest(req)
+			req = newRequest()
 		case !timedOut && out.reason == wire.NackPendingCommit:
 			// Owner busy: retry the SAME request — the driver still
 			// holds the arbitration in Drive state and will re-INV with
@@ -475,19 +519,30 @@ func (e *Engine) resetRequestState(obj wire.ObjectID) {
 	}
 }
 
-// pickDriver chooses an arbitrary live directory node, preferring self when
-// co-located with the directory (saves the first hop, §4.2).
-func (e *Engine) pickDriver() wire.NodeID {
+// pickDriver chooses an arbitrary live driver of obj's directory shard,
+// preferring self when co-located with the shard (saves the first hop,
+// §4.2). Drivers in avoid (they already answered unknown-object for this
+// acquisition) are skipped while any other live driver remains, so repeated
+// opinions really come from distinct drivers.
+func (e *Engine) pickDriver(obj wire.ObjectID, avoid wire.Bitmap) wire.NodeID {
+	drivers := e.dir.DriversFor(obj)
 	live := e.agent.View().Live
-	if e.cfg.DirNodes.Contains(e.self) && live.Contains(e.self) {
+	if drivers.Contains(e.self) && live.Contains(e.self) && !avoid.Contains(e.self) {
 		return e.self
 	}
-	candidates := e.cfg.DirNodes.Intersect(live).Nodes()
-	if len(candidates) == 0 {
-		return e.cfg.DirNodes.Nodes()[0] // nothing live: let it time out
+	candidates := drivers.Intersect(live).Remove(e.self)
+	if preferred := candidates &^ avoid; preferred != 0 {
+		candidates = preferred
+	}
+	nodes := candidates.Nodes()
+	if len(nodes) == 0 {
+		if all := drivers.Nodes(); len(all) > 0 {
+			return all[0] // nothing live: let it time out
+		}
+		return e.self
 	}
 	e.rngMu.Lock()
-	n := candidates[e.rng.Intn(len(candidates))]
+	n := nodes[e.rng.Intn(len(nodes))]
 	e.rngMu.Unlock()
 	return n
 }
@@ -506,8 +561,21 @@ func (e *Engine) handleReq(m *wire.OwnReq) {
 		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackRecovering})
 		return
 	}
-	if !e.IsDirNode(e.self) {
-		return // misrouted
+	// Shard routing (§6.2): this node must drive the object's shard AND
+	// agree with the requester on which shard that is (a shard-count
+	// mismatch between placements would otherwise arbitrate with the wrong
+	// driver set). Misrouted REQs are NACKed so the requester re-resolves
+	// immediately instead of timing out.
+	if !e.dir.DrivesShard(e.self, m.Obj) || int(m.Shard) != e.dir.ShardOf(m.Obj) {
+		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackNotDriver})
+		return
+	}
+	// A freshly assigned driver NACKs until the shard's metadata snapshot
+	// landed (directory.Service sync); arbitrating from an empty entry
+	// would mis-grant unknown-object or mint a losing timestamp.
+	if !e.dir.Ready(m.Obj) {
+		e.send(m.Requester, &wire.OwnNack{ReqID: m.ReqID, Obj: m.Obj, Epoch: epoch, From: e.self, Reason: wire.NackRecovering})
+		return
 	}
 	o, _ := e.st.GetOrCreate(m.Obj)
 	o.Mu.Lock()
@@ -599,13 +667,13 @@ func (e *Engine) handleReq(m *wire.OwnReq) {
 		next = wire.ReplicaSet{Owner: wire.NoNode}
 	}
 
-	// Arbiters: directory nodes + the current owner. Sharding requests
+	// Arbiters: the shard's drivers + the current owner. Sharding requests
 	// (§6.2) additionally involve the affected replicas: dropped readers
 	// must discard data, created readers must learn their role, deletes
 	// reach everyone. If the owner died and the requester needs data, a
 	// live reader joins the arbitration as the data source.
 	live := e.agent.View().Live
-	arbiters := e.cfg.DirNodes.Intersect(live)
+	arbiters := e.dir.DriversFor(m.Obj).Intersect(live)
 	prevOwner := cur.Owner
 	if prevOwner != wire.NoNode && live.Contains(prevOwner) {
 		arbiters = arbiters.Add(prevOwner)
@@ -704,7 +772,13 @@ func (e *Engine) buildAck(inv *wire.OwnInv) *wire.OwnAck {
 			if inv.Recovery || o.Replicas.LevelOf(inv.Requester) == wire.NonReplica {
 				ack.HasData = true
 				ack.TVersion = o.TVersion
-				ack.Data = append([]byte(nil), o.Data...)
+				// No copy: object payloads are replace-only (see the
+				// store.Object.Data contract) and a data-carrying ACK is
+				// never self-delivered (the data source is never the
+				// requester), so the transport marshals — or, in process,
+				// the receiver installs — a slice whose backing array this
+				// node will never mutate.
+				ack.Data = o.Data
 			}
 			o.Mu.Unlock()
 		}
@@ -737,7 +811,18 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 	}
 	if !effective.Less(m.TS) {
 		o.Mu.Unlock()
-		return // lost arbitration: the loser's driver NACKs its requester
+		// Lost arbitration: ignore silently — the loser's driver NACKs its
+		// requester when it learns of the winner. Do NOT NACK from here:
+		// one arbiter cannot tell a genuinely losing request from a stale
+		// re-delivery (an arb-replay of a superseded arbitration arrives
+		// from a different sender, so it can overtake the newer INV), and a
+		// NACK carries no timestamp — it would make the requester abandon a
+		// WINNING arbitration, which a later stale-replay then completes
+		// behind its back while it re-arbitrates: two owners. A driver that
+		// mints a sub-current timestamp (stale shard entry after a
+		// placement change) costs its requester one attempt timeout; the
+		// retry re-resolves through a healthier driver.
+		return
 	}
 
 	// The current owner refuses to hand the object over while reliable
@@ -825,8 +910,7 @@ func (e *Engine) applyLocked(o *store.Object) {
 	newLevel := p.NewReplicas.LevelOf(e.self)
 	if wasReplica && newLevel == wire.NonReplica {
 		o.Data = nil // dropped reader discards its replica
-		o.TVersion = 0
-		o.TState = store.TValid
+		o.SetTLocked(0, store.TValid)
 	}
 	o.Level = newLevel
 	o.Pending = nil
@@ -843,7 +927,7 @@ func (e *Engine) handleVal(m *wire.OwnVal) {
 		mode := o.Pending.Mode
 		e.applyLocked(o)
 		o.Mu.Unlock()
-		if mode == wire.DeleteObject && !e.IsDirNode(e.self) {
+		if mode == wire.DeleteObject && !e.dir.DrivesShard(e.self, m.Obj) {
 			e.st.Delete(m.Obj)
 		}
 	case o.OTS == m.TS || (o.Pending != nil && m.TS.Less(o.Pending.TS)) || m.TS.Less(o.OTS):
@@ -941,20 +1025,28 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 }
 
 // applyAsRequester installs the granted level, replica set and (for fresh
-// replicas) the object data.
+// replicas) the object data. The install is monotonic in the ownership
+// timestamp: a strictly older ts is dropped. In the failure-free flow the
+// requester applies first, so its local o_ts is always below the minted
+// one — the guard only bites for a stale recovery RESP, i.e. an arb-replay
+// finishing an arbitration its requester abandoned (attempt timeout) and
+// re-ran: applying the abandoned grant over the newer state would hand
+// ownership metadata back in time and present two owners.
 func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.ReplicaSet,
 	mode wire.ReqMode, hasData bool, tversion uint64, data []byte) {
 
 	if mode == wire.DeleteObject {
-		if e.IsDirNode(e.self) {
+		if e.dir.DrivesShard(e.self, obj) {
 			if o, ok := e.st.Get(obj); ok {
 				o.Mu.Lock()
-				o.Replicas = reps
-				o.OTS = ts
-				o.OState = store.OValid
-				o.Pending = nil
-				o.Level = wire.NonReplica
-				o.Data = nil
+				if !ts.Less(o.OTS) {
+					o.Replicas = reps
+					o.OTS = ts
+					o.OState = store.OValid
+					o.Pending = nil
+					o.Level = wire.NonReplica
+					o.Data = nil
+				}
 				o.Mu.Unlock()
 			}
 		} else {
@@ -964,20 +1056,22 @@ func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.Repl
 	}
 	o, _ := e.st.GetOrCreate(obj)
 	o.Mu.Lock()
+	if ts.Less(o.OTS) {
+		o.Mu.Unlock()
+		return
+	}
 	o.Replicas = reps
 	o.OTS = ts
 	o.OState = store.OValid
 	o.Pending = nil
 	if hasData && tversion >= o.TVersion {
 		o.Data = data
-		o.TVersion = tversion
-		o.TState = store.TValid
+		o.SetTLocked(tversion, store.TValid)
 	}
 	newLevel := reps.LevelOf(e.self)
 	if o.Level != wire.NonReplica && newLevel == wire.NonReplica {
 		o.Data = nil
-		o.TVersion = 0
-		o.TState = store.TValid
+		o.SetTLocked(0, store.TValid)
 	}
 	o.Level = newLevel
 	o.Mu.Unlock()
@@ -989,7 +1083,7 @@ func (e *Engine) handleNack(m *wire.OwnNack) {
 		return
 	}
 	select {
-	case req.done <- outcome{ok: false, reason: m.Reason}:
+	case req.done <- outcome{ok: false, reason: m.Reason, from: m.From}:
 	default:
 	}
 }
@@ -1001,11 +1095,15 @@ func (e *Engine) handleNack(m *wire.OwnNack) {
 // Pause makes the engine NACK new ownership requests (recovery window).
 func (e *Engine) Pause() { e.recovering.Store(true) }
 
-// Resume re-enables ownership requests and arb-replays every pending
-// arbitration left behind by the previous epoch.
+// Resume arb-replays every pending arbitration left behind by the previous
+// epoch and then re-enables ownership requests. The replay INVs are
+// broadcast BEFORE new REQs are accepted, so a directory driver that newly
+// gained a shard in this epoch usually learns the outcome of the shard's
+// in-flight arbitrations before it can be asked to drive one (the suspect
+// gating in directory.Service covers the remaining cross-sender races).
 func (e *Engine) Resume() {
-	e.recovering.Store(false)
 	e.ArbReplayAll()
+	e.recovering.Store(false)
 }
 
 // PruneDead removes dead nodes from all replica sets (directory entries and
@@ -1055,11 +1153,18 @@ func (e *Engine) ArbReplayAll() {
 }
 
 func (e *Engine) arbReplay(obj wire.ObjectID, pend store.PendingOwn, epoch wire.Epoch, live wire.Bitmap) {
+	// The replay's arbiter set is the original one (minus the dead) PLUS
+	// the object's CURRENT shard drivers: every cross-epoch arbitration can
+	// only complete through this path (epoch filters drop the in-flight
+	// completion messages), so this is where a driver that newly gained the
+	// shard learns the outcome. Without it the new driver's synced entry
+	// would go permanently stale for this object and later mint a colliding
+	// timestamp — electing an owner without invalidating the current one.
 	rs := &recovState{
 		reqID:    pend.ReqID,
 		obj:      obj,
 		ts:       pend.TS,
-		arbiters: pend.Arbiters.Intersect(live).Add(e.self),
+		arbiters: pend.Arbiters.Intersect(live).Add(e.self).Union(e.dir.DriversFor(obj).Intersect(live)),
 		pend:     pend,
 	}
 	e.recovMu.Lock()

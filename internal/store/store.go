@@ -103,9 +103,29 @@ type Object struct {
 	ID wire.ObjectID
 
 	// Reliable-commit metadata (meaningful on owner and readers).
+	// TState/TVersion must be written through SetTLocked (under Mu) so the
+	// packed atomic mirror (tsv) that the lock-free read-only validation
+	// reads stays coherent.
 	TState   TState
 	TVersion uint64
-	Data     []byte
+	// Data is the object payload. The slice is REPLACE-ONLY: every writer
+	// installs a freshly allocated (or freshly received) slice under Mu,
+	// and no code path ever mutates a published backing array in place —
+	// local commits install the transaction's private copy, R-INV apply
+	// installs the decoded update slab, ownership transfer installs the
+	// ACK payload, drops install nil. This contract is what makes the
+	// no-copy read paths safe: SnapshotRef, the transaction layer's
+	// owner-local read buffers, the ownership ACK piggyback and the
+	// zero-copy FabricMem delivery all alias the array after Mu is
+	// released. TestSnapshotRefStableAcrossReplace pins it.
+	Data []byte
+
+	// tsv mirrors ⟨TVersion, TState⟩ as one packed atomic word
+	// (version<<2 | state), maintained by SetTLocked. Read-only
+	// transactions re-validate against it without taking Mu (TSnapshot) —
+	// the seqlock-style check where the single-word payload makes the
+	// double-read degenerate to one consistent load.
+	tsv atomic.Uint64
 
 	// Ownership metadata (meaningful on the owner and directory nodes).
 	OState   OState
@@ -175,6 +195,36 @@ func (o *Object) ReleaseLocal(worker int32) {
 	if o.LocalOwner == worker {
 		o.LocalOwner = NoLocalOwner
 	}
+}
+
+// SetTLocked installs the reliable-commit version and state (caller holds
+// Mu) and publishes the packed atomic mirror for lock-free RO validation.
+func (o *Object) SetTLocked(ver uint64, st TState) {
+	o.TVersion = ver
+	o.TState = st
+	o.tsv.Store(ver<<2 | uint64(st))
+}
+
+// TSnapshot returns ⟨t_version, t_state⟩ from one atomic load, without
+// taking Mu. Because both ride in a single word, the value is always a
+// consistent pair — the read-only re-validation path uses this instead of
+// the object lock.
+func (o *Object) TSnapshot() (uint64, TState) {
+	w := o.tsv.Load()
+	return w >> 2, TState(w & 3)
+}
+
+// SnapshotRef returns (t_state, t_version, access level, data) WITHOUT
+// copying the payload — the transaction layer's read path. The returned
+// slice aliases the object's current Data, which is safe to read
+// indefinitely thanks to the replace-only contract (see the Data field): a
+// later commit installs a new slice and never touches the array this
+// snapshot points at. Callers must uphold the same rule and never write
+// through the result.
+func (o *Object) SnapshotRef() (TState, uint64, wire.AccessLevel, []byte) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	return o.TState, o.TVersion, o.Level, o.Data
 }
 
 // DataCopy returns a copy of the object's data under the object lock.

@@ -148,6 +148,64 @@ func TestSnapshotAndDataCopyIsolation(t *testing.T) {
 	}
 }
 
+// TestSnapshotRefStableAcrossReplace pins the replace-only contract behind
+// the copy-on-read elision: a no-copy snapshot keeps observing exactly the
+// bytes read, because writers install fresh slices instead of mutating the
+// published array.
+func TestSnapshotRefStableAcrossReplace(t *testing.T) {
+	s := New()
+	o, _ := s.GetOrCreate(1)
+	o.Mu.Lock()
+	o.Data = []byte("v1")
+	o.SetTLocked(1, TValid)
+	o.Mu.Unlock()
+
+	st, ver, lvl, ref := o.SnapshotRef()
+	if st != TValid || ver != 1 || lvl != wire.NonReplica || string(ref) != "v1" {
+		t.Fatalf("snapshot ref: %v %d %v %q", st, ver, lvl, ref)
+	}
+	if &ref[0] != &o.Data[0] {
+		t.Fatal("SnapshotRef must alias, not copy")
+	}
+
+	// A commit REPLACES the payload; the snapshot stays the old bytes.
+	o.Mu.Lock()
+	o.Data = []byte("v2")
+	o.SetTLocked(2, TWrite)
+	o.Mu.Unlock()
+	if string(ref) != "v1" {
+		t.Fatalf("snapshot mutated by replace: %q", ref)
+	}
+	if _, _, _, ref2 := o.SnapshotRef(); string(ref2) != "v2" {
+		t.Fatalf("fresh snapshot: %q", ref2)
+	}
+}
+
+// TestTSnapshotMirrorsSetTLocked pins the packed atomic word the lock-free
+// read-only validation reads.
+func TestTSnapshotMirrorsSetTLocked(t *testing.T) {
+	s := New()
+	o, _ := s.GetOrCreate(1)
+	if v, st := o.TSnapshot(); v != 0 || st != TValid {
+		t.Fatalf("zero value: %d %v", v, st)
+	}
+	o.Mu.Lock()
+	o.SetTLocked(7, TInvalid)
+	o.Mu.Unlock()
+	if v, st := o.TSnapshot(); v != 7 || st != TInvalid {
+		t.Fatalf("after SetTLocked: %d %v", v, st)
+	}
+	if o.TVersion != 7 || o.TState != TInvalid {
+		t.Fatal("SetTLocked must also set the locked fields")
+	}
+	o.Mu.Lock()
+	o.SetTLocked(8, TWrite)
+	o.Mu.Unlock()
+	if v, st := o.TSnapshot(); v != 8 || st != TWrite {
+		t.Fatalf("after second SetTLocked: %d %v", v, st)
+	}
+}
+
 func TestShardingDistribution(t *testing.T) {
 	// Dense sequential IDs (the benchmarks' pattern) should scatter across
 	// shards reasonably evenly thanks to Fibonacci hashing.

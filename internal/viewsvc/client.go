@@ -28,6 +28,7 @@ type Client struct {
 
 	onView      func(old, next wire.View, removed wire.Bitmap)
 	onRecovered func(wire.Epoch)
+	onState     func(wire.VSState)
 
 	// Renewal coalescing, entirely atomic — concurrent renewals never
 	// serialize on the client mutex (or any mutex): Renew sets the node's
@@ -51,9 +52,12 @@ func NewClient(cfg Config, tr transport.Transport, ids []wire.NodeID, members wi
 		cfg:      cfg.withDefaults(),
 		tr:       tr,
 		replicas: append([]wire.NodeID(nil), ids...),
-		state:    wire.VSState{Index: 0, Epoch: 1, Live: members},
 		events:   make(chan wire.VSState, 1024),
 		closed:   make(chan struct{}),
+	}
+	c.state = wire.VSState{
+		Index: 0, Epoch: 1, Live: members,
+		Placement: wire.ComputePlacement(c.cfg.DirShards, c.cfg.DirDegree, 1, members),
 	}
 	tr.SetHandler(c.handle)
 	go c.pump()
@@ -82,6 +86,16 @@ func (c *Client) OnView(fn func(old, next wire.View, removed wire.Bitmap)) {
 func (c *Client) OnRecovered(fn func(wire.Epoch)) {
 	c.mu.Lock()
 	c.onRecovered = fn
+	c.mu.Unlock()
+}
+
+// OnState registers the (single) raw-state callback: it runs for every newly
+// installed committed state, BEFORE the view/recovered callbacks that state
+// implies — consumers of replicated side-state (the directory placement)
+// must be current by the time the view-change machinery reacts.
+func (c *Client) OnState(fn func(wire.VSState)) {
+	c.mu.Lock()
+	c.onState = fn
 	c.mu.Unlock()
 }
 
@@ -310,11 +324,14 @@ func (c *Client) pump() {
 		removed := old.Live &^ next.Live
 		viewChanged := next.Epoch > old.Epoch
 		recovered := s.Barrier == 0 && (oldBarrier != 0 || (viewChanged && removed != 0))
-		onView, onRecovered := c.onView, c.onRecovered
+		onView, onRecovered, onState := c.onView, c.onRecovered, c.onState
 		c.mu.Unlock()
 		// Callbacks first, install second: by the time WaitEpoch or
 		// RecoveryPending observe the new state, its consequences (engine
 		// pause/recovery/resume) have fully propagated.
+		if onState != nil {
+			onState(s)
+		}
 		if viewChanged && onView != nil {
 			onView(old, next, removed)
 		}

@@ -35,10 +35,12 @@
 package viewsvc
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zeus/internal/shardmap"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
 )
@@ -48,6 +50,16 @@ type Config struct {
 	// Lease is how long a data node's lease outlives its last renewal; a
 	// failure report is applied only after the lease expired.
 	Lease time.Duration
+	// DirShards is the shard count of the sharded ownership directory
+	// (§6.2) whose placement map the service replicates as part of its
+	// state. Default: scaled with the host like the store's shards
+	// (shardmap.ScaledCount). Every replica of one ensemble must agree —
+	// the value only seeds the initial state; afterwards the committed
+	// placement is authoritative.
+	DirShards int
+	// DirDegree is the target driver count per directory shard (default 3,
+	// the paper's directory replication degree; clamped to the live set).
+	DirDegree int
 	// Heartbeat is the leader's heartbeat period towards the other
 	// replicas. Default: Lease/2 clamped to [1ms, 25ms].
 	Heartbeat time.Duration
@@ -64,6 +76,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Lease <= 0 {
 		c.Lease = 10 * time.Millisecond
+	}
+	if c.DirShards <= 0 {
+		c.DirShards = shardmap.ScaledCount(runtime.GOMAXPROCS(0))
+	}
+	if c.DirShards > wire.MaxDirShards {
+		c.DirShards = wire.MaxDirShards
+	}
+	if c.DirDegree <= 0 {
+		c.DirDegree = 3
 	}
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = c.Lease / 2
@@ -147,10 +168,13 @@ func NewReplica(cfg Config, ids []wire.NodeID, idx int, tr transport.Transport, 
 		ids:      append([]wire.NodeID(nil), ids...),
 		idx:      idx,
 		tr:       tr,
-		state:    wire.VSState{Index: 0, Epoch: 1, Live: members},
 		leading:  idx == 0, // ballot 0's leader
 		pendFail: make(map[wire.NodeID]*time.Timer),
 		closed:   make(chan struct{}),
+	}
+	r.state = wire.VSState{
+		Index: 0, Epoch: 1, Live: members,
+		Placement: wire.ComputePlacement(r.cfg.DirShards, r.cfg.DirDegree, 1, members),
 	}
 	now := time.Now().UnixNano()
 	for _, n := range members.Nodes() {
@@ -320,6 +344,12 @@ func (r *Replica) inFlightLocked(cmd wire.VSCommand) bool {
 }
 
 // applyCmd computes the post-state of cmd over s. ok is false for no-ops.
+// Live-set changes deterministically recompute the directory placement
+// (§6.2) as part of the same command, so the shard→drivers map is
+// quorum-committed with the view it belongs to: a crashed driver's shards
+// are re-driven exactly when its lease-protected removal commits, and a
+// leader takeover adopts placement together with membership (state
+// transfer, no separate consensus).
 func applyCmd(s wire.VSState, cmd wire.VSCommand) (next wire.VSState, ok, done bool, doneEpoch wire.Epoch) {
 	next = s
 	next.Index++
@@ -330,6 +360,7 @@ func applyCmd(s wire.VSState, cmd wire.VSCommand) (next wire.VSState, ok, done b
 		}
 		next.Live = s.Live.Remove(cmd.Node)
 		next.Epoch = s.Epoch + 1
+		next.Placement = s.Placement.Recompute(next.Epoch, next.Live)
 		// Post-failure barrier (§5.1): every surviving node must replay
 		// the dead node's pending reliable commits and report done.
 		next.Barrier = next.Live
@@ -341,6 +372,7 @@ func applyCmd(s wire.VSState, cmd wire.VSCommand) (next wire.VSState, ok, done b
 		}
 		next.Live = s.Live.Add(cmd.Node)
 		next.Epoch = s.Epoch + 1
+		next.Placement = s.Placement.Recompute(next.Epoch, next.Live)
 		return next, true, false, 0
 	case wire.VSRecoveryDone:
 		if s.Barrier == 0 || cmd.Epoch != s.BarrierEpoch || !s.Barrier.Contains(cmd.Node) {

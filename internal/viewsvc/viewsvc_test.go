@@ -131,6 +131,70 @@ func TestBarrierAcrossTakeover(t *testing.T) {
 	}
 }
 
+// TestPlacementRidesTheStateMachine pins the sharded-directory contract
+// (§6.2): the placement map is part of the committed state, recomputed on
+// every live-set change, and adopted across a ballot takeover like the rest
+// of the state.
+func TestPlacementRidesTheStateMachine(t *testing.T) {
+	cfg := Config{Lease: time.Millisecond, Heartbeat: time.Millisecond,
+		TakeoverAfter: 5 * time.Millisecond, DirShards: 8, DirDegree: 3}
+	r := newRig(t, 3, wire.BitmapOf(0, 1, 2, 3), cfg)
+
+	p := r.cli.State().Placement
+	if len(p.Shards) != 8 || p.Epoch != 1 {
+		t.Fatalf("initial placement: %d shards, epoch %d", len(p.Shards), p.Epoch)
+	}
+	want := wire.ComputePlacement(8, 3, 1, wire.BitmapOf(0, 1, 2, 3))
+	for s := range p.Shards {
+		if p.Shards[s] != want.Shards[s] {
+			t.Fatalf("initial shard %d = %v, want %v", s, p.Shards[s], want.Shards[s])
+		}
+	}
+
+	// A committed failure recomputes the placement with the view.
+	r.cli.Fail(3)
+	if !r.cli.WaitEpoch(2, time.Second) {
+		t.Fatal("fail never committed")
+	}
+	p = r.cli.State().Placement
+	if p.Epoch != 2 {
+		t.Fatalf("placement epoch after fail: %d", p.Epoch)
+	}
+	for s, ds := range p.Shards {
+		if ds.Contains(3) {
+			t.Fatalf("shard %d still driven by failed node: %v", s, ds)
+		}
+		if ds != wire.BitmapOf(0, 1, 2) {
+			t.Fatalf("shard %d drivers %v, want all three survivors", s, ds)
+		}
+	}
+
+	// Placement survives a leader takeover (state transfer, no recompute
+	// drift) and keeps evolving through the new leader.
+	r.hub.SetDown(r.ens.IDs()[0], true)
+	r.cli.Join(5)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.cli.State().Placement.Epoch != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("placement never advanced through the new leader: %+v", r.cli.State().Placement)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p = r.cli.State().Placement
+	joined := 0
+	for _, ds := range p.Shards {
+		if ds.Count() != 3 {
+			t.Fatalf("shard degree broken after join: %v", ds)
+		}
+		if ds.Contains(5) {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("joined node drives no shards")
+	}
+}
+
 func TestRenewalsLockFree(t *testing.T) {
 	r := newRig(t, 3, wire.BitmapOf(0, 1, 2), Config{Lease: 50 * time.Millisecond})
 	// Concurrent renewals from all nodes: must not race (run under -race)

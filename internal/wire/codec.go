@@ -84,6 +84,24 @@ func (e *enc) vsstate(s VSState) {
 	e.bitmap(s.Live)
 	e.bitmap(s.Barrier)
 	e.epoch(s.BarrierEpoch)
+	e.placement(s.Placement)
+}
+func (e *enc) placement(p DirPlacement) {
+	e.epoch(p.Epoch)
+	e.u8(p.Degree)
+	e.u16(uint16(len(p.Shards)))
+	for _, b := range p.Shards {
+		e.bitmap(b)
+	}
+}
+func (e *enc) direntries(es []DirEntry) {
+	e.u32(uint32(len(es)))
+	for _, x := range es {
+		e.obj(x.Obj)
+		e.ots(x.TS)
+		e.replicas(x.Replicas)
+		e.boolean(x.Pending)
+	}
 }
 
 type dec struct {
@@ -241,7 +259,57 @@ func (d *dec) vsstate() VSState {
 	return VSState{
 		Index: d.u64(), Epoch: d.epoch(), Live: d.bitmap(),
 		Barrier: d.bitmap(), BarrierEpoch: d.epoch(),
+		Placement: d.placement(),
 	}
+}
+func (d *dec) placement() DirPlacement {
+	p := DirPlacement{Epoch: d.epoch(), Degree: d.u8()}
+	n := d.u16()
+	if d.err != nil {
+		return DirPlacement{}
+	}
+	if int(n)*8 > len(d.b) {
+		d.err = ErrTooLarge
+		return DirPlacement{}
+	}
+	if n == 0 {
+		return p
+	}
+	p.Shards = make([]Bitmap, n)
+	for i := range p.Shards {
+		p.Shards[i] = d.bitmap()
+	}
+	return p
+}
+func (d *dec) shardList() []uint32 {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n)*4 > len(d.b) {
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, d.u32())
+	}
+	return out
+}
+func (d *dec) direntries() []DirEntry {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n)*29 > len(d.b) { // each entry is 29 encoded bytes
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]DirEntry, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, DirEntry{Obj: d.obj(), TS: d.ots(), Replicas: d.replicas(), Pending: d.boolean()})
+	}
+	return out
 }
 func (d *dec) objsList() []ObjectID {
 	n := d.u32()
@@ -263,7 +331,7 @@ func (d *dec) objsList() []ObjectID {
 // payload-carrying kinds. Marshal uses it to allocate the output buffer in
 // one shot instead of growing through append.
 func EncodedSize(m Msg) int {
-	const fixed = 96 // covers every fixed-size message kind
+	const fixed = 128 // covers every fixed-size message kind
 	switch v := m.(type) {
 	case *CommitInv:
 		n := fixed
@@ -297,6 +365,16 @@ func EncodedSize(m Msg) int {
 		return n
 	case *BAbort:
 		return fixed + 8*len(v.Objs)
+	case *VSAccept:
+		return fixed + 8*(len(v.State.Placement.Shards)+len(v.AccState.Placement.Shards))
+	case *VSCommit:
+		return fixed + 8*len(v.State.Placement.Shards)
+	case *VSQuery:
+		return fixed + 8*len(v.State.Placement.Shards)
+	case *DirState:
+		return fixed + 29*len(v.Entries)
+	case *DirPull:
+		return fixed + 4*len(v.Shards)
 	}
 	return fixed
 }
@@ -320,6 +398,7 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.u8(uint8(v.Mode))
 		e.epoch(v.Epoch)
 		e.bitmap(v.Target)
+		e.u32(v.Shard)
 	case *OwnInv:
 		e.u64(v.ReqID)
 		e.obj(v.Obj)
@@ -471,6 +550,18 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.boolean(v.Resp)
 		e.u64(v.Ballot)
 		e.vsstate(v.State)
+	case *DirPull:
+		e.u32(uint32(len(v.Shards)))
+		for _, sh := range v.Shards {
+			e.u32(sh)
+		}
+		e.epoch(v.PlacementEpoch)
+		e.node(v.From)
+	case *DirState:
+		e.u32(v.Shard)
+		e.epoch(v.PlacementEpoch)
+		e.node(v.From)
+		e.direntries(v.Entries)
 	default:
 		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
 	}
@@ -490,6 +581,7 @@ func Unmarshal(p []byte) (Msg, error) {
 		m = &OwnReq{
 			ReqID: d.u64(), Obj: d.obj(), Requester: d.node(),
 			Mode: ReqMode(d.u8()), Epoch: d.epoch(), Target: d.bitmap(),
+			Shard: d.u32(),
 		}
 	case KindOwnInv:
 		m = &OwnInv{
@@ -577,6 +669,13 @@ func Unmarshal(p []byte) (Msg, error) {
 		m = &VSLeaseMsg{Nodes: d.bitmap(), Heartbeat: d.boolean(), Ballot: d.u64()}
 	case KindVSQuery:
 		m = &VSQuery{Resp: d.boolean(), Ballot: d.u64(), State: d.vsstate()}
+	case KindDirPull:
+		m = &DirPull{Shards: d.shardList(), PlacementEpoch: d.epoch(), From: d.node()}
+	case KindDirState:
+		m = &DirState{
+			Shard: d.u32(), PlacementEpoch: d.epoch(), From: d.node(),
+			Entries: d.direntries(),
+		}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

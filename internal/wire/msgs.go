@@ -50,6 +50,11 @@ const (
 	KindVSLease
 	KindVSQuery
 
+	// Sharded ownership directory (§6.2): shard metadata sync between
+	// arbitration drivers after a placement change.
+	KindDirPull
+	KindDirState
+
 	kindSentinel // keep last
 )
 
@@ -61,6 +66,7 @@ func (k Kind) String() string {
 		"b-lock-resp", "b-validate", "b-validate-resp", "b-backup",
 		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
 		"vs-propose", "vs-accept", "vs-commit", "vs-lease", "vs-query",
+		"dir-pull", "dir-state",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -90,6 +96,11 @@ type OwnReq struct {
 	// Target is the reader to drop (DropReader) or the initial reader set
 	// encoded as a bitmap (CreateObject).
 	Target Bitmap
+	// Shard is the directory shard the requester resolved Obj to (§6.2).
+	// The driver rejects the REQ (NackNotDriver) when it disagrees — a
+	// requester routing on a stale or differently-sized placement re-resolves
+	// and retries instead of being arbitrated by the wrong driver set.
+	Shard uint32
 }
 
 func (*OwnReq) Kind() Kind { return KindOwnReq }
@@ -457,6 +468,12 @@ type VSState struct {
 	Live         Bitmap
 	Barrier      Bitmap // nodes that still owe a recovery report (0 = closed)
 	BarrierEpoch Epoch  // epoch whose barrier is (or was last) open
+	// Placement is the sharded ownership directory's shard→drivers map
+	// (§6.2), recomputed by the state machine on every live-set change so
+	// that placement is quorum-committed and survives leader takeover
+	// exactly like membership. The Shards slice is immutable once a state
+	// is published; states share it freely.
+	Placement DirPlacement
 }
 
 // VSPropose asks the view-service leader to run a command. Clients multicast
@@ -536,3 +553,53 @@ type VSQuery struct {
 }
 
 func (*VSQuery) Kind() Kind { return KindVSQuery }
+
+// ---------------------------------------------------------------------------
+// Sharded-directory sync messages (§6.2, internal/directory).
+//
+// When a placement change makes a node a NEW driver of a shard (a previous
+// driver crashed, or a joined node rendezvous-ranked into the set), the new
+// driver has no directory entries for the shard's objects. It pulls the
+// shard's metadata — replica sets and ownership timestamps, never object
+// data — from the surviving drivers, NACKing ownership REQs for the shard
+// (NackRecovering) until the first snapshot lands.
+// ---------------------------------------------------------------------------
+
+// DirPull asks a surviving driver for the directory metadata of a set of
+// shards (all shards the puller newly drives that share the same source
+// set, so one view change costs each source a single store scan). The
+// source answers with one DirState per shard, echoing PlacementEpoch.
+type DirPull struct {
+	Shards         []uint32
+	PlacementEpoch Epoch
+	From           NodeID
+}
+
+func (*DirPull) Kind() Kind { return KindDirPull }
+
+// DirEntry is one object's directory metadata: the applied ownership
+// timestamp and replica set (Table 1's o_ts / o_replicas). Pending flags an
+// arbitration that was in flight at the source when it snapshotted: the
+// entry's applied state may be superseded the moment that arbitration's
+// replay completes, so a new driver must not mint timestamps from it until
+// it has observed the outcome (directory.Service suspect gating).
+type DirEntry struct {
+	Obj      ObjectID
+	TS       OTS
+	Replicas ReplicaSet
+	Pending  bool
+}
+
+// DirState carries one shard's directory snapshot to a pulling driver.
+// Entries are applied idempotently: an entry only installs over a strictly
+// older ownership timestamp, and never over a pending arbitration.
+// PlacementEpoch echoes the pull it answers, so a delayed snapshot from a
+// superseded placement cannot mark a newer pull complete.
+type DirState struct {
+	Shard          uint32
+	PlacementEpoch Epoch
+	From           NodeID
+	Entries        []DirEntry
+}
+
+func (*DirState) Kind() Kind { return KindDirState }

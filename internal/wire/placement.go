@@ -1,0 +1,123 @@
+package wire
+
+// DirPlacement is the sharded ownership directory's placement map (§6.2):
+// the directory is hash-partitioned into shards, and each shard is driven by
+// a small set of arbitration drivers (the paper replicates the directory
+// three ways). The map is part of the replicated view-service state
+// (wire.VSState), so every node resolves object → shard → drivers from the
+// same quorum-committed placement, and a crashed driver's shards are
+// re-driven only after its lease expired — placement epochs ride the
+// membership epoch/ballot machinery instead of needing their own consensus.
+//
+// Driver sets are chosen by rendezvous (highest-random-weight) hashing over
+// the live set, which gives the two properties the directory needs without
+// storing any history: placement is a pure function of ⟨shard count, degree,
+// live set⟩, and it is stable — a view change only moves the shards whose
+// driver set actually lost (or, on scale-out, gains) a member.
+type DirPlacement struct {
+	// Epoch is the placement version: the membership epoch this placement
+	// was derived from.
+	Epoch Epoch
+	// Degree is the target driver count per shard (clamped to the live set).
+	Degree uint8
+	// Shards maps shard index → driver set.
+	Shards []Bitmap
+}
+
+// placeMix is a SplitMix64-style finalizer used for both object→shard
+// hashing and the rendezvous weights (kept local so the wire package stays
+// dependency-free).
+func placeMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rendezvousDrivers picks the degree highest-weight live nodes for a shard.
+func rendezvousDrivers(shard uint64, degree int, nodes []NodeID) Bitmap {
+	var out Bitmap
+	for picked := 0; picked < degree && picked < len(nodes); picked++ {
+		best, bestW := NoNode, uint64(0)
+		for _, n := range nodes {
+			if out.Contains(n) {
+				continue
+			}
+			w := placeMix(shard*0x9E3779B97F4A7C15 ^ uint64(n)*0xD6E8FEB86659FD93)
+			if best == NoNode || w > bestW {
+				best, bestW = n, w
+			}
+		}
+		if best == NoNode {
+			break
+		}
+		out = out.Add(best)
+	}
+	return out
+}
+
+// MaxDirShards caps the directory shard count: far above any useful scale
+// (shards beyond the core count buy nothing) and safely inside the codec's
+// u16 shard-count field.
+const MaxDirShards = 4096
+
+// ComputePlacement builds a fresh placement: shards hash partitions, each
+// driven by (up to) degree nodes rendezvous-hashed from live. The shard
+// count is clamped to [1, MaxDirShards].
+func ComputePlacement(shards, degree int, epoch Epoch, live Bitmap) DirPlacement {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxDirShards {
+		shards = MaxDirShards
+	}
+	if degree < 1 {
+		degree = 3
+	}
+	p := DirPlacement{Epoch: epoch, Degree: uint8(degree), Shards: make([]Bitmap, shards)}
+	nodes := live.Nodes()
+	for s := range p.Shards {
+		p.Shards[s] = rendezvousDrivers(uint64(s), degree, nodes)
+	}
+	return p
+}
+
+// Recompute derives the placement for a new live set, preserving the shard
+// count and degree. Rendezvous hashing guarantees only shards whose driver
+// set actually changed membership get a different driver set.
+func (p DirPlacement) Recompute(epoch Epoch, live Bitmap) DirPlacement {
+	shards, degree := len(p.Shards), int(p.Degree)
+	if shards == 0 {
+		shards = 1
+	}
+	if degree == 0 {
+		degree = 3
+	}
+	return ComputePlacement(shards, degree, epoch, live)
+}
+
+// IsZero reports whether the placement is unset (no shards).
+func (p DirPlacement) IsZero() bool { return len(p.Shards) == 0 }
+
+// ShardOf maps an object to its directory shard.
+func (p DirPlacement) ShardOf(obj ObjectID) int {
+	if len(p.Shards) == 0 {
+		return 0
+	}
+	return int(placeMix(uint64(obj)) % uint64(len(p.Shards)))
+}
+
+// DriversFor returns the driver set of obj's shard.
+func (p DirPlacement) DriversFor(obj ObjectID) Bitmap {
+	if len(p.Shards) == 0 {
+		return 0
+	}
+	return p.Shards[p.ShardOf(obj)]
+}
+
+// Drives reports whether n drives obj's shard.
+func (p DirPlacement) Drives(n NodeID, obj ObjectID) bool {
+	return p.DriversFor(obj).Contains(n)
+}

@@ -1,0 +1,118 @@
+package wire
+
+import "testing"
+
+func TestComputePlacementShape(t *testing.T) {
+	live := BitmapOf(0, 1, 2, 3, 4, 5)
+	p := ComputePlacement(64, 3, 1, live)
+	if len(p.Shards) != 64 || p.Degree != 3 || p.Epoch != 1 {
+		t.Fatalf("placement shape: %d shards, degree %d, epoch %d", len(p.Shards), p.Degree, p.Epoch)
+	}
+	for s, ds := range p.Shards {
+		if ds.Count() != 3 {
+			t.Fatalf("shard %d has %d drivers", s, ds.Count())
+		}
+		if ds.Intersect(live) != ds {
+			t.Fatalf("shard %d drivers %v outside live set", s, ds)
+		}
+	}
+}
+
+func TestComputePlacementClampsToLiveSet(t *testing.T) {
+	p := ComputePlacement(8, 3, 1, BitmapOf(2, 7))
+	for s, ds := range p.Shards {
+		if ds != BitmapOf(2, 7) {
+			t.Fatalf("shard %d drivers %v; want both live nodes", s, ds)
+		}
+	}
+	if got := ComputePlacement(4, 3, 1, 0); len(got.Shards) != 4 {
+		t.Fatalf("empty live set should keep the shard count: %v", got.Shards)
+	}
+}
+
+func TestComputePlacementDeterministic(t *testing.T) {
+	live := BitmapOf(0, 1, 2, 3, 4)
+	a := ComputePlacement(32, 3, 7, live)
+	b := ComputePlacement(32, 3, 7, live)
+	for s := range a.Shards {
+		if a.Shards[s] != b.Shards[s] {
+			t.Fatalf("shard %d differs across identical computations", s)
+		}
+	}
+}
+
+// TestPlacementStability pins the rendezvous property the sync machinery
+// relies on: removing one node only changes the shards that node drove.
+func TestPlacementStability(t *testing.T) {
+	live := BitmapOf(0, 1, 2, 3, 4, 5)
+	before := ComputePlacement(128, 3, 1, live)
+	after := before.Recompute(2, live.Remove(3))
+	moved := 0
+	for s := range before.Shards {
+		if before.Shards[s].Contains(3) {
+			moved++
+			if after.Shards[s].Contains(3) {
+				t.Fatalf("shard %d still driven by removed node", s)
+			}
+			// Survivors keep their seats; exactly one replacement joins.
+			kept := before.Shards[s].Remove(3)
+			if after.Shards[s].Intersect(kept) != kept {
+				t.Fatalf("shard %d evicted a surviving driver: %v -> %v", s, before.Shards[s], after.Shards[s])
+			}
+			continue
+		}
+		if before.Shards[s] != after.Shards[s] {
+			t.Fatalf("shard %d moved without losing a driver: %v -> %v", s, before.Shards[s], after.Shards[s])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node 3 drove no shards at all (distribution broken)")
+	}
+}
+
+func TestPlacementDistribution(t *testing.T) {
+	// Every node should drive a reasonable share of shards, and dense
+	// object ids should scatter across shards.
+	live := BitmapOf(0, 1, 2, 3, 4, 5)
+	p := ComputePlacement(256, 3, 1, live)
+	perNode := map[NodeID]int{}
+	for _, ds := range p.Shards {
+		for _, n := range ds.Nodes() {
+			perNode[n]++
+		}
+	}
+	want := 256 * 3 / 6
+	for n, got := range perNode {
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %d drives %d shards; expected around %d", n, got, want)
+		}
+	}
+	perShard := make([]int, 64)
+	q := ComputePlacement(64, 3, 1, live)
+	for obj := ObjectID(0); obj < 6400; obj++ {
+		perShard[q.ShardOf(obj)]++
+	}
+	for s, got := range perShard {
+		if got > 4*6400/64 {
+			t.Fatalf("shard %d holds %d of 6400 dense objects", s, got)
+		}
+	}
+}
+
+func TestPlacementResolvers(t *testing.T) {
+	p := ComputePlacement(16, 3, 1, BitmapOf(0, 1, 2, 3))
+	obj := ObjectID(42)
+	sh := p.ShardOf(obj)
+	if p.DriversFor(obj) != p.Shards[sh] {
+		t.Fatal("DriversFor disagrees with ShardOf")
+	}
+	for _, n := range p.Shards[sh].Nodes() {
+		if !p.Drives(n, obj) {
+			t.Fatalf("driver %d not reported by Drives", n)
+		}
+	}
+	var zero DirPlacement
+	if !zero.IsZero() || zero.ShardOf(obj) != 0 || zero.DriversFor(obj) != 0 {
+		t.Fatal("zero placement should resolve to shard 0 with no drivers")
+	}
+}

@@ -280,6 +280,10 @@ const (
 	NackUnknownObject
 	// NackRecovering: ownership requests are paused during recovery (§5.1).
 	NackRecovering
+	// NackNotDriver: the REQ reached a node that does not drive the
+	// object's directory shard (stale or mismatched placement, §6.2); the
+	// requester re-resolves the placement and retries.
+	NackNotDriver
 )
 
 func (r NackReason) String() string {
@@ -294,6 +298,8 @@ func (r NackReason) String() string {
 		return "unknown-object"
 	case NackRecovering:
 		return "recovering"
+	case NackNotDriver:
+		return "not-driver"
 	default:
 		return fmt.Sprintf("NackReason(%d)", uint8(r))
 	}

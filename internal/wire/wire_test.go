@@ -144,7 +144,7 @@ func TestReplicaSetWithOwnerSameOwner(t *testing.T) {
 func allMessages() []Msg {
 	data := []byte("the quick brown fox")
 	return []Msg{
-		&OwnReq{ReqID: 7, Obj: 42, Requester: 3, Mode: AcquireOwner, Epoch: 2, Target: BitmapOf(1, 2)},
+		&OwnReq{ReqID: 7, Obj: 42, Requester: 3, Mode: AcquireOwner, Epoch: 2, Target: BitmapOf(1, 2), Shard: 13},
 		&OwnInv{ReqID: 7, Obj: 42, TS: OTS{9, 1}, Epoch: 2, Requester: 3, Driver: 0,
 			Mode: AcquireReader, NewReplicas: ReplicaSet{Owner: 3, Readers: BitmapOf(1)},
 			PrevOwner: 1, Arbiters: BitmapOf(0, 1, 2), Recovery: true},
@@ -184,10 +184,17 @@ func allMessages() []Msg {
 			HasAcc: true, AccBallot: 3, AccCmd: VSCommand{Op: VSJoin, Node: 6},
 			AccState: VSState{Index: 10, Epoch: 6, Live: BitmapOf(0, 1, 6)}},
 		&VSCommit{Ballot: 4, Cmd: VSCommand{Op: VSRecoveryDone, Node: 1, Epoch: 5},
-			State:       VSState{Index: 11, Epoch: 5, Live: BitmapOf(0, 1)},
+			State: VSState{Index: 11, Epoch: 5, Live: BitmapOf(0, 1),
+				Placement: DirPlacement{Epoch: 5, Degree: 2, Shards: []Bitmap{BitmapOf(0, 1), BitmapOf(0, 1)}}},
 			BarrierDone: true, DoneEpoch: 5},
 		&VSLeaseMsg{Nodes: BitmapOf(2, 5), Heartbeat: true, Ballot: 7},
-		&VSQuery{Resp: true, Ballot: 7, State: VSState{Index: 3, Epoch: 2, Live: BitmapOf(0, 1, 2)}},
+		&VSQuery{Resp: true, Ballot: 7, State: VSState{Index: 3, Epoch: 2, Live: BitmapOf(0, 1, 2),
+			Placement: ComputePlacement(4, 3, 2, BitmapOf(0, 1, 2))}},
+		&DirPull{Shards: []uint32{9, 11, 12}, PlacementEpoch: 3, From: 4},
+		&DirState{Shard: 9, PlacementEpoch: 3, From: 2, Entries: []DirEntry{
+			{Obj: 42, TS: OTS{9, 1}, Replicas: ReplicaSet{Owner: 3, Readers: BitmapOf(1, 2)}, Pending: true},
+			{Obj: 43, TS: OTS{2, 0}, Replicas: ReplicaSet{Owner: NoNode}},
+		}},
 	}
 }
 

@@ -64,6 +64,15 @@ type Options struct {
 	// min(Workers, GOMAXPROCS); any value <= 1 (e.g. -1) keeps the single
 	// inline delivery goroutine.
 	DispatchShards int
+	// DirectoryShards partitions the ownership directory (§6.2) into hash
+	// shards, each driven by up to three nodes chosen by rendezvous
+	// hashing from the live view; the shard→drivers placement map is
+	// replicated through the view service, so arbitration load spreads
+	// across the cluster and a crashed driver's shards are re-driven after
+	// its lease expires. 0 (the default) scales the shard count with the
+	// host like the store's shards; negative keeps the legacy fixed
+	// three-node directory (the degenerate 1-shard case).
+	DirectoryShards int
 	// ViewReplicas is the size of the replicated membership (view service)
 	// ensemble backing the deployment (default and maximum 3 — the
 	// ensemble lives in a reserved transport-id range; larger values are
@@ -103,6 +112,7 @@ func New(opts Options) *Cluster {
 		co.Workers = opts.Workers
 	}
 	co.DispatchShards = opts.DispatchShards
+	co.DirShards = opts.DirectoryShards
 	co.ViewReplicas = opts.ViewReplicas
 	if opts.SimulatedNetwork {
 		co.Fabric = cluster.FabricSim
