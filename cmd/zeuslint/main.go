@@ -1,0 +1,89 @@
+// Command zeuslint runs the Zeus concurrency-contract analyzers
+// (internal/lint) over the given package patterns — a multichecker in the
+// spirit of golang.org/x/tools/go/analysis/multichecker, built on the
+// standard library only.
+//
+// Usage:
+//
+//	zeuslint [-rules rule1,rule2] [packages]
+//
+// With no packages, ./... is analyzed. Exit status is 1 when findings
+// remain after //lint:allow waivers, 2 on operational errors. CI runs
+// `go run ./cmd/zeuslint ./...` as a required job: the tree ships
+// lint-clean, so every finding is either a real contract violation or needs
+// an explicit, justified waiver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zeus/internal/lint"
+	"zeus/internal/lint/analysis"
+	"zeus/internal/lint/loader"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zeuslint [-rules rule1,rule2] [packages]\n\nrules:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *rules != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "zeuslint: unknown rule %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeuslint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeuslint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeuslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"zeus/internal/membership"
 	"zeus/internal/netsim"
 	"zeus/internal/ownership"
+	"zeus/internal/retry"
 	"zeus/internal/shardmap"
 	"zeus/internal/store"
 	"zeus/internal/transport"
@@ -325,14 +326,33 @@ func (c *Cluster) Kill(i int) error {
 	if !c.mgr.WaitEpoch(before+1, 5*time.Second) {
 		return fmt.Errorf("cluster: view change after killing %d timed out", i)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for c.mgr.RecoveryPending() {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: recovery barrier after killing %d timed out", i)
-		}
-		time.Sleep(200 * time.Microsecond)
+	if !c.waitRecoveryDrained(5 * time.Second) {
+		return fmt.Errorf("cluster: recovery barrier after killing %d timed out", i)
 	}
 	return nil
+}
+
+// errRecoveryPending drives waitRecoveryDrained's retry.Do poll; never
+// escapes.
+var errRecoveryPending = fmt.Errorf("cluster: recovery barrier open")
+
+// waitRecoveryDrained polls the manager's recovery barrier through the
+// shared retry machinery (fixed 200 µs probes, bounded by timeout); it
+// reports whether the barrier closed in time.
+func (c *Cluster) waitRecoveryDrained(timeout time.Duration) bool {
+	err := retry.Do(nil, retry.Policy{
+		InitialBackoff: 200 * time.Microsecond,
+		MaxBackoff:     200 * time.Microsecond,
+		Multiplier:     1,
+		Jitter:         -1,
+		MaxElapsed:     timeout,
+	}, nil, func(int) error {
+		if c.mgr.RecoveryPending() {
+			return errRecoveryPending
+		}
+		return nil
+	})
+	return err == nil
 }
 
 // AddNode starts a fresh node with the next id and joins it to the
@@ -352,12 +372,8 @@ func (c *Cluster) Leave(i int) error {
 	if !c.mgr.WaitEpoch(before+1, 5*time.Second) {
 		return fmt.Errorf("cluster: leave view change timed out")
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for c.mgr.RecoveryPending() {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("cluster: recovery barrier after leave timed out")
-		}
-		time.Sleep(200 * time.Microsecond)
+	if !c.waitRecoveryDrained(5 * time.Second) {
+		return fmt.Errorf("cluster: recovery barrier after leave timed out")
 	}
 	if c.net != nil {
 		c.net.SetDown(id, true)

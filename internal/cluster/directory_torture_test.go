@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -120,6 +121,8 @@ func assertDirInvariants(t *testing.T, c *Cluster, dead wire.NodeID,
 			return tx.Set(uint64(obj), v)
 		})
 		if err != nil {
+			// Pending-commit wedge trace (ZEUS_WEDGE_DUMP, ROADMAP liveness bug).
+			c.MaybeWedgeDump(fmt.Sprintf("directory-torture final read of %d: %v", obj, err))
 			t.Fatalf("final read of %d: %v", obj, err)
 		}
 		if want := committed[obj].Load() + 1; final != want {

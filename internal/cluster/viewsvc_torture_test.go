@@ -195,6 +195,9 @@ func TestViewServiceLeaderFailover(t *testing.T) {
 		return tx.Set(1, v)
 	})
 	if err != nil {
+		// The carried-over pending-commit wedge flake dies here after
+		// exhausting NackPendingCommit retries; leave a trace (ZEUS_WEDGE_DUMP).
+		c.MaybeWedgeDump("leader-takeover final read: " + err.Error())
 		t.Fatal(err)
 	}
 	if final != committed.Load()+1 {
@@ -269,6 +272,9 @@ func TestViewServiceFollowerCrashUnderLoad(t *testing.T) {
 		final = fromU64c(v)
 		return tx.Set(1, v)
 	}); err != nil {
+		// The carried-over pending-commit wedge flake dies here after
+		// exhausting NackPendingCommit retries; leave a trace (ZEUS_WEDGE_DUMP).
+		c.MaybeWedgeDump("follower-crash final read: " + err.Error())
 		t.Fatal(err)
 	}
 	if final != committed.Load() {

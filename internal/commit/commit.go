@@ -31,6 +31,7 @@
 package commit
 
 import (
+	"errors"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,16 @@ var resendPolicy = retry.Policy{
 	MaxBackoff:     16 * time.Millisecond,
 	Multiplier:     2,
 	Jitter:         0.25,
+}
+
+// backpressurePolicy paces the pipeline-full yield in Commit: fixed 20 µs
+// probes, no growth, no jitter (retrydiscipline: all engine pacing goes
+// through internal/retry).
+var backpressurePolicy = retry.Policy{
+	InitialBackoff: 20 * time.Microsecond,
+	MaxBackoff:     20 * time.Microsecond,
+	Multiplier:     1,
+	Jitter:         -1,
 }
 
 // maxPeers bounds the per-peer coalescer array (wire.Bitmap caps a
@@ -331,17 +342,27 @@ func (e *Engine) PendingSlots() int {
 	return n
 }
 
+// errSlotsPending drives WaitIdle's retry.Do poll; never escapes.
+var errSlotsPending = errors.New("commit: coordinator slots pending")
+
 // WaitIdle blocks until every coordinator slot validated or timeout elapses.
 func (e *Engine) WaitIdle(timeout time.Duration) bool {
 	e.flushOut() // push queued R-INVs out instead of waiting a tick
-	deadline := time.Now().Add(timeout)
-	for e.PendingSlots() > 0 {
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(100 * time.Microsecond)
+	if timeout <= 0 {
+		return e.PendingSlots() == 0
 	}
-	return true
+	err := retry.Do(nil, retry.Policy{
+		InitialBackoff: 100 * time.Microsecond,
+		MaxBackoff:     time.Millisecond,
+		Jitter:         -1,
+		MaxElapsed:     timeout,
+	}, nil, func(int) error {
+		if e.PendingSlots() > 0 {
+			return errSlotsPending
+		}
+		return nil
+	})
+	return err == nil
 }
 
 // Commit starts the reliable commit of a locally committed transaction on
@@ -359,14 +380,22 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 
 	// Backpressure: a full pipeline means the followers lag; yield until
 	// R-ACKs drain some slots. This bounds memory and keeps the pending
-	// window of every object finite.
+	// window of every object finite. The yield is paced through the shared
+	// retry machinery (fixed cadence: the wait ends as soon as R-ACKs drain
+	// a slot, so growth would only add drain latency); the Retrier is
+	// allocated lazily because the fast path never blocks here.
+	var bp *retry.Retrier
 	for {
 		p.mu.Lock()
 		if len(p.slots) < MaxPipelineDepth {
 			break
 		}
 		p.mu.Unlock()
-		time.Sleep(20 * time.Microsecond)
+		if bp == nil {
+			bp = backpressurePolicy.Start()
+		}
+		wait, _ := bp.Next()
+		_ = retry.Sleep(nil, wait, nil)
 	}
 	local := p.nextLocal
 	p.nextLocal++

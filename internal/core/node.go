@@ -402,7 +402,7 @@ func (tx *Tx) Get(obj uint64) ([]byte, error) {
 	// Opacity (§6.2): every prior read must still be valid, so the
 	// transaction always observes a consistent snapshot, even if it will
 	// abort later.
-	if !tx.validateReadsLocked() {
+	if !tx.validateReads() {
 		tx.release()
 		return nil, dbapi.ErrConflict
 	}
@@ -557,14 +557,14 @@ func (n *Node) maybeTrim(id wire.ObjectID) {
 	}
 }
 
-// validateReadsLocked re-checks every read version (caller holds no locks).
+// validateReads re-checks every read version (caller holds no locks).
 // Read-only transactions validate lock-free: a single atomic load of the
 // packed ⟨t_version, t_state⟩ word (store.Object.TSnapshot) replaces the
 // object lock — the seqlock-style check of the ROADMAP's "reader-local RO
 // snapshots" item, exact because RO only ever accepts TValid. Write
 // transactions still lock briefly: their validation additionally reads the
 // access level (owner-visible TWrite values).
-func (tx *Tx) validateReadsLocked() bool {
+func (tx *Tx) validateReads() bool {
 	for id, ver := range tx.reads {
 		if _, written := tx.writes[id]; written {
 			continue // protected by local ownership
@@ -602,7 +602,7 @@ func (tx *Tx) Commit() error {
 	n := tx.n
 
 	if tx.ro || len(tx.writes) == 0 {
-		ok := tx.validateReadsLocked()
+		ok := tx.validateReads()
 		tx.release()
 		if !ok {
 			if tx.ro {
@@ -645,7 +645,7 @@ func (tx *Tx) Commit() error {
 			return dbapi.ErrConflict
 		}
 	}
-	if !tx.validateReadsLocked() {
+	if !tx.validateReads() {
 		tx.release()
 		n.stAborts.Add(1)
 		return dbapi.ErrConflict

@@ -74,9 +74,9 @@ type Static struct{ drivers wire.Bitmap }
 // NewStatic builds the compat shim over a fixed driver set.
 func NewStatic(drivers wire.Bitmap) Static { return Static{drivers: drivers} }
 
-func (s Static) Shards() int                                  { return 1 }
-func (s Static) ShardOf(wire.ObjectID) int                    { return 0 }
-func (s Static) DriversFor(wire.ObjectID) wire.Bitmap         { return s.drivers }
+func (s Static) Shards() int                          { return 1 }
+func (s Static) ShardOf(wire.ObjectID) int            { return 0 }
+func (s Static) DriversFor(wire.ObjectID) wire.Bitmap { return s.drivers }
 func (s Static) DrivesShard(n wire.NodeID, _ wire.ObjectID) bool {
 	return s.drivers.Contains(n)
 }
@@ -140,7 +140,7 @@ type Service struct {
 	// the local entry advances past it (or holds the pending itself).
 	suspect  map[wire.ObjectID]wire.OTS
 	suspectN atomic.Int32
-	syncN   atomic.Int32       // fast-path probe: len(syncing) without the lock
+	syncN    atomic.Int32 // fast-path probe: len(syncing) without the lock
 	// diffed is the placement epoch viewChanged last processed. Ready is
 	// answered pessimistically while the visible placement is newer: the
 	// replicated placement becomes visible (one atomic store at the agent)
@@ -220,7 +220,7 @@ func (s *Service) placement() *wire.DirPlacement {
 
 // Directory interface.
 
-func (s *Service) Shards() int                 { return len(s.placement().Shards) }
+func (s *Service) Shards() int                   { return len(s.placement().Shards) }
 func (s *Service) ShardOf(obj wire.ObjectID) int { return s.placement().ShardOf(obj) }
 func (s *Service) DriversFor(obj wire.ObjectID) wire.Bitmap {
 	return s.placement().DriversFor(obj)

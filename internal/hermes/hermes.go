@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"zeus/internal/membership"
+	"zeus/internal/retry"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
 )
@@ -109,19 +110,35 @@ func (kv *KV) Get(key uint64) ([]byte, bool, error) {
 	return append([]byte(nil), e.val...), true, nil
 }
 
+// getWaitPolicy paces GetWait's invalidation poll: fixed 50 µs probes
+// (retrydiscipline: engine pacing goes through internal/retry), bounded by
+// the caller's timeout via MaxElapsed.
+var getWaitPolicy = retry.Policy{
+	InitialBackoff: 50 * time.Microsecond,
+	MaxBackoff:     50 * time.Microsecond,
+	Multiplier:     1,
+	Jitter:         -1,
+}
+
 // GetWait is Get with a bounded wait for in-flight writes to validate.
 func (kv *KV) GetWait(key uint64, timeout time.Duration) ([]byte, bool, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		v, ok, err := kv.Get(key)
-		if err == nil {
-			return v, ok, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, false, err
-		}
-		time.Sleep(50 * time.Microsecond)
+	var (
+		v       []byte
+		found   bool
+		lastErr error
+	)
+	p := getWaitPolicy
+	p.MaxElapsed = timeout
+	if timeout <= 0 {
+		p.MaxAttempts = 1
 	}
+	if err := retry.Do(nil, p, nil, func(int) error {
+		v, found, lastErr = kv.Get(key)
+		return lastErr
+	}); err != nil {
+		return nil, false, lastErr
+	}
+	return v, found, nil
 }
 
 // Put writes key=val, blocking until all live replicas acknowledged the

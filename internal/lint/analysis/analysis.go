@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that zeuslint's analyzers are
+// written against. The build environment pins the module to the standard
+// library only, so the real framework is unavailable; this package keeps the
+// analyzers source-compatible with it (same Analyzer/Pass/Diagnostic shapes,
+// same Run signature) so they can be moved onto x/tools unchanged if the
+// dependency ever lands.
+//
+// Only the subset zeuslint needs is implemented: single-pass analyzers over
+// one type-checked package, reporting position+message diagnostics. Facts,
+// requires-graphs and suggested fixes are out of scope.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one lint rule.
+type Analyzer struct {
+	// Name identifies the rule; it is the key used by //lint:allow waivers
+	// and the -rules command-line filter.
+	Name string
+	// Doc is the human-readable contract the rule enforces. The first line
+	// is the one-line summary.
+	Doc string
+	// Run applies the rule to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one package's load results to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

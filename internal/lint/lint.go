@@ -1,0 +1,262 @@
+// Package lint is zeuslint: a suite of static analyzers that mechanically
+// enforce the Zeus engine's documented concurrency contracts. The paper's
+// correctness argument (§4/§5) is model-checked against invariants that the
+// code base otherwise carries only in comments and torture tests; each
+// analyzer turns one such prose contract into a build-time error:
+//
+//   - replaceonly: store.Object.Data is replace-only outside the store
+//     package — the zero-copy read paths (SnapshotRef, ownership ACK
+//     piggyback, FabricMem delivery) alias its backing array after Mu is
+//     released, so one in-place write is a silent lost update.
+//   - seqlockwrite: ⟨TVersion, TState⟩ may only change through SetTLocked,
+//     which maintains the packed atomic mirror the lock-free read-only
+//     validation reads; a direct field write desynchronizes the seqlock.
+//   - lockedsuffix: *Locked functions are only called with a mutex held (or
+//     from another *Locked function), and Mu-guarded store.Object fields
+//     are only written under a lock.
+//   - sendfrozen: a wire message handed to Send/SendBatch/Multicast/
+//     Broadcast/enqueue is frozen — zero-copy fabrics and retransmit
+//     queues may still reference it.
+//   - retrydiscipline: engine code does not call raw time.Sleep; retries,
+//     polls and back-off go through internal/retry.
+//
+// Findings can be waived in place with a trailing or preceding comment:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory; a waiver without one is itself a finding. The
+// tree is expected to stay lint-clean (TestZeuslintTreeClean and the CI
+// lint job enforce it), so every new invariant-bearing change either
+// satisfies the contracts or carries an explicit, justified waiver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"zeus/internal/lint/analysis"
+	"zeus/internal/lint/loader"
+)
+
+// storePkg is the import path owning the Object contracts.
+const storePkg = "zeus/internal/store"
+
+// wirePkg is the import path of the wire message types.
+const wirePkg = "zeus/internal/wire"
+
+// Analyzers returns the full zeuslint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ReplaceOnly,
+		SeqlockWrite,
+		LockedSuffix,
+		SendFrozen,
+		RetryDiscipline,
+	}
+}
+
+// Finding is one post-waiver diagnostic.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Rule)
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings (waived diagnostics removed, malformed waivers added), sorted by
+// position.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, p := range pkgs {
+		w := collectWaivers(p)
+		out = append(out, w.malformed...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			}
+			rule := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := p.Fset.Position(d.Pos)
+				if w.allows(rule, pos) {
+					return
+				}
+				out = append(out, Finding{Pos: pos, Rule: rule, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out, nil
+}
+
+// waivers indexes //lint:allow comments of one package. A waiver suppresses
+// matching findings on its own line and on the line directly below it (the
+// comment-above form).
+type waivers struct {
+	// byLine maps file → line → rules allowed on that line.
+	byLine    map[string]map[int][]string
+	malformed []Finding
+}
+
+func collectWaivers(p *loader.Package) *waivers {
+	w := &waivers{byLine: make(map[string]map[int][]string)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					w.malformed = append(w.malformed, Finding{
+						Pos:     pos,
+						Rule:    "waiver",
+						Message: "malformed waiver: want //lint:allow <rule> <reason>",
+					})
+					continue
+				}
+				rule := fields[0]
+				lines := w.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					w.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rule)
+				lines[pos.Line+1] = append(lines[pos.Line+1], rule)
+			}
+		}
+	}
+	return w
+}
+
+func (w *waivers) allows(rule string, pos token.Position) bool {
+	for _, r := range w.byLine[pos.Filename][pos.Line] {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Shared type helpers.
+// ---------------------------------------------------------------------------
+
+// objectField reports whether e selects a field of store.Object (through a
+// value or pointer receiver) and returns the field name.
+func objectField(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if !isObjectType(s.Recv()) {
+		return "", false
+	}
+	return s.Obj().Name(), true
+}
+
+// isObjectType reports whether t (possibly a pointer) is store.Object.
+func isObjectType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Object" && obj.Pkg() != nil && obj.Pkg().Path() == storePkg
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. time.Sleep).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// isBuiltin reports whether call invokes the named builtin (append, copy, …).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleeName returns the bare name of the function/method being called
+// ("Send" for tr.Send(...), "enqueue" for e.enqueue(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isMutexExpr reports whether e's type (possibly a pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprKey renders e as a stable key ("o.Mu") for lock tracking.
+func exprKey(e ast.Expr) string { return types.ExprString(e) }

@@ -1,0 +1,152 @@
+// Package loader loads and type-checks Go packages for zeuslint using only
+// the standard library: package discovery shells out to `go list -json`
+// (the same resolver the build uses, so build tags and file exclusions
+// match), parsing uses go/parser, and type-checking uses go/types with the
+// source importer, which type-checks dependencies from source — no compiled
+// export data and no network are required.
+//
+// Test files (*_test.go) are deliberately excluded: zeuslint enforces the
+// engine's runtime contracts on shipped code, while tests routinely build
+// throwaway objects they own exclusively (and the analyzers' own fixtures
+// violate every contract on purpose).
+package loader
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path (e.g. zeus/internal/commit)
+	Name  string // package name
+	Dir   string // directory holding the sources
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir with `go list` and
+// returns every matched package parsed and type-checked. All packages share
+// one FileSet and one source importer, so dependency type-checks are done
+// once per load.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("loader: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		p, err := check(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package rooted at dir (non-test files only) under
+// the given import path. It is the fixture loader for analyzer tests:
+// testdata directories are invisible to `go list` patterns, so they are read
+// straight from disk.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, importPath, dir, files)
+}
+
+// check parses and type-checks one package.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	var firstErr error
+	conf.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		// The tree builds before it is linted, so a type error here means
+		// the loader mis-resolved something; fail loudly instead of
+		// silently analyzing a half-checked package.
+		return nil, fmt.Errorf("loader: type-checking %s: %v", path, firstErr)
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"zeus/internal/lint/analysis"
+)
+
+// ReplaceOnly enforces the store.Object.Data contract: outside the store
+// package the payload slice is REPLACE-ONLY. Every legal write installs a
+// whole new slice (o.Data = newSlice); no code path may mutate the published
+// backing array in place, because the zero-copy read paths (SnapshotRef, the
+// transaction layer's read buffers, the ownership ACK piggyback, FabricMem
+// delivery) alias that array after the object lock is released. A single
+// mutated byte is a silent lost update that even the -race torture gates can
+// miss (the readers are in other processes' logical pasts, not other
+// goroutines).
+//
+// Flagged, for o.Data or any local aliasing it (d := o.Data):
+//
+//	o.Data[i] = x            // element write
+//	append(o.Data, ...)      // may write into spare capacity
+//	copy(o.Data, src)        // bulk overwrite (Data as destination)
+//	clear(o.Data)
+//	r.Read(o.Data)           // fill-style callees (Read/ReadFull)
+//
+// The check is lexical per function: aliases through function returns or
+// struct fields are not tracked (the store package owns those paths).
+var ReplaceOnly = &analysis.Analyzer{
+	Name: "replaceonly",
+	Doc:  "store.Object.Data must be replaced whole, never mutated in place",
+	Run:  runReplaceOnly,
+}
+
+func runReplaceOnly(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == storePkg {
+		return nil, nil // the store package owns the field
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkReplaceOnlyFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkReplaceOnlyFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Pass 1: collect locals that alias Object.Data (d := o.Data, possibly
+	// sliced). The data-source set is the field itself plus these aliases.
+	aliases := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isDataExpr(info, rhs, aliases) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					aliases[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					aliases[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				// Whole-slice replacement (lhs exactly the Data selector or
+				// an alias ident) is the legal write; an element or
+				// sub-slice write is not.
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					if isDataExpr(info, l.X, aliases) {
+						pass.Reportf(l.Pos(), "in-place element write to store.Object.Data (replace-only: install a fresh slice under Mu)")
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := v.X.(*ast.IndexExpr); ok && isDataExpr(info, ix.X, aliases) {
+				pass.Reportf(v.Pos(), "in-place element write to store.Object.Data (replace-only: install a fresh slice under Mu)")
+			}
+		case *ast.CallExpr:
+			checkReplaceOnlyCall(pass, v, aliases)
+		}
+		return true
+	})
+}
+
+func checkReplaceOnlyCall(pass *analysis.Pass, call *ast.CallExpr, aliases map[types.Object]bool) {
+	info := pass.TypesInfo
+	if len(call.Args) == 0 {
+		return
+	}
+	switch {
+	case isBuiltin(info, call, "append"):
+		if isDataExpr(info, call.Args[0], aliases) {
+			pass.Reportf(call.Pos(), "append to store.Object.Data may write into the published backing array (replace-only: build a fresh slice)")
+		}
+	case isBuiltin(info, call, "copy"):
+		if isDataExpr(info, call.Args[0], aliases) {
+			pass.Reportf(call.Pos(), "copy into store.Object.Data overwrites the published backing array (replace-only: install a fresh slice)")
+		}
+	case isBuiltin(info, call, "clear"):
+		if isDataExpr(info, call.Args[0], aliases) {
+			pass.Reportf(call.Pos(), "clear of store.Object.Data overwrites the published backing array (replace-only)")
+		}
+	default:
+		// Fill-style callees that write into their []byte argument.
+		name := calleeName(call)
+		if name != "Read" && name != "ReadFull" {
+			return
+		}
+		for _, arg := range call.Args {
+			if isDataExpr(info, arg, aliases) {
+				pass.Reportf(call.Pos(), "store.Object.Data passed as %s's fill buffer mutates the published backing array (replace-only)", name)
+			}
+		}
+	}
+}
+
+// isDataExpr reports whether e denotes Object.Data or a tracked alias,
+// looking through parentheses and sub-slicing (o.Data[:n] shares the array).
+func isDataExpr(info *types.Info, e ast.Expr, aliases map[types.Object]bool) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			name, ok := objectField(info, v)
+			return ok && name == "Data"
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return aliases[obj]
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"zeus/internal/lint/analysis"
+)
+
+// RetryDiscipline keeps the PR-1 retry unification honest: engine code does
+// not call raw time.Sleep. Every retry, poll and back-off goes through
+// internal/retry (Policy/Retrier for paced loops, retry.Sleep for
+// context/wake-aware waits, retry.Do for bounded retries), so pacing
+// decisions live in one audited place — ad-hoc sleeps are how the three
+// divergent pre-PR-1 retry stacks grew in the first place, and how
+// unbounded 65-second NACK storms hide.
+//
+// Scope: engine packages only. Measurement harnesses, simulators and
+// operator binaries pace wall-clock schedules, not protocol retries, and
+// are exempt wholesale (see skipPkgPrefixes); test files are never
+// analyzed. A legitimate engine-side sleep that is not a retry can carry a
+// //lint:allow retrydiscipline <reason> waiver.
+var RetryDiscipline = &analysis.Analyzer{
+	Name: "retrydiscipline",
+	Doc:  "engine code must pace retries through internal/retry, not raw time.Sleep",
+	Run:  runRetryDiscipline,
+}
+
+// skipPkgPrefixes are import-path prefixes outside the analyzer's scope:
+// the retry subsystem itself, timing-calibrated simulators, measurement
+// harnesses and operator binaries.
+var skipPkgPrefixes = []string{
+	"zeus/internal/retry",       // the one place raw sleeps belong
+	"zeus/internal/netsim",      // simulator clock calibration
+	"zeus/internal/experiments", // measurement pacing
+	"zeus/internal/bench",       // workload pacing
+	"zeus/internal/apps",        // application simulators
+	"zeus/cmd",                  // operator binaries
+	"zeus/examples",
+}
+
+func runRetryDiscipline(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	for _, skip := range skipPkgPrefixes {
+		if path == skip || strings.HasPrefix(path, skip+"/") {
+			return nil, nil
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.TypesInfo, call, "time", "Sleep") {
+				pass.Reportf(call.Pos(), "raw time.Sleep in engine code: pace this wait through internal/retry (Policy/Retrier, retry.Sleep or retry.Do)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"zeus/internal/lint/analysis"
+)
+
+// SendFrozen enforces the zero-copy fabric contract: a wire message value is
+// frozen the moment it is handed to a send-side entry point. FabricMem
+// delivers commit messages with no codec round trip (the receiver aliases
+// the very struct the sender built), the reliable transport's retransmit
+// queue holds the message until it is acked, and the commit engine's
+// copy-on-write resend path assumes the original R-INV is immutable once in
+// flight. Writing a field after the hand-off therefore races with delivery:
+// the receiver may observe either value, or a torn mix.
+//
+// The analyzer tracks, per function, local variables of wire message type
+// (pointers to structs in zeus/internal/wire, or wire.Msg interfaces) passed
+// to a callee named Send, SendBatch, Multicast, Broadcast, send, enqueue or
+// Enqueue, and flags any later write *through* the variable (m.Field = …,
+// m.Updates[i] = …, *m = …). Rebinding the variable itself (m = &…{}) un-
+// freezes it: that is a new message, not a mutation of the sent one. The
+// walk is lexical (source order approximates program order inside one
+// function), which is exactly the shape of the PR-4 failure mode this rule
+// pins: build message, send it, then "fix up" a field for the next use.
+var SendFrozen = &analysis.Analyzer{
+	Name: "sendfrozen",
+	Doc:  "wire messages must not be written after Send/SendBatch/Multicast/enqueue",
+	Run:  runSendFrozen,
+}
+
+// sendNames are callee names that freeze their message arguments.
+var sendNames = map[string]bool{
+	"Send": true, "SendBatch": true, "Multicast": true, "Broadcast": true,
+	"send": true, "enqueue": true, "Enqueue": true,
+}
+
+func runSendFrozen(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSendFrozenFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// sfEvent is one ordered occurrence of a tracked variable.
+type sfEvent struct {
+	pos  token.Pos
+	kind int // 0 = sent, 1 = rebound, 2 = written through
+	expr ast.Expr
+	fn   string // send callee, for the diagnostic
+}
+
+func checkSendFrozenFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	events := make(map[types.Object][]sfEvent)
+
+	add := func(obj types.Object, ev sfEvent) {
+		events[obj] = append(events[obj], ev)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(v)
+			if !sendNames[name] {
+				return true
+			}
+			for _, arg := range v.Args {
+				if obj := wireMsgVar(info, arg); obj != nil {
+					add(obj, sfEvent{pos: v.Pos(), kind: 0, fn: name})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					// Plain rebind: a fresh message takes over the name.
+					if obj := info.Uses[id]; obj != nil && events[obj] != nil {
+						add(obj, sfEvent{pos: lhs.Pos(), kind: 1})
+					}
+					continue
+				}
+				if base, obj := writeBase(info, lhs); obj != nil {
+					add(obj, sfEvent{pos: base.Pos(), kind: 2, expr: lhs})
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, obj := writeBase(info, v.X); obj != nil {
+				add(obj, sfEvent{pos: base.Pos(), kind: 2, expr: v.X})
+			}
+		}
+		return true
+	})
+
+	for obj, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		frozenBy := ""
+		for _, ev := range evs {
+			switch ev.kind {
+			case 0:
+				frozenBy = ev.fn
+			case 1:
+				frozenBy = ""
+			case 2:
+				if frozenBy != "" {
+					pass.Reportf(ev.pos, "wire message %s written after being handed to %s: the zero-copy fabric and retransmit queues may still reference it (copy-on-write a fresh message instead)", obj.Name(), frozenBy)
+				}
+			}
+		}
+	}
+}
+
+// wireMsgVar returns the local/param variable denoted by arg (looking
+// through &x) when sending it shares the variable's storage with the
+// transport: &value, a *wire.SomeStruct pointer, or a wire.Msg interface. A
+// bare struct value is copied into the interface at the call, so later
+// writes to the variable cannot reach the sent message and are not tracked.
+func wireMsgVar(info *types.Info, arg ast.Expr) types.Object {
+	addressed := false
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = u.X
+		addressed = true
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || !isWireMsgType(obj.Type()) {
+		return nil
+	}
+	if !addressed {
+		switch obj.Type().Underlying().(type) {
+		case *types.Pointer, *types.Interface:
+		default:
+			return nil // sent by value: the transport got a copy
+		}
+	}
+	return obj
+}
+
+// isWireMsgType reports whether t is a pointer to a struct declared in
+// zeus/internal/wire, or a named interface from that package (wire.Msg).
+func isWireMsgType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != wirePkg {
+		return false
+	}
+	switch n.Underlying().(type) {
+	case *types.Struct, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// writeBase unwraps an assignment target (m.F, m.F[i], (*m).F, *m) to the
+// root identifier when that identifier is a wire message variable; the
+// write then mutates the sent value rather than rebinding the name.
+func writeBase(info *types.Info, lhs ast.Expr) (*ast.Ident, types.Object) {
+	e := lhs
+	depth := 0
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+			depth++
+		case *ast.IndexExpr:
+			e = v.X
+			depth++
+		case *ast.SliceExpr:
+			e = v.X
+			depth++
+		case *ast.StarExpr:
+			e = v.X
+			depth++
+		case *ast.Ident:
+			if depth == 0 {
+				return nil, nil // plain rebind, handled by the caller
+			}
+			obj, ok := info.Uses[v].(*types.Var)
+			if !ok || !isWireMsgType(obj.Type()) {
+				return nil, nil
+			}
+			return v, obj
+		default:
+			return nil, nil
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+
+	"zeus/internal/lint/analysis"
+)
+
+// SeqlockWrite enforces the seqlock-mirror contract on ⟨TVersion, TState⟩:
+// the pair may only be written through store.Object.SetTLocked (under Mu),
+// which also publishes the packed atomic word (tsv) that lock-free read-only
+// validation reads. A direct field write leaves the mirror stale, so an RO
+// transaction can validate against a version the object no longer holds —
+// exactly the lost-update window the seqlock exists to close.
+//
+// Flagged everywhere (including the store package, except inside SetTLocked
+// itself):
+//
+//	o.TState = store.TValid        // direct field write
+//	o.TVersion++                   // increment
+//	&o.TVersion                    // address escape (enables later writes)
+//	store.Object{TState: ...}      // keyed construction outside the store
+//
+// Inside the store package, the mirror field tsv may additionally only be
+// touched by SetTLocked and TSnapshot.
+var SeqlockWrite = &analysis.Analyzer{
+	Name: "seqlockwrite",
+	Doc:  "Object.TState/TVersion may only be written through SetTLocked",
+	Run:  runSeqlockWrite,
+}
+
+func runSeqlockWrite(pass *analysis.Pass) (interface{}, error) {
+	inStore := pass.Pkg.Path() == storePkg
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fname := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range v.Lhs {
+						checkSeqlockWrite(pass, lhs, inStore, fname, "write")
+					}
+				case *ast.IncDecStmt:
+					checkSeqlockWrite(pass, v.X, inStore, fname, "write")
+				case *ast.UnaryExpr:
+					if v.Op.String() == "&" {
+						checkSeqlockWrite(pass, v.X, inStore, fname, "address-of")
+					}
+				case *ast.SelectorExpr:
+					if inStore {
+						if name, ok := objectField(pass.TypesInfo, v); ok && name == "tsv" &&
+							fname != "SetTLocked" && fname != "TSnapshot" {
+							pass.Reportf(v.Pos(), "seqlock mirror tsv touched outside SetTLocked/TSnapshot")
+						}
+					}
+				case *ast.CompositeLit:
+					checkSeqlockComposite(pass, v, inStore)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkSeqlockWrite(pass *analysis.Pass, e ast.Expr, inStore bool, fname, verb string) {
+	name, ok := objectField(pass.TypesInfo, e)
+	if !ok || (name != "TState" && name != "TVersion") {
+		return
+	}
+	if inStore && fname == "SetTLocked" {
+		return
+	}
+	pass.Reportf(e.Pos(), "direct %s of store.Object.%s desynchronizes the packed seqlock mirror: go through SetTLocked under Mu", verb, name)
+}
+
+// checkSeqlockComposite flags store.Object{TState: ..., TVersion: ...}
+// construction outside the store package: the mirror word starts at zero, so
+// a keyed non-zero seed already diverges.
+func checkSeqlockComposite(pass *analysis.Pass, cl *ast.CompositeLit, inStore bool) {
+	if inStore {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || !isObjectType(tv.Type) {
+		return
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && (id.Name == "TState" || id.Name == "TVersion") {
+			pass.Reportf(kv.Pos(), "store.Object constructed with keyed %s bypasses the seqlock mirror: build the object empty and SetTLocked it", id.Name)
+		}
+	}
+}

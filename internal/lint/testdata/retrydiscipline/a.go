@@ -1,0 +1,42 @@
+// Package retrydiscipline exercises the retrydiscipline analyzer: engine
+// code paces every wait through internal/retry (bounded, jittered,
+// cancellable) instead of ad-hoc time.Sleep loops.
+package retrydiscipline
+
+import (
+	"time"
+
+	"zeus/internal/retry"
+)
+
+// adHocBackoff is the shape the rule exists to kill: an unbounded busy-wait
+// with a hand-rolled sleep constant.
+func adHocBackoff(ready func() bool) {
+	for !ready() {
+		time.Sleep(100 * time.Microsecond) // want `raw time\.Sleep in engine code`
+	}
+}
+
+// pacedBackoff is the sanctioned replacement.
+func pacedBackoff(ready func() bool) {
+	r := retry.Policy{}.Start()
+	for !ready() {
+		wait, _ := r.Next()
+		_ = retry.Sleep(nil, wait, nil)
+	}
+}
+
+// timersAreFine: the rule targets blocking sleeps, not the time package.
+func timersAreFine(done <-chan struct{}) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// waived proves //lint:allow suppresses a finding (reason is mandatory).
+func waived() {
+	time.Sleep(time.Millisecond) //lint:allow retrydiscipline fixture demonstrates a justified pacing waiver
+}

@@ -1,0 +1,47 @@
+// Package seqlockwrite exercises the seqlockwrite analyzer: every flagged
+// line desynchronizes the packed atomic mirror (tsv) that lock-free
+// read-only validation reads, by writing TState/TVersion without going
+// through SetTLocked.
+package seqlockwrite
+
+import "zeus/internal/store"
+
+func direct(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.TState = store.TInvalid // want `direct write of store\.Object\.TState`
+	o.TVersion = 7            // want `direct write of store\.Object\.TVersion`
+	o.TVersion++              // want `direct write of store\.Object\.TVersion`
+
+	// The legal path: both fields and the mirror move together.
+	o.SetTLocked(7, store.TInvalid)
+}
+
+// escape: taking the address lets arbitrary code write the field later.
+func escape(o *store.Object) *uint64 {
+	return &o.TVersion // want `direct address-of of store\.Object\.TVersion`
+}
+
+// construct: a keyed composite literal bypasses the mirror just as badly —
+// the object would carry TState=TValid with tsv still zero.
+func construct() *store.Object {
+	return &store.Object{
+		ID:     1,
+		TState: store.TValid, // want `store\.Object constructed with keyed TState`
+	}
+}
+
+// readsAreFine: reading the fields (the owner's commit paths do, under Mu)
+// never flags; only writes desynchronize the mirror.
+func readsAreFine(o *store.Object) (uint64, store.TState) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	return o.TVersion, o.TState
+}
+
+// waived proves //lint:allow suppresses a finding (reason is mandatory).
+func waived(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.TVersion = 1 //lint:allow seqlockwrite fixture demonstrates the waiver syntax
+}

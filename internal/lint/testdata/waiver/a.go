@@ -1,0 +1,10 @@
+// Package waiver holds the malformed-waiver fixture: a //lint:allow with no
+// reason is itself a finding, and the waiver it tried to express does NOT
+// apply — the underlying diagnostic still fires.
+package waiver
+
+import "time"
+
+func missingReason() {
+	time.Sleep(time.Millisecond) //lint:allow retrydiscipline
+}

@@ -1,0 +1,50 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zeus/internal/lint"
+	"zeus/internal/lint/loader"
+)
+
+// TestZeuslintTreeClean runs every analyzer over the whole module and asserts
+// zero findings: the concurrency contracts hold tree-wide, and any new
+// violation (or unwaived exception) fails the build here and in CI's lint
+// job. This is the same pass `go run ./cmd/zeuslint ./...` performs.
+func TestZeuslintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree type-check is slow; run without -short")
+	}
+	root := moduleRoot(t)
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// moduleRoot locates the module directory via go env GOMOD.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}

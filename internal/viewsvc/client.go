@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zeus/internal/retry"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
 )
@@ -120,11 +121,22 @@ func (c *Client) RecoveryPending() bool {
 	return c.state.Barrier != 0
 }
 
+// epochPollPolicy paces WaitEpoch's cached-state poll: fixed 200 µs probes
+// (retrydiscipline: engine pacing goes through internal/retry); the query
+// backstop keeps its own coarser RetryEvery cadence.
+var epochPollPolicy = retry.Policy{
+	InitialBackoff: 200 * time.Microsecond,
+	MaxBackoff:     200 * time.Microsecond,
+	Multiplier:     1,
+	Jitter:         -1,
+}
+
 // WaitEpoch blocks until the cached epoch reaches e or timeout elapses,
 // querying the ensemble periodically as a lost-push backstop.
 func (c *Client) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	nextQuery := time.Now().Add(c.cfg.RetryEvery)
+	poll := epochPollPolicy.Start()
 	for {
 		c.mu.Lock()
 		cur := c.state.Epoch
@@ -140,7 +152,8 @@ func (c *Client) WaitEpoch(e wire.Epoch, timeout time.Duration) bool {
 			c.query()
 			nextQuery = now.Add(c.cfg.RetryEvery)
 		}
-		time.Sleep(200 * time.Microsecond)
+		wait, _ := poll.Next()
+		_ = retry.Sleep(nil, wait, nil)
 	}
 }
 
