@@ -1,19 +1,27 @@
 // Command zeusd runs one Zeus datastore node over real TCP sockets — the
-// multi-process testbed. Each process hosts one node; peers are listed as
-// id=host:port pairs. A tiny demo workload (-demo) exercises creation,
-// cross-node ownership migration and read-only reads once all peers are up.
+// multi-process deployment. Every process attaches to ONE shared view-service
+// ensemble (three replicas hosted by designated zeusd processes, -view-host,
+// or by dedicated -view-only processes), so membership, failure detection,
+// the recovery barrier and the directory placement are quorum-committed
+// cluster state rather than per-process assumption.
 //
-// Example (three shells):
+// Founding a three-node cluster, each node hosting one view replica
+// (three shells; identical -peers, -view and -dir-shards everywhere):
 //
-//	zeusd -id 0 -listen :7000 -peers 0=:7000,1=:7001,2=:7002 -demo
-//	zeusd -id 1 -listen :7001 -peers 0=:7000,1=:7001,2=:7002
-//	zeusd -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002
+//	zeusd -id 0 -listen :7000 -view :7100,:7101,:7102 -view-host 0 -peers 0=:7000,1=:7001,2=:7002 -data /var/zeus/0
+//	zeusd -id 1 -listen :7001 -view :7100,:7101,:7102 -view-host 1 -peers 0=:7000,1=:7001,2=:7002 -data /var/zeus/1
+//	zeusd -id 2 -listen :7002 -view :7100,:7101,:7102 -view-host 2 -peers 0=:7000,1=:7001,2=:7002 -data /var/zeus/2
 //
-// The membership service is static in this mode (all listed peers are
-// assumed live): each process self-hosts a private view-service ensemble
-// (see internal/viewsvc) seeded with the peer list. Dynamic failure handling
-// across processes requires pointing every node at one shared ensemble,
-// which the in-process harness (internal/cluster) demonstrates.
+// Joining a running cluster needs no peer list — the replicated address book
+// supplies it:
+//
+//	zeusd -id 3 -listen :7003 -view :7100,:7101,:7102 -join -data /var/zeus/3
+//
+// Restarting a crashed node is the same join command: the process first
+// recovers its store from the WAL + snapshot in -data, rejoins the view, and
+// delta-syncs divergent objects from the current owners (state sync) before
+// serving. A process with -view-only hosts just its view replica and no data
+// node. Use cmd/zeusctl to inspect or drive the ensemble from outside.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -30,74 +39,293 @@ import (
 	"zeus/internal/core"
 	"zeus/internal/membership"
 	"zeus/internal/ownership"
+	"zeus/internal/storage/filestorage"
 	"zeus/internal/transport"
+	"zeus/internal/viewsvc"
 	"zeus/internal/wire"
 )
 
 func main() {
-	id := flag.Int("id", 0, "this node's id")
-	listen := flag.String("listen", ":7000", "listen address")
-	peersFlag := flag.String("peers", "", "comma-separated id=host:port pairs for all nodes")
+	id := flag.Int("id", 0, "this node's data-plane id (0..59)")
+	listen := flag.String("listen", ":7000", "data-plane listen address")
+	advertise := flag.String("advertise", "", "address peers should dial (default: -listen)")
+	viewFlag := flag.String("view", "", "comma-separated addresses of the view-service replicas (required)")
+	viewHost := flag.Int("view-host", -1, "host view replica k (0-based index into -view) in this process")
+	viewListen := flag.String("view-listen", "", "listen address for the hosted view replica (default: the -view entry it serves)")
+	viewOnly := flag.Bool("view-only", false, "host only the view replica, no data node")
+	peersFlag := flag.String("peers", "", "founding members as id=host:port pairs (bootstrap only; joiners omit it)")
+	join := flag.Bool("join", false, "join a running cluster (or rejoin after a crash) instead of founding one")
+	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots); empty = memory only")
 	degree := flag.Int("degree", 3, "replication degree")
 	workers := flag.Int("workers", 8, "worker threads")
-	dirShards := flag.Int("dir-shards", 0, "ownership-directory shard count (0 = legacy fixed 3-node directory; every process MUST pass the same value)")
+	dirShards := flag.Int("dir-shards", 0, "ownership-directory shard count (0 = service default; every process MUST pass the same value)")
+	lease := flag.Duration("lease", 500*time.Millisecond, "membership lease (failure detection horizon)")
 	demo := flag.Bool("demo", false, "run a small demo workload after startup")
 	flag.Parse()
 
-	peers, err := parsePeers(*peersFlag)
-	if err != nil {
-		log.Fatalf("zeusd: %v", err)
+	viewAddrs := splitAddrs(*viewFlag)
+	if len(viewAddrs) == 0 {
+		log.Fatalf("zeusd: -view is required (the shared ensemble is the cluster's control plane)")
+	}
+	replicaIDs := viewsvc.ReplicaIDs(len(viewAddrs))
+
+	var peers map[wire.NodeID]string
+	var err error
+	if *peersFlag != "" {
+		if peers, err = parsePeers(*peersFlag); err != nil {
+			log.Fatalf("zeusd: %v", err)
+		}
+	} else if !*join && !*viewOnly {
+		log.Fatalf("zeusd: founding a cluster requires -peers (use -join to attach to a running one)")
 	}
 	var members wire.Bitmap
-	for nid := range peers {
+	var initialAddrs []wire.NodeAddr
+	for nid, addr := range peers {
 		members = members.Add(nid)
+		initialAddrs = append(initialAddrs, wire.NodeAddr{Node: nid, Addr: addr})
 	}
-	if !members.Contains(wire.NodeID(*id)) {
-		log.Fatalf("zeusd: own id %d missing from -peers", *id)
+	sort.Slice(initialAddrs, func(i, j int) bool { return initialAddrs[i].Node < initialAddrs[j].Node })
+
+	vcfg := viewsvc.Config{
+		Lease:        *lease,
+		DirShards:    *dirShards,
+		InitialAddrs: initialAddrs,
+		// Nobody reports a SIGKILLed process: the ensemble leader detects
+		// silent nodes by lease expiry and proposes the failure itself.
+		AutoFail: true,
 	}
 
-	tr, err := transport.NewTCP(wire.NodeID(*id), *listen, peers)
+	// Hosted view replica (a designated zeusd or a -view-only process): its
+	// own listener and transport identity at the top of the id space.
+	if *viewHost >= 0 {
+		if *viewHost >= len(viewAddrs) {
+			log.Fatalf("zeusd: -view-host %d out of range (%d view replicas)", *viewHost, len(viewAddrs))
+		}
+		if peers == nil {
+			log.Fatalf("zeusd: hosting a view replica requires -peers (the ensemble seeds the founding view)")
+		}
+		vln := *viewListen
+		if vln == "" {
+			vln = viewAddrs[*viewHost]
+		}
+		book := make(map[wire.NodeID]string, len(replicaIDs))
+		for i, rid := range replicaIDs {
+			book[rid] = viewAddrs[i]
+		}
+		vtr, err := transport.NewTCP(replicaIDs[*viewHost], vln, book)
+		if err != nil {
+			log.Fatalf("zeusd: view replica listener: %v", err)
+		}
+		defer vtr.Close()
+		r := viewsvc.NewReplica(vcfg, replicaIDs, *viewHost, vtr, members)
+		defer r.Close()
+		log.Printf("zeusd: view replica %d serving on %s", *viewHost, vtr.Addr())
+	}
+
+	if *viewOnly {
+		waitSignal()
+		log.Printf("zeusd: view replica shutting down")
+		return
+	}
+
+	if *id < 0 || wire.NodeID(*id) > viewsvc.MaxDataNode {
+		log.Fatalf("zeusd: -id %d out of range (0..%d)", *id, viewsvc.MaxDataNode)
+	}
+	self := wire.NodeID(*id)
+	if peers != nil {
+		if _, ok := peers[self]; !ok {
+			log.Fatalf("zeusd: own id %d missing from -peers", *id)
+		}
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = *listen
+	}
+
+	// One socket carries both planes: the data node's transport doubles as
+	// the view-service client endpoint, with the router steering VS traffic
+	// to the client. The book starts with the ensemble plus any founding
+	// peers; the replicated address book extends it as nodes join.
+	book := make(map[wire.NodeID]string, len(replicaIDs)+len(peers))
+	for i, rid := range replicaIDs {
+		book[rid] = viewAddrs[i]
+	}
+	for nid, addr := range peers {
+		if nid != self {
+			book[nid] = addr
+		}
+	}
+	tr, err := transport.NewTCP(self, *listen, book)
 	if err != nil {
 		log.Fatalf("zeusd: %v", err)
 	}
 	defer tr.Close()
 
-	mgr := membership.NewManager(membership.Config{Lease: 50 * time.Millisecond, DirShards: *dirShards}, members)
+	cli := viewsvc.NewClientDetached(vcfg, tr, replicaIDs, members)
+	mgr := membership.NewManagerOver(membership.Config{Lease: *lease, DirShards: *dirShards}, cli)
 	defer mgr.Close()
-	agent := mgr.Agent(wire.NodeID(*id))
+	agent := mgr.Agent(self)
 
-	dirs := wire.Bitmap(0)
-	for i, n := range members.Nodes() {
-		if i < 3 {
-			dirs = dirs.Add(n)
-		}
-	}
 	cfg := core.DefaultConfig()
 	cfg.Degree = *degree
 	cfg.Workers = *workers
-	cfg.Ownership = ownership.DefaultConfig(dirs)
-	// Sharded directory (§6.2): each process self-hosts its view service,
-	// so the replicated placement is only consistent across processes when
-	// every zeusd is started with the same -dir-shards value and peer list.
 	cfg.DirectoryShards = *dirShards
-	node := core.NewNode(wire.NodeID(*id), tr, agent, cfg)
+	cfg.Ownership = ownership.DefaultConfig(firstThree(members))
+	if *dataDir != "" {
+		stg, err := filestorage.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("zeusd: open data dir: %v", err)
+		}
+		cfg.Storage = stg
+	}
+	node := core.NewNode(self, tr, agent, cfg)
 	defer node.Close()
+	// The router owns the shared socket's handler; view-service pushes and
+	// query replies are steered to the detached client here.
+	node.Router().HandleMany(cli.Handle, wire.KindVSCommit, wire.KindVSQuery)
 
-	log.Printf("zeusd: node %d listening on %s, %d peers, directory %s",
-		*id, tr.Addr(), members.Count(), dirs)
-
-	if *demo {
-		runDemo(node, members)
+	if *join {
+		if err := joinCluster(node, tr, mgr, cli, self, adv, *dirShards); err != nil {
+			log.Fatalf("zeusd: %v", err)
+		}
+	} else if *dataDir != "" && node.Recovered() > 0 {
+		// A founder restarted with retained state before anyone noticed it
+		// was gone: it is still in the seeded view, but its recovered
+		// objects must re-arm against the current owners all the same.
+		if err := node.StateSync(10 * time.Second); err != nil {
+			log.Printf("zeusd: founder state sync: %v", err)
+		}
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	go watchClusterState(tr, mgr, cli, self, *dirShards)
+
+	log.Printf("zeusd: node %d serving on %s (advertised %s), view %v, epoch %d, live %s",
+		*id, tr.Addr(), adv, viewAddrs, mgr.View().Epoch, mgr.View().Live)
+
+	if *demo {
+		runDemo(node, mgr.View().Live)
+	}
+
+	waitSignal()
 	log.Printf("zeusd: node %d shutting down", *id)
 }
 
+// joinCluster attaches this node to a running deployment: contact the
+// ensemble, adopt its address book, verify the directory configuration,
+// commit the join, and state-sync whatever the local WAL recovered.
+func joinCluster(node *core.Node, tr *transport.TCP, mgr *membership.Manager, cli *viewsvc.Client, self wire.NodeID, adv string, dirShards int) error {
+	// First contact: the cached state is a local seed (empty, for a joiner)
+	// until the ensemble answers. WaitEpoch re-queries as a lost-push
+	// backstop, so driving it doubles as the contact retry loop.
+	deadline := time.Now().Add(15 * time.Second)
+	for !cli.Heard() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no contact with view ensemble (is it running?)")
+		}
+		cli.WaitEpoch(mgr.View().Epoch+1, 500*time.Millisecond)
+	}
+	s := mgr.State()
+	if err := checkPlacement(s, dirShards); err != nil {
+		return err
+	}
+	applyAddrs(tr, s, self)
+
+	if !s.Live.Contains(self) {
+		before := s.Epoch
+		if !cli.JoinAddr(self, adv) {
+			return fmt.Errorf("join did not commit (no ensemble quorum?)")
+		}
+		if !mgr.WaitEpoch(before+1, 10*time.Second) {
+			return fmt.Errorf("join view change timed out")
+		}
+	}
+	// Rejoin is state sync, not cold start: recovered objects re-arm at the
+	// owners' current versions; exclusively-owned ones are reclaimed.
+	if err := node.StateSync(15 * time.Second); err != nil {
+		return fmt.Errorf("state sync: %w", err)
+	}
+	log.Printf("zeusd: node %d joined (recovered %d objects from WAL, state sync complete)", self, node.Recovered())
+	return nil
+}
+
+// watchClusterState follows the replicated state: new addresses extend the
+// transport's book, and a directory-shard disagreement (this process was
+// started with a -dir-shards that contradicts the committed placement) is
+// fatal — serving would split-brain the ownership directory.
+func watchClusterState(tr *transport.TCP, mgr *membership.Manager, cli *viewsvc.Client, self wire.NodeID, dirShards int) {
+	for {
+		time.Sleep(200 * time.Millisecond)
+		if !cli.Heard() {
+			continue
+		}
+		s := mgr.State()
+		if err := checkPlacement(s, dirShards); err != nil {
+			log.Fatalf("zeusd: %v", err)
+		}
+		applyAddrs(tr, s, self)
+	}
+}
+
+func checkPlacement(s wire.VSState, dirShards int) error {
+	if dirShards > 0 && !s.Placement.IsZero() && len(s.Placement.Shards) != dirShards {
+		return fmt.Errorf("-dir-shards %d disagrees with the replicated placement (%d shards); every process must use the same value",
+			dirShards, len(s.Placement.Shards))
+	}
+	return nil
+}
+
+func applyAddrs(tr *transport.TCP, s wire.VSState, self wire.NodeID) {
+	if tr == nil {
+		return
+	}
+	for _, a := range s.Addrs {
+		if a.Node != self && a.Addr != "" {
+			tr.SetAddr(a.Node, a.Addr)
+		}
+	}
+}
+
+func waitSignal() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+}
+
+// firstThree picks the directory nodes for the legacy static directory (the
+// sharded directory ignores it): the three lowest founding ids.
+func firstThree(members wire.Bitmap) wire.Bitmap {
+	var dirs wire.Bitmap
+	for i, n := range members.Nodes() {
+		if i == 3 {
+			break
+		}
+		dirs = dirs.Add(n)
+	}
+	if dirs == 0 {
+		dirs = wire.BitmapOf(0, 1, 2)
+	}
+	return dirs
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parsePeers parses "id=host:port,..." into an address book. Duplicate node
+// ids and duplicate addresses are both configuration errors: either would
+// silently drop a peer (last one wins) and leave the cluster half-connected.
 func parsePeers(s string) (map[wire.NodeID]string, error) {
 	out := make(map[wire.NodeID]string)
+	seenAddr := make(map[string]wire.NodeID)
 	if s == "" {
 		return nil, fmt.Errorf("-peers required")
 	}
@@ -110,7 +338,18 @@ func parsePeers(s string) (map[wire.NodeID]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
 		}
-		out[wire.NodeID(id)] = kv[1]
+		if id < 0 || wire.NodeID(id) > viewsvc.MaxDataNode {
+			return nil, fmt.Errorf("peer id %d out of range (0..%d)", id, viewsvc.MaxDataNode)
+		}
+		nid := wire.NodeID(id)
+		if prev, dup := out[nid]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d (%s and %s)", id, prev, kv[1])
+		}
+		if prev, dup := seenAddr[kv[1]]; dup {
+			return nil, fmt.Errorf("duplicate peer address %s (nodes %d and %d)", kv[1], prev, id)
+		}
+		out[nid] = kv[1]
+		seenAddr[kv[1]] = nid
 	}
 	return out, nil
 }
@@ -142,5 +381,5 @@ func runDemo(node *core.Node, members wire.Bitmap) {
 		log.Printf("demo: committed write %d (value now %d bytes)", i+1, len(v)+1)
 	}
 	st := node.Stats()
-	log.Printf("demo: commits=%d aborts=%d", st.Commits, st.Aborts)
+	log.Printf("demo: commits=%d aborts=%d (live %s)", st.Commits, st.Aborts, members)
 }

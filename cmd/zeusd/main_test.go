@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0=127.0.0.1:7000, 1=127.0.0.1:7001,2=127.0.0.1:7002")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("got %d peers, want 3", len(peers))
+	}
+	if peers[1] != "127.0.0.1:7001" {
+		t.Fatalf("peer 1 = %q", peers[1])
+	}
+}
+
+func TestParsePeersRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"", "-peers required"},
+		{"0:127.0.0.1:7000", "want id=host:port"},
+		{"x=127.0.0.1:7000", "bad peer id"},
+		{"99=127.0.0.1:7000", "out of range"},
+		{"-1=127.0.0.1:7000", "out of range"},
+		{"0=:7000,0=:7001", "duplicate peer id 0"},
+		{"0=:7000,1=:7000", "duplicate peer address :7000"},
+	}
+	for _, c := range cases {
+		if _, err := parsePeers(c.in); err == nil {
+			t.Errorf("parsePeers(%q): no error, want %q", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parsePeers(%q) = %v, want substring %q", c.in, err, c.want)
+		}
+	}
+}

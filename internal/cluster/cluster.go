@@ -10,6 +10,7 @@ package cluster
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"zeus/internal/core"
@@ -18,6 +19,7 @@ import (
 	"zeus/internal/ownership"
 	"zeus/internal/retry"
 	"zeus/internal/shardmap"
+	"zeus/internal/storage"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/viewsvc"
@@ -79,6 +81,12 @@ type Options struct {
 	OwnershipDeadline time.Duration
 	// OnOwnershipLatency observes ownership request latencies (Fig. 12).
 	OnOwnershipLatency func(time.Duration)
+	// Storage builds the per-node durable storage driver; nil keeps nodes
+	// memory-only. The cluster memoizes the driver per node id, so a
+	// restarted node recovers from the SAME driver its previous
+	// incarnation wrote (drivers exposing Reopen() — memstorage — are
+	// reopened across the in-process restart).
+	Storage func(wire.NodeID) storage.Storage
 }
 
 // DefaultOptions mirrors the paper's setup: 3-way replication, directory on
@@ -103,8 +111,10 @@ type Cluster struct {
 	mgr       *membership.Manager
 	views     *viewsvc.Ensemble
 	vsIDs     []wire.NodeID
+	mu        sync.RWMutex // guards nodes/trs: Restart races test load loops
 	nodes     map[wire.NodeID]*core.Node
 	trs       map[wire.NodeID]transport.Transport
+	stores    map[wire.NodeID]storage.Storage // retained across Restart
 	dirs      wire.Bitmap
 	dirShards int // > 0: sharded directory; <= 0: legacy static DirNodes
 }
@@ -161,6 +171,7 @@ func New(opts Options) *Cluster {
 		opts:      opts,
 		nodes:     make(map[wire.NodeID]*core.Node),
 		trs:       make(map[wire.NodeID]transport.Transport),
+		stores:    make(map[wire.NodeID]storage.Storage),
 		dirs:      dirs,
 		dirShards: dirShards,
 	}
@@ -251,17 +262,40 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 	if c.dirShards > 0 {
 		cfg.DirectoryShards = c.dirShards
 	}
+	if c.opts.Storage != nil {
+		stg, retained := c.stores[id]
+		if !retained {
+			stg = c.opts.Storage(id)
+			c.stores[id] = stg
+		} else if ro, ok := stg.(interface{ Reopen() }); ok {
+			// The previous incarnation Closed the driver on shutdown; an
+			// in-process restart reopens the same instance (memstorage)
+			// the way a real process re-Opens its data directory.
+			ro.Reopen()
+		}
+		cfg.Storage = stg
+	}
 	n := core.NewNode(id, tr, c.mgr.Agent(id), cfg)
+	c.mu.Lock()
 	c.nodes[id] = n
 	c.trs[id] = tr
+	c.mu.Unlock()
 	return n
 }
 
 // Node returns node i.
-func (c *Cluster) Node(i int) *core.Node { return c.nodes[wire.NodeID(i)] }
+func (c *Cluster) Node(i int) *core.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[wire.NodeID(i)]
+}
 
 // Nodes returns the number of nodes ever started.
-func (c *Cluster) Nodes() int { return len(c.nodes) }
+func (c *Cluster) Nodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
 
 // Manager exposes the membership manager.
 func (c *Cluster) Manager() *membership.Manager { return c.mgr }
@@ -355,10 +389,54 @@ func (c *Cluster) waitRecoveryDrained(timeout time.Duration) bool {
 	return err == nil
 }
 
+// Restart reincarnates a previously Killed node from its retained durable
+// storage, mirroring a real process restart: tear down what is left of the
+// old instance (the fabric endpoint survives), recover the store from the
+// WAL + snapshot, rejoin the view, and delta-sync divergent objects from the
+// current owners. Returns the new node once it is serving.
+func (c *Cluster) Restart(i int) (*core.Node, error) {
+	id := wire.NodeID(i)
+	c.mu.RLock()
+	old, ok := c.nodes[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no node %d to restart", i)
+	}
+	// The old instance died mid-flight; release its engines and its WAL
+	// without closing the shared fabric endpoint the new instance reuses.
+	old.Shutdown(false)
+	if c.net != nil {
+		c.net.SetDown(id, false)
+	} else {
+		c.hub.SetDown(id, false)
+	}
+	// A fresh agent: the dead instance's callbacks must not see the
+	// rejoin's view changes.
+	c.mgr.ResetAgent(id)
+	n := c.startNode(id)
+	// Join BEFORE sync: ownership transfers skip the data payload for
+	// requesters already in the replica set, which is only sound if every
+	// commit invalidates them — and commits only wait on LIVE replicas. A
+	// node that state-synced while still outside the view could re-arm a
+	// copy as valid and then miss the very next commit, leaving it
+	// stale-but-valid in the set. Joining first closes that window: once
+	// live, every commit reaches the node, and a sync answer that lost the
+	// race against a newer invalidation is dropped by its version guard.
+	before := c.mgr.View().Epoch
+	c.mgr.Join(id)
+	if !c.mgr.WaitEpoch(before+1, 5*time.Second) {
+		return n, fmt.Errorf("cluster: rejoin view change for %d timed out", i)
+	}
+	if err := n.StateSync(5 * time.Second); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
 // AddNode starts a fresh node with the next id and joins it to the
 // membership (scale-out, Fig. 15).
 func (c *Cluster) AddNode() *core.Node {
-	id := wire.NodeID(len(c.nodes))
+	id := wire.NodeID(c.Nodes())
 	n := c.startNode(id)
 	c.mgr.Join(id)
 	return n
@@ -385,7 +463,13 @@ func (c *Cluster) Leave(i int) error {
 
 // Close shuts everything down.
 func (c *Cluster) Close() {
+	c.mu.RLock()
+	nodes := make([]*core.Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.RUnlock()
+	for _, n := range nodes {
 		n.Close()
 	}
 	c.mgr.Close()
@@ -429,8 +513,8 @@ func (c *Cluster) Seed(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap
 	// at the first three nodes (a stale never-driving entry is inert).
 	targets := reps.All().Union(c.dirs).Union(c.DirDrivers(obj))
 	for _, id := range targets.Nodes() {
-		n, ok := c.nodes[id]
-		if !ok {
+		n := c.Node(int(id))
+		if n == nil {
 			continue
 		}
 		o, _ := n.Store().GetOrCreate(obj)
@@ -485,7 +569,13 @@ func (c *Cluster) defaultReaders(owner wire.NodeID) wire.Bitmap {
 // WaitIdle waits for every node's commit pipelines to drain.
 func (c *Cluster) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
+	c.mu.RLock()
+	nodes := make([]*core.Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.RUnlock()
+	for _, n := range nodes {
 		left := time.Until(deadline)
 		if left <= 0 || !n.CommitEngine().WaitIdle(left) {
 			return false

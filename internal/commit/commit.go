@@ -40,6 +40,7 @@ import (
 	"zeus/internal/membership"
 	"zeus/internal/retry"
 	"zeus/internal/shardmap"
+	"zeus/internal/storage"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -132,6 +133,12 @@ type Engine struct {
 	closed chan struct{}
 	once   sync.Once
 
+	// log, when set, is the node's durability WAL. Followers persist R-INV
+	// updates before acking (ackDurable) and both sides record committed
+	// versions, so a restarted node replays every write it ever
+	// acknowledged. nil (the zero default) disables durability.
+	log *storage.Log
+
 	stCommitted atomic.Uint64
 	stInvals    atomic.Uint64
 	stReplays   atomic.Uint64
@@ -198,6 +205,10 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 	go e.coalesceLoop()
 	return e
 }
+
+// SetLog arms write-ahead durability. Must be called before the engine
+// receives traffic (node wiring time); the engine never closes the log.
+func (e *Engine) SetLog(l *storage.Log) { e.log = l }
 
 // Close flushes coalesced outbound messages and stops the background loops.
 func (e *Engine) Close() {
@@ -298,6 +309,14 @@ func (e *Engine) Handle(from wire.NodeID, m wire.Msg) {
 	}
 }
 
+// PendingReplays returns how many dead-coordinator replays are still
+// unvalidated (0 in steady state; diagnostics and drain waits).
+func (e *Engine) PendingReplays() int {
+	e.replayMu.Lock()
+	defer e.replayMu.Unlock()
+	return len(e.replays)
+}
+
 // Stats returns a snapshot of counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
@@ -311,7 +330,11 @@ func (e *Engine) Stats() Stats {
 
 func (e *Engine) pipe(w wire.Worker) *outPipe {
 	return e.outPipes.GetOrCreate(w, func() *outPipe {
-		return &outPipe{id: wire.PipeID{Node: e.self, Worker: w}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
+		// Incar pins the pipe to this coordinator incarnation: a restarted
+		// node's pipes must not alias its previous life's at the followers
+		// (wire.PipeID), and an epoch read at pipe creation cannot collide
+		// with one a prior incarnation used — rejoining always bumped it.
+		return &outPipe{id: wire.PipeID{Node: e.self, Worker: w, Incar: e.agent.Epoch()}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
 	})
 }
 
@@ -475,6 +498,12 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 		}
 	}
 
+	// Coordinator-side commit record carries the data: the coordinator
+	// never logged a RecInv for its own write. Cluster-wide durability does
+	// not depend on it (followers persisted the updates before acking);
+	// it spares the restarted coordinator a data delta during state sync.
+	e.recCommitted(s.inv.Updates, true)
+
 	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
 	for _, n := range s.followers.Union(extra).Nodes() {
 		e.enqueue(n, val) // coalesced with neighbouring slots' R-VALs
@@ -494,9 +523,11 @@ func (e *Engine) handleInv(from wire.NodeID, m *wire.CommitInv) {
 	p := e.inPipe(m.Tx.Pipe)
 	p.mu.Lock()
 	if p.isDone(m.Tx.Local) || p.stored[m.Tx.Local] != nil {
-		// Already applied (replay or duplicate): just re-ACK (§5.1).
+		// Already applied (replay or duplicate): just re-ACK (§5.1). Still
+		// routed through ackDurable — re-appending is idempotent at replay
+		// and keeps "no ACK before its WAL write" unconditional.
 		p.mu.Unlock()
-		e.ack(from, m)
+		e.ackDurable(from, m)
 		return
 	}
 	// Pipeline ordering (§5.2): apply iff the previous slot was applied or
@@ -528,7 +559,7 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 	}
 	p.stored[m.Tx.Local] = m
 	e.stInvals.Add(1)
-	e.ack(from, m)
+	e.ackDurable(from, m)
 
 	// A successor may have been waiting on this slot.
 	for {
@@ -549,14 +580,50 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 		}
 		p.stored[m.Tx.Local] = m
 		e.stInvals.Add(1)
-		e.ack(m.Tx.Pipe.Node, m)
+		e.ackDurable(m.Tx.Pipe.Node, m)
 	}
 }
 
-func (e *Engine) ack(to wire.NodeID, m *wire.CommitInv) {
-	// Coalesced: one delivery tick's worth of R-ACKs (a batch of R-INVs
-	// applied back-to-back) leaves as a single transport batch.
+// ackDurable is the single choke point between applying an R-INV and
+// acknowledging it (zeuslint walfrozen): when durability is armed, the
+// updates are appended to the WAL — group-committed, durable on return —
+// strictly before the R-ACK is queued, so a coordinator can never observe
+// an acknowledgement for a write the follower could forget in a crash. The
+// ACK itself stays coalesced: one delivery tick's worth of R-ACKs leaves as
+// a single transport batch.
+func (e *Engine) ackDurable(to wire.NodeID, m *wire.CommitInv) {
+	if l := e.log; l != nil && len(m.Updates) > 0 {
+		recs := make([]storage.Record, len(m.Updates))
+		for i, u := range m.Updates {
+			// Data aliases the applied update; safe because store data is
+			// replace-only and WAL records are frozen at Append.
+			recs[i] = storage.Record{Kind: storage.RecInv, Obj: u.Obj, Version: u.Version, Data: u.Data}
+		}
+		if l.Append(recs...) != nil {
+			// No durability, no ACK: stay silent and let the coordinator
+			// resend. Failing storage degrades liveness, never safety.
+			return
+		}
+	}
 	e.enqueue(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
+}
+
+// recCommitted records validated versions in the WAL (best effort: the
+// records only shorten state sync after a restart; R-INV durability is what
+// acks depend on).
+func (e *Engine) recCommitted(updates []wire.Update, withData bool) {
+	l := e.log
+	if l == nil || len(updates) == 0 {
+		return
+	}
+	recs := make([]storage.Record, len(updates))
+	for i, u := range updates {
+		recs[i] = storage.Record{Kind: storage.RecCommit, Obj: u.Obj, Version: u.Version}
+		if withData {
+			recs[i].Data = u.Data
+		}
+	}
+	_ = l.Append(recs...)
 }
 
 func (e *Engine) handleVal(m *wire.CommitVal) {
@@ -589,6 +656,9 @@ func (e *Engine) handleVal(m *wire.CommitVal) {
 			o.Mu.Unlock()
 		}
 	}
+	// Follower-side commit record: version only, the matching RecInv
+	// already carries the data.
+	e.recCommitted(inv.Updates, false)
 }
 
 func (p *inPipe) isDone(local uint64) bool {

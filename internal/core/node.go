@@ -31,6 +31,7 @@ import (
 	"zeus/internal/directory"
 	"zeus/internal/membership"
 	"zeus/internal/ownership"
+	"zeus/internal/storage"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -73,6 +74,18 @@ type Config struct {
 	DirectoryShards int
 	// Ownership configures the ownership engine (directory nodes etc).
 	Ownership ownership.Config
+	// Storage, when non-nil, makes the node durable: followers persist
+	// R-INVs before acking (the cluster-level durability choke point),
+	// committed values and ownership grants append to the same WAL, and a
+	// background loop snapshots the store to bound replay. NewNode replays
+	// whatever the driver recovered BEFORE traffic flows — recovered
+	// objects come back demoted (NonReplica, TInvalid) and regain their
+	// level and validity through StateSync, never by trusting possibly
+	// stale local state. Nil keeps the node memory-only (tests, sims).
+	Storage storage.Storage
+	// SnapshotEvery is the number of WAL records between background
+	// snapshots (0 picks 16384). Only meaningful with Storage set.
+	SnapshotEvery int
 }
 
 // DefaultConfig mirrors the paper's evaluation setup: 3-way replication, the
@@ -117,6 +130,18 @@ type Node struct {
 	closedCh  chan struct{}
 	closeOnce sync.Once
 
+	// Durability (nil without Config.Storage): the group-commit WAL front
+	// end shared by the commit and ownership engines, and the recovery
+	// census taken before the first message was handled.
+	log       *storage.Log
+	stg       storage.Storage
+	recovered int
+
+	// State-sync bookkeeping (see sync.go): objects recovered from storage
+	// that still await an authoritative answer from a current owner.
+	syncMu      sync.Mutex
+	syncPending map[wire.ObjectID]syncOrigin
+
 	stCommits   atomic.Uint64
 	stAborts    atomic.Uint64
 	stROCommits atomic.Uint64
@@ -135,6 +160,20 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		cfg.Workers = 8
 	}
 	st := store.New()
+	// Durable recovery happens FIRST, before any engine or handler exists:
+	// the store is rebuilt from the snapshot + WAL replay while no message
+	// can race the install. See installRecovered for the demotion rules.
+	var recovered int
+	pending := make(map[wire.ObjectID]syncOrigin)
+	if cfg.Storage != nil {
+		rec, err := cfg.Storage.Recover()
+		if err != nil {
+			// A node must not serve with a half-recovered store; the
+			// operator decides between repair and a fresh data dir.
+			panic(fmt.Sprintf("core: storage recovery failed: %v", err))
+		}
+		recovered = installRecovered(id, st, rec, pending)
+	}
 	// Sharded ownership directory (§6.2): when enabled, ownership REQs
 	// resolve object → shard → drivers through the replicated placement
 	// map instead of the fixed DirNodes set. The service registers its
@@ -151,10 +190,18 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		cfg.Ownership.Directory = dirsvc
 	}
 	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent, dirsvc: dirsvc,
-		trimQ: make(chan trimReq, trimQueueDepth), closedCh: make(chan struct{})}
+		trimQ: make(chan trimReq, trimQueueDepth), closedCh: make(chan struct{}),
+		stg: cfg.Storage, recovered: recovered, syncPending: pending}
 	n.router = transport.NewRouter()
 	n.cmt = commit.New(id, st, tr, agent)
 	n.own = ownership.New(id, st, tr, agent, cfg.Ownership)
+	if cfg.Storage != nil {
+		n.log = storage.NewLog(cfg.Storage)
+		n.cmt.SetLog(n.log)
+		n.own.SetLog(n.log)
+		go n.snapshotLoop()
+	}
+	n.router.HandleMany(n.handleSync, wire.KindSyncPull, wire.KindSyncState)
 	// The owner refuses ownership transfers while the object is involved
 	// in a pending reliable commit (§4.1). Executing local transactions
 	// (local ownership held) are detected by the ownership engine itself
@@ -249,13 +296,30 @@ func (n *Node) Stats() Stats {
 	}
 }
 
-// Close shuts down the node's engines.
-func (n *Node) Close() {
+// Close shuts down the node's engines and releases the transport.
+func (n *Node) Close() { n.shutdown(true) }
+
+// Shutdown is Close with control over the transport: restart harnesses pass
+// closeTransport=false so the fabric-side endpoint (a hub slot or listening
+// socket) survives for the reincarnated process to reuse.
+func (n *Node) Shutdown(closeTransport bool) { n.shutdown(closeTransport) }
+
+func (n *Node) shutdown(closeTransport bool) {
 	n.closeOnce.Do(func() { close(n.closedCh) })
 	n.own.Close()
 	n.cmt.Close()
 	n.router.CloseShards()
-	_ = n.tr.Close()
+	// The engines are quiesced: no new appends can be staged, so closing
+	// the log drains the final group-commit batch before the driver goes.
+	if n.log != nil {
+		n.log.Close()
+	}
+	if n.stg != nil {
+		_ = n.stg.Close()
+	}
+	if closeTransport {
+		_ = n.tr.Close()
+	}
 }
 
 // WaitReplication blocks until all pending reliable commits validated.

@@ -1,0 +1,362 @@
+// Rejoin as state sync, not cold start. A node restarting from its WAL +
+// snapshot knows, for every object it replicated, the last version it
+// persisted — but it cannot know what it missed while down. So recovery
+// installs everything DEMOTED (NonReplica, TInvalid) and StateSync turns the
+// local knowledge into a delta protocol:
+//
+//	restarting node  --- SYNC-PULL {obj, version}* --->  live nodes
+//	current owner    --- SYNC-STATE {obj, version, replicas, ts, data?} -->
+//
+// Only the current owner of an object answers (owners are the single
+// authority for both the value and the replica set); it sends the payload
+// only when the puller's version is stale, so a node that was briefly down
+// re-arms mostly with metadata-sized messages. Objects whose recovered state
+// named this node as owner and that no live owner claims within the deadline
+// are RECLAIMED from local durable state: the grant WAL says ownership was
+// never transferred away, and a transfer performed while this node was down
+// would have produced a new owner that answers the pull.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"zeus/internal/storage"
+	"zeus/internal/store"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// syncOrigin is what recovery remembered about a pending object: whether the
+// durable state named this node as owner (reclaim eligibility) and whether
+// the recovered value had completed a commit (reclaim validity).
+type syncOrigin struct {
+	selfOwner bool
+	valid     bool
+}
+
+// installRecovered replays a storage.Recovered census into a fresh store,
+// before any transport handler exists. Every object comes back conservative:
+//
+//   - Level NonReplica and TState TInvalid — the node serves nothing until
+//     StateSync (or reclaim) proves the local value current;
+//   - data, version, ownership timestamp and replica set retained as hints,
+//     except that a recovered "self is owner" is rewritten to NoNode —
+//     ownership may have migrated while the node was down.
+//
+// It returns the number of objects installed and records each object's
+// sync origin in pending.
+func installRecovered(self wire.NodeID, st *store.Store, rec *storage.Recovered, pending map[wire.ObjectID]syncOrigin) int {
+	for id, r := range rec.Objects {
+		o, _ := st.GetOrCreate(id)
+		o.Mu.Lock()
+		o.Data = r.Data
+		o.SetTLocked(r.Version, store.TInvalid)
+		o.OState = store.OValid
+		o.OTS = r.TS
+		reps := r.Replicas
+		selfOwner := reps.Owner == self
+		if selfOwner {
+			reps.Owner = wire.NoNode
+		}
+		o.Replicas = reps
+		o.Level = wire.NonReplica
+		o.Mu.Unlock()
+		pending[id] = syncOrigin{selfOwner: selfOwner, valid: r.Valid}
+	}
+	return len(rec.Objects)
+}
+
+// Recovered returns how many objects storage recovery installed (0 without
+// Config.Storage).
+func (n *Node) Recovered() int { return n.recovered }
+
+// SyncPending returns how many recovered objects still await an
+// authoritative owner answer (tests poll it; 0 once StateSync finished).
+func (n *Node) SyncPending() int {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	return len(n.syncPending)
+}
+
+// syncChunk bounds the entries per SYNC message so a large store syncs as a
+// stream of bounded frames rather than one giant allocation.
+const syncChunk = 256
+
+// StateSync drives the pull protocol until every recovered object was either
+// answered by a current owner or reclaimed from local durable state. It must
+// run after the node joined the view (peers need the view to route replies)
+// and BEFORE the application serves traffic. It is a no-op for nodes that
+// recovered nothing.
+func (n *Node) StateSync(timeout time.Duration) error {
+	if n.SyncPending() == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	// Objects whose durable state names this node as owner are reclaimed
+	// after a short quiet period — several resend rounds with no owner
+	// claiming them — rather than at the full deadline: a live owner
+	// answers a pull in far less than one round, so waiting longer only
+	// delays the rejoin.
+	quiet := 500 * time.Millisecond
+	if timeout/2 < quiet {
+		quiet = timeout / 2
+	}
+	reclaimAt := time.Now().Add(quiet)
+	reclaimed := false
+	resend := time.NewTicker(100 * time.Millisecond)
+	defer resend.Stop()
+	n.sendPulls()
+	for {
+		if n.SyncPending() == 0 {
+			return nil
+		}
+		if !reclaimed && time.Now().After(reclaimAt) {
+			n.reclaimLeftovers()
+			reclaimed = true
+			continue
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		select {
+		case <-n.closedCh:
+			return fmt.Errorf("core: node closed during state sync")
+		case <-resend.C:
+			n.sendPulls()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if left := n.reclaimLeftovers(); left > 0 {
+		return fmt.Errorf("core: state sync timed out with %d unresolved objects", left)
+	}
+	return nil
+}
+
+// sendPulls multicasts the still-pending ⟨obj, version⟩ entries to every
+// live peer, in bounded chunks. Versions are re-read from the store so a
+// pull raced by an install advertises the freshest local knowledge.
+func (n *Node) sendPulls() {
+	n.syncMu.Lock()
+	ids := make([]wire.ObjectID, 0, len(n.syncPending))
+	for id := range n.syncPending {
+		ids = append(ids, id)
+	}
+	n.syncMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	live := n.agent.View().Live
+	entries := make([]wire.SyncEntry, 0, syncChunk)
+	flush := func() {
+		if len(entries) == 0 {
+			return
+		}
+		transport.Broadcast(n.tr, live, &wire.SyncPull{From: n.id, Entries: entries})
+		entries = make([]wire.SyncEntry, 0, syncChunk)
+	}
+	for _, id := range ids {
+		var ver uint64
+		if o, ok := n.st.Get(id); ok {
+			o.Mu.Lock()
+			ver = o.TVersion
+			o.Mu.Unlock()
+		}
+		entries = append(entries, wire.SyncEntry{Obj: id, Version: ver})
+		if len(entries) == syncChunk {
+			flush()
+		}
+	}
+	flush()
+	transport.Flush(n.tr)
+}
+
+// reclaimLeftovers resolves pending objects that no live owner claimed. An
+// object whose durable grant history names this node as owner is restored to
+// owner level — see the package comment for why "no answer" implies "no new
+// owner". Values that had not completed a commit at crash time stay
+// TInvalid (the next write re-validates them); committed values come back
+// readable. Returns how many objects could NOT be reclaimed.
+func (n *Node) reclaimLeftovers() int {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	for id, org := range n.syncPending {
+		if !org.selfOwner {
+			continue
+		}
+		o, ok := n.st.Get(id)
+		if !ok {
+			delete(n.syncPending, id)
+			continue
+		}
+		o.Mu.Lock()
+		reps := o.Replicas
+		reps.Owner = n.id
+		o.Replicas = reps
+		o.Level = wire.Owner
+		o.OState = store.OValid
+		if org.valid {
+			o.SetTLocked(o.TVersion, store.TValid)
+		}
+		o.Mu.Unlock()
+		delete(n.syncPending, id)
+	}
+	return len(n.syncPending)
+}
+
+// handleSync dispatches both sync kinds; it is registered on the router for
+// KindSyncPull and KindSyncState.
+func (n *Node) handleSync(from wire.NodeID, m wire.Msg) {
+	switch v := m.(type) {
+	case *wire.SyncPull:
+		n.handleSyncPull(v)
+	case *wire.SyncState:
+		n.handleSyncState(v)
+	}
+}
+
+// handleSyncPull answers, as current owner, the entries this node is the
+// authority for. Non-owned entries are skipped silently — the owner, wherever
+// it is, answers them. Objects mid-commit (TState != TValid) are also skipped:
+// the puller retries and picks them up once the pipeline settles, which keeps
+// sync installs from racing an in-flight replication round.
+func (n *Node) handleSyncPull(p *wire.SyncPull) {
+	var out []wire.SyncEntry
+	for _, e := range p.Entries {
+		o, ok := n.st.Get(e.Obj)
+		if !ok {
+			continue
+		}
+		o.Mu.Lock()
+		if o.Level != wire.Owner || o.OState != store.OValid || o.TState != store.TValid {
+			o.Mu.Unlock()
+			continue
+		}
+		ans := wire.SyncEntry{
+			Obj:      e.Obj,
+			Version:  o.TVersion,
+			TS:       o.OTS,
+			Replicas: o.Replicas,
+		}
+		if o.TVersion != e.Version {
+			// Stale puller: ship the payload. Data is replace-only, so
+			// aliasing it beyond the lock is safe (see store.Object.Data).
+			ans.HasData = true
+			ans.Data = o.Data
+		}
+		o.Mu.Unlock()
+		out = append(out, ans)
+		if len(out) == syncChunk {
+			_ = n.tr.Send(p.From, &wire.SyncState{From: n.id, Entries: out})
+			out = nil
+		}
+	}
+	if len(out) > 0 {
+		_ = n.tr.Send(p.From, &wire.SyncState{From: n.id, Entries: out})
+	}
+	transport.Flush(n.tr)
+}
+
+// handleSyncState installs an owner's authoritative answers on the puller:
+// the replica set and ownership timestamp verbatim, this node's level as the
+// replica set implies it, and either the shipped payload (stale puller) or a
+// validity flip of the local bytes (versions matched). Each object accepts
+// exactly ONE answer — the first to arrive retires the pending entry, and
+// later duplicates (resend overlap) or stragglers are dropped. Installing a
+// second answer would be a regression hazard: by the time it arrives the
+// object may have rejoined the live protocol and advanced past the answered
+// version.
+func (n *Node) handleSyncState(s *wire.SyncState) {
+	for _, e := range s.Entries {
+		n.syncMu.Lock()
+		_, pending := n.syncPending[e.Obj]
+		if pending {
+			delete(n.syncPending, e.Obj)
+		}
+		n.syncMu.Unlock()
+		if !pending {
+			continue
+		}
+		o, _ := n.st.GetOrCreate(e.Obj)
+		o.Mu.Lock()
+		if e.Version < o.TVersion || e.TS.Less(o.OTS) {
+			// The object already advanced past the answer — a racing
+			// invalidation bumped the version, or a racing ownership grant
+			// minted a newer o_ts (this node may drive the object's
+			// directory shard, so regressing its replica set would mint
+			// grants that silently drop replicas). The live protocol owns
+			// the object now; the answer is stale wholesale.
+			o.Mu.Unlock()
+			continue
+		}
+		o.Replicas = e.Replicas
+		o.OTS = e.TS
+		o.OState = store.OValid
+		o.Level = e.Replicas.LevelOf(n.id)
+		if e.HasData {
+			o.Data = append([]byte(nil), e.Data...)
+			o.SetTLocked(e.Version, store.TValid)
+		} else if o.TVersion == e.Version {
+			o.SetTLocked(o.TVersion, store.TValid)
+		}
+		o.Mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Background snapshots.
+// ---------------------------------------------------------------------------
+
+// defaultSnapshotEvery is the WAL record count between background snapshots.
+const defaultSnapshotEvery = 1 << 14
+
+// snapshotLoop watches the WAL growth counter and rolls a snapshot whenever
+// enough records accumulated since the last one. Runs only with Storage set.
+func (n *Node) snapshotLoop() {
+	every := n.cfg.SnapshotEvery
+	if every <= 0 {
+		every = defaultSnapshotEvery
+	}
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closedCh:
+			return
+		case <-t.C:
+			if n.log.AppendedSinceMark() >= int64(every) {
+				_ = n.SnapshotNow()
+			}
+		}
+	}
+}
+
+// SnapshotNow scans the store into a durable snapshot and retires the WAL
+// segments the snapshot covers (the driver's contract). Safe to call
+// concurrently with traffic: each object is read under its own lock, and the
+// driver rolls the WAL segment before the scan so records racing the scan
+// stay replayable.
+func (n *Node) SnapshotNow() error {
+	if n.log == nil {
+		return nil
+	}
+	return n.log.Snapshot(func(emit func(storage.SnapObject) error) error {
+		var err error
+		n.st.ForEach(func(o *store.Object) bool {
+			o.Mu.Lock()
+			so := storage.SnapObject{
+				Obj:      o.ID,
+				Version:  o.TVersion,
+				Data:     o.Data,
+				Valid:    o.TState == store.TValid,
+				TS:       o.OTS,
+				Replicas: o.Replicas,
+				Level:    o.Level,
+			}
+			o.Mu.Unlock()
+			err = emit(so)
+			return err == nil
+		})
+		return err
+	})
+}

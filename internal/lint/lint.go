@@ -19,6 +19,10 @@
 //     queues may still reference it.
 //   - retrydiscipline: engine code does not call raw time.Sleep; retries,
 //     polls and back-off go through internal/retry.
+//   - walfrozen: a storage.Record handed to Append is frozen (the group-
+//     commit log encodes it asynchronously), and in any function that sends
+//     a CommitAck the WAL Append comes first with its error consumed — no
+//     acknowledgement may outrun the durability it promises.
 //
 // Findings can be waived in place with a trailing or preceding comment:
 //
@@ -56,6 +60,7 @@ func Analyzers() []*analysis.Analyzer {
 		LockedSuffix,
 		SendFrozen,
 		RetryDiscipline,
+		WalFrozen,
 	}
 }
 

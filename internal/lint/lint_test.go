@@ -7,7 +7,7 @@ import (
 	"zeus/internal/lint/linttest"
 )
 
-// The five analyzer suites: each loads its golden fixture from testdata and
+// The analyzer suites: each loads its golden fixture from testdata and
 // matches the diagnostics against the committed `// want` comments. Every
 // fixture also carries a //lint:allow line proving the waiver suppresses the
 // finding (the harness would report it as unexpected otherwise).
@@ -30,6 +30,10 @@ func TestSendFrozen(t *testing.T) {
 
 func TestRetryDiscipline(t *testing.T) {
 	linttest.Run(t, "retrydiscipline", lint.RetryDiscipline)
+}
+
+func TestWalFrozen(t *testing.T) {
+	linttest.Run(t, "walfrozen", lint.WalFrozen)
 }
 
 // TestWaiverRequiresReason: a //lint:allow with no reason is itself a finding

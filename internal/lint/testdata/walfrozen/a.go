@@ -1,0 +1,92 @@
+// Package walfrozen exercises the walfrozen analyzer: WAL records are
+// frozen the moment they are handed to Append (the group-commit log encodes
+// them asynchronously), and a CommitAck may only leave after the Append it
+// depends on returns with its error consumed.
+package walfrozen
+
+import (
+	"zeus/internal/storage"
+	"zeus/internal/transport"
+	"zeus/internal/wire"
+)
+
+// postAppendWrite is the regression shape the rule pins: the record slice
+// "fixed up" after the hand-off, while the log's encoder may already be
+// walking it.
+func postAppendWrite(l *storage.Log, obj wire.ObjectID) {
+	recs := []storage.Record{{Kind: storage.RecInv, Obj: obj}}
+	if l.Append(recs...) != nil {
+		return
+	}
+	recs[0].Version = 7 // want `WAL record recs written after being handed to Append`
+}
+
+// postAppendElemWrite: whole-element writes are caught too.
+func postAppendElemWrite(l *storage.Log, obj wire.ObjectID) {
+	recs := make([]storage.Record, 1)
+	recs[0] = storage.Record{Kind: storage.RecCommit, Obj: obj}
+	if l.Append(recs...) != nil {
+		return
+	}
+	recs[0] = storage.Record{} // want `WAL record recs written after being handed to Append`
+}
+
+// rebindIsFine: a fresh slice taking over the name is a new batch, not a
+// mutation of the appended one.
+func rebindIsFine(l *storage.Log, obj wire.ObjectID) {
+	recs := []storage.Record{{Kind: storage.RecInv, Obj: obj}}
+	if l.Append(recs...) != nil {
+		return
+	}
+	recs = []storage.Record{{Kind: storage.RecCommit, Obj: obj}}
+	recs[0].Version = 1
+	_ = l.Append(recs...)
+}
+
+// byValueIsFine: a bare Record value is copied at the call; the variable
+// stays the caller's to mutate.
+func byValueIsFine(l *storage.Log, obj wire.ObjectID) {
+	r := storage.Record{Kind: storage.RecGrant, Obj: obj}
+	_ = l.Append(r)
+	r.Level = wire.Owner
+}
+
+// ackBeforeAppend inverts the choke-point order: the acknowledgement races
+// ahead of the durability it promises.
+func ackBeforeAppend(l *storage.Log, tr transport.Transport, to wire.NodeID, recs []storage.Record) {
+	_ = tr.Send(to, &wire.CommitAck{}) // want `CommitAck sent before the WAL Append`
+	if l.Append(recs...) != nil {
+		return
+	}
+}
+
+// ackAfterCheckedAppendIsFine is ackDurable's sanctioned shape: append,
+// check, and only then ack.
+func ackAfterCheckedAppendIsFine(l *storage.Log, tr transport.Transport, to wire.NodeID, recs []storage.Record) {
+	if l.Append(recs...) != nil {
+		return // no durability, no ack
+	}
+	_ = tr.Send(to, &wire.CommitAck{})
+}
+
+// discardedErrorThenAck: dropping Append's error in an acknowledging
+// function acks a write that may not be durable.
+func discardedErrorThenAck(l *storage.Log, tr transport.Transport, to wire.NodeID, recs []storage.Record) {
+	_ = l.Append(recs...) // want `WAL Append error discarded in a function that sends CommitAck`
+	_ = tr.Send(to, &wire.CommitAck{})
+}
+
+// bestEffortIsFine is the recCommitted/recGrant shape: a best-effort append
+// in a function that sends no acks may drop the error.
+func bestEffortIsFine(l *storage.Log, recs []storage.Record) {
+	_ = l.Append(recs...)
+}
+
+// waived: the escape hatch works here like everywhere in zeuslint.
+func waived(l *storage.Log, obj wire.ObjectID) {
+	recs := []storage.Record{{Kind: storage.RecInv, Obj: obj}}
+	if l.Append(recs...) != nil {
+		return
+	}
+	recs[0].Version = 9 //lint:allow walfrozen fixture proves waivers apply
+}

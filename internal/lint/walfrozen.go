@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"zeus/internal/lint/analysis"
+)
+
+// storagePkg is the import path owning the WAL record model.
+const storagePkg = "zeus/internal/storage"
+
+// WalFrozen enforces the storage package's durability contract at the
+// call sites that carry it:
+//
+//   - A storage.Record (or slice of records) handed to an Append is frozen:
+//     the group-commit log retains and encodes it asynchronously, so a later
+//     write through the same variable races the WAL encoder — the segment
+//     may persist either value, or a torn mix, and replay diverges from what
+//     the follower acknowledged.
+//
+//   - An R-ACK must not leave before the storage write it depends on
+//     returns. In any function that both appends WAL records and hands a
+//     CommitAck to a send-side entry point, the append must come first
+//     (source order approximates program order, as in sendfrozen), and the
+//     Append error must be consumed — a discarded error acks a write that
+//     may not be durable. ackDurable in the commit engine is the sanctioned
+//     choke point; best-effort appends (recCommitted, recGrant) live in
+//     functions that send no acks and stay exempt.
+var WalFrozen = &analysis.Analyzer{
+	Name: "walfrozen",
+	Doc:  "WAL records are frozen at Append; acks follow the Append they depend on, with its error checked",
+	Run:  runWalFrozen,
+}
+
+func runWalFrozen(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWalFrozenFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// wfEvent is one ordered occurrence of a tracked record variable.
+type wfEvent struct {
+	pos  token.Pos
+	kind int // 0 = appended (frozen), 1 = rebound, 2 = written through
+}
+
+func checkWalFrozenFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	events := make(map[types.Object][]wfEvent)
+	var appends []token.Pos   // WAL Append call positions
+	var discarded []token.Pos // WAL Appends whose error is dropped
+	var acks []token.Pos      // CommitAck send positions
+
+	add := func(obj types.Object, ev wfEvent) {
+		events[obj] = append(events[obj], ev)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			// A WAL Append as a bare statement drops its error.
+			if call, ok := v.X.(*ast.CallExpr); ok && isWalAppend(info, call) {
+				discarded = append(discarded, call.Pos())
+			}
+		case *ast.AssignStmt:
+			// `_ = l.Append(...)` drops the error just as silently.
+			if call, ok := soleRHSCall(v); ok && isWalAppend(info, call) && allBlank(v.Lhs) {
+				discarded = append(discarded, call.Pos())
+			}
+			for _, lhs := range v.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && events[obj] != nil {
+						add(obj, wfEvent{pos: lhs.Pos(), kind: 1})
+					}
+					continue
+				}
+				if base, obj := recordWriteBase(info, lhs); obj != nil {
+					add(obj, wfEvent{pos: base.Pos(), kind: 2})
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, obj := recordWriteBase(info, v.X); obj != nil {
+				add(obj, wfEvent{pos: base.Pos(), kind: 2})
+			}
+		case *ast.CallExpr:
+			if isWalAppend(info, v) {
+				appends = append(appends, v.Pos())
+				for _, arg := range v.Args {
+					if obj := recordVar(info, arg); obj != nil {
+						add(obj, wfEvent{pos: v.Pos(), kind: 0})
+					}
+				}
+				return true
+			}
+			if sendNames[calleeName(v)] {
+				for _, arg := range v.Args {
+					if isCommitAckExpr(info, arg) {
+						acks = append(acks, v.Pos())
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Contract 1: records are frozen at Append.
+	for obj, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		frozen := false
+		for _, ev := range evs {
+			switch ev.kind {
+			case 0:
+				frozen = true
+			case 1:
+				frozen = false
+			case 2:
+				if frozen {
+					pass.Reportf(ev.pos, "WAL record %s written after being handed to Append: the group-commit log may still be encoding it (build a fresh record instead)", obj.Name())
+				}
+			}
+		}
+	}
+
+	// Contract 2: in an acknowledging function, durability precedes the ack
+	// and its outcome is checked.
+	if len(acks) == 0 || len(appends) == 0 {
+		return
+	}
+	first := appends[0]
+	for _, p := range appends[1:] {
+		if p < first {
+			first = p
+		}
+	}
+	for _, ack := range acks {
+		if ack < first {
+			pass.Reportf(ack, "CommitAck sent before the WAL Append it depends on returns: a coordinator must never see an ack for a write the follower could forget")
+		}
+	}
+	for _, p := range discarded {
+		pass.Reportf(p, "WAL Append error discarded in a function that sends CommitAck: a failed append must suppress the ack, not race past it")
+	}
+}
+
+// isWalAppend reports whether call is an Append carrying storage records.
+func isWalAppend(info *types.Info, call *ast.CallExpr) bool {
+	if calleeName(call) != "Append" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isRecordType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRecordType reports whether t (possibly behind a pointer or slice) is
+// storage.Record.
+func isRecordType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		t = u.Elem()
+	case *types.Slice:
+		t = u.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Record" && obj.Pkg() != nil && obj.Pkg().Path() == storagePkg
+}
+
+// recordVar returns the variable denoted by arg (looking through &x) when
+// handing it to Append shares the variable's storage with the log: a slice
+// of records, a pointer, or an addressed value. A bare Record value is
+// copied at the call and stays writable.
+func recordVar(info *types.Info, arg ast.Expr) types.Object {
+	addressed := false
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = u.X
+		addressed = true
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || !isRecordType(obj.Type()) {
+		return nil
+	}
+	if !addressed {
+		switch obj.Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice:
+		default:
+			return nil // passed by value: the log got a copy
+		}
+	}
+	return obj
+}
+
+// recordWriteBase unwraps an assignment target (recs[i], recs[i].Data, r.F)
+// to the root identifier when that identifier is a tracked record variable.
+func recordWriteBase(info *types.Info, lhs ast.Expr) (*ast.Ident, types.Object) {
+	e := lhs
+	depth := 0
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+			depth++
+		case *ast.IndexExpr:
+			e = v.X
+			depth++
+		case *ast.SliceExpr:
+			e = v.X
+			depth++
+		case *ast.StarExpr:
+			e = v.X
+			depth++
+		case *ast.Ident:
+			if depth == 0 {
+				return nil, nil // plain rebind, handled by the caller
+			}
+			obj, ok := info.Uses[v].(*types.Var)
+			if !ok || !isRecordType(obj.Type()) {
+				return nil, nil
+			}
+			return v, obj
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// isCommitAckExpr reports whether arg's type is wire.CommitAck (possibly
+// behind a pointer) — the message whose departure the WAL gates.
+func isCommitAckExpr(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "CommitAck" && obj.Pkg() != nil && obj.Pkg().Path() == wirePkg
+}
+
+// soleRHSCall returns the call when assign's RHS is exactly one call expr.
+func soleRHSCall(assign *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(assign.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	return call, ok
+}
+
+// allBlank reports whether every LHS is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

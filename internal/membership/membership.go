@@ -126,6 +126,10 @@ func (m *Manager) Close() {
 // View returns the current view.
 func (m *Manager) View() wire.View { return m.cli.View() }
 
+// State returns the full replicated view-service state (status tooling and
+// diagnostics; View covers the common case).
+func (m *Manager) State() wire.VSState { return m.cli.State() }
+
 // Agent creates (or returns) the agent embedded in node id. The agent starts
 // with the service's current view and placement.
 func (m *Manager) Agent(id wire.NodeID) *Agent {
@@ -144,6 +148,17 @@ func (m *Manager) Agent(id wire.NodeID) *Agent {
 	}
 	m.agents[id] = a
 	return a
+}
+
+// ResetAgent discards the cached agent for node id, so the next Agent(id)
+// call builds a fresh one. Restart harnesses call it between a node's death
+// and its reincarnation: the dead node's agent still carries the old node's
+// callbacks, and handing it to the new instance would deliver view changes
+// into torn-down engines.
+func (m *Manager) ResetAgent(id wire.NodeID) {
+	m.mu.Lock()
+	delete(m.agents, id)
+	m.mu.Unlock()
 }
 
 // Placement returns the latest committed directory placement (§6.2), or nil
@@ -182,6 +197,10 @@ func (m *Manager) Fail(id wire.NodeID) { m.cli.Fail(id) }
 // the view service has no quorum the join times out silently (observable
 // via View().Live — kept void for API compatibility).
 func (m *Manager) Join(id wire.NodeID) { m.cli.Join(id) }
+
+// JoinAddr is Join carrying the node's advertised endpoint for the
+// replicated address book (multi-process deployments).
+func (m *Manager) JoinAddr(id wire.NodeID, addr string) { m.cli.JoinAddr(id, addr) }
 
 // Leave removes node id gracefully (scale-in). Unlike Fail there is no lease
 // wait — the node coordinated its departure — but the recovery barrier still

@@ -37,6 +37,7 @@ import (
 	"zeus/internal/membership"
 	"zeus/internal/retry"
 	"zeus/internal/shardmap"
+	"zeus/internal/storage"
 	"zeus/internal/store"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -161,6 +162,10 @@ type Engine struct {
 	once       sync.Once
 	selfQ      chan wire.Msg
 
+	// log, when set, records applied ownership grants (recGrant) so a
+	// restarted node knows each object's last-known replica set and level.
+	log *storage.Log
+
 	stRequests  atomic.Uint64
 	stSucceeded atomic.Uint64
 	stNacks     atomic.Uint64
@@ -244,6 +249,10 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 	go e.selfLoop()
 	return e
 }
+
+// SetLog arms grant journaling. Must be called before the engine receives
+// traffic (node wiring time); the engine never closes the log.
+func (e *Engine) SetLog(l *storage.Log) { e.log = l }
 
 // Register installs the engine's handlers on the router.
 func (e *Engine) Register(r *transport.Router) {
@@ -880,10 +889,16 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 		}
 		return awaited, false, false
 	})
+	var gts wire.OTS
+	var greps wire.ReplicaSet
+	granted := false
 	if hasVal {
-		e.applyLocked(o)
+		gts, greps, granted = e.applyLocked(o)
 	}
 	o.Mu.Unlock()
+	if granted {
+		e.recGrant(m.Obj, gts, greps)
+	}
 
 	if loser != nil {
 		e.stNacks.Add(1)
@@ -898,10 +913,12 @@ func (e *Engine) handleInv(m *wire.OwnInv) {
 // applyLocked applies the pending request to the object (caller holds o.Mu):
 // replica set, ownership timestamp, this node's access level, and state
 // Valid. Dropped replicas discard their data; deletes are handled by caller.
-func (e *Engine) applyLocked(o *store.Object) {
+// It returns the applied grant so the caller can WAL it after releasing the
+// object mutex (recGrant; grant records never block the object lock).
+func (e *Engine) applyLocked(o *store.Object) (ts wire.OTS, reps wire.ReplicaSet, applied bool) {
 	p := o.Pending
 	if p == nil {
-		return
+		return wire.OTS{}, wire.ReplicaSet{}, false
 	}
 	wasReplica := o.Level != wire.NonReplica
 	o.Replicas = p.NewReplicas
@@ -914,6 +931,20 @@ func (e *Engine) applyLocked(o *store.Object) {
 	}
 	o.Level = newLevel
 	o.Pending = nil
+	return p.TS, p.NewReplicas, true
+}
+
+// recGrant records an applied ownership grant in the WAL (best effort:
+// grant records are recovery hints — the restarted node re-derives
+// authoritative levels from state sync — so a failed append degrades
+// nothing but restart locality). Called outside the object mutex.
+func (e *Engine) recGrant(obj wire.ObjectID, ts wire.OTS, reps wire.ReplicaSet) {
+	if l := e.log; l != nil {
+		_ = l.Append(storage.Record{
+			Kind: storage.RecGrant, Obj: obj, TS: ts,
+			Replicas: reps, Level: reps.LevelOf(e.self),
+		})
+	}
 }
 
 func (e *Engine) handleVal(m *wire.OwnVal) {
@@ -925,8 +956,11 @@ func (e *Engine) handleVal(m *wire.OwnVal) {
 	switch {
 	case o.Pending != nil && o.Pending.TS == m.TS:
 		mode := o.Pending.Mode
-		e.applyLocked(o)
+		gts, greps, granted := e.applyLocked(o)
 		o.Mu.Unlock()
+		if granted {
+			e.recGrant(m.Obj, gts, greps)
+		}
 		if mode == wire.DeleteObject && !e.dir.DrivesShard(e.self, m.Obj) {
 			e.st.Delete(m.Obj)
 		}
@@ -1075,6 +1109,7 @@ func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.Repl
 	}
 	o.Level = newLevel
 	o.Mu.Unlock()
+	e.recGrant(obj, ts, reps)
 }
 
 func (e *Engine) handleNack(m *wire.OwnNack) {
@@ -1240,10 +1275,16 @@ func (e *Engine) checkRecoveryCompleteLocked(rs *recovState, epoch wire.Epoch) {
 		// died before applying; this node holds the pending record).
 		if o, ok := e.st.Get(rs.obj); ok {
 			o.Mu.Lock()
+			var gts wire.OTS
+			var greps wire.ReplicaSet
+			granted := false
 			if o.Pending != nil && o.Pending.TS == rs.ts {
-				e.applyLocked(o)
+				gts, greps, granted = e.applyLocked(o)
 			}
 			o.Mu.Unlock()
+			if granted {
+				e.recGrant(rs.obj, gts, greps)
+			}
 		}
 	}()
 }

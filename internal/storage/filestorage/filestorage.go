@@ -1,0 +1,447 @@
+// Package filestorage is the durable storage driver used by zeusd: CRC-framed
+// append-only WAL segments, snapshot files, and an atomically-replaced
+// manifest, all under one data directory.
+//
+// Layout:
+//
+//	MANIFEST          points at the live snapshot and first retained segment
+//	wal-%08d.log      WAL segments, frames of [len u32][crc u32][payload]
+//	snap-%08d.snap    object snapshots, same framing
+//
+// Crash rules: a torn frame at the tail of the newest segment is truncated
+// at Open (an append that never finished fsync was by contract never
+// acknowledged); a torn frame anywhere else is corruption. Snapshot files
+// are written to a temp name, fsynced and renamed before the manifest
+// references them, and the manifest itself is replaced by rename, so
+// recovery always sees either the old or the new snapshot — never half of
+// one.
+package filestorage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"zeus/internal/storage"
+)
+
+const (
+	manifestName = "MANIFEST"
+	frameHeader  = 8        // u32 len + u32 crc
+	segMaxBytes  = 64 << 20 // roll threshold
+	maxFrame     = 1 << 30  // sanity bound on a single payload
+)
+
+// Store implements storage.Storage on a local directory.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	seg      *os.File // open tail segment (append position at EOF)
+	segID    uint64
+	segSize  int64
+	firstSeg uint64 // oldest retained segment
+	snapName string // "" when no snapshot yet
+	closed   bool
+
+	buf []byte // append scratch, reused under mu
+}
+
+// Open opens (or initialises) the data directory dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, firstSeg: 1}
+	if err := s.readManifest(); err != nil {
+		return nil, err
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	last := s.firstSeg
+	if n := len(segs); n > 0 {
+		last = segs[n-1]
+	}
+	if err := s.openTail(last, len(segs) > 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func segName(id uint64) string  { return fmt.Sprintf("wal-%08d.log", id) }
+func snapFile(id uint64) string { return fmt.Sprintf("snap-%08d.snap", id) }
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// readManifest loads MANIFEST; a missing file means a fresh directory.
+func (s *Store) readManifest() error {
+	b, err := os.ReadFile(s.path(manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "snapshot":
+			if fields[1] != "-" {
+				s.snapName = fields[1]
+			}
+		case "firstseg":
+			if _, err := fmt.Sscanf(fields[1], "%d", &s.firstSeg); err != nil {
+				return fmt.Errorf("filestorage: bad manifest line %q: %w", line, err)
+			}
+		}
+	}
+	if s.firstSeg == 0 {
+		s.firstSeg = 1
+	}
+	return nil
+}
+
+// writeManifestLocked atomically replaces MANIFEST.
+func (s *Store) writeManifestLocked() error {
+	snap := s.snapName
+	if snap == "" {
+		snap = "-"
+	}
+	body := fmt.Sprintf("zeuswal v1\nsnapshot %s\nfirstseg %d\n", snap, s.firstSeg)
+	tmp := s.path(manifestName + ".tmp")
+	if err := writeFileSync(tmp, []byte(body)); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path(manifestName)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// listSegments returns retained segment ids in ascending order.
+func (s *Store) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &id); err == nil && id >= s.firstSeg {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// openTail opens segment id for appending, truncating a torn tail frame
+// left by a crash mid-append.
+func (s *Store) openTail(id uint64, exists bool) error {
+	f, err := os.OpenFile(s.path(segName(id)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	valid, err := scanValid(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg, s.segID, s.segSize = f, id, valid
+	if !exists {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return syncDir(s.dir)
+	}
+	return nil
+}
+
+// scanValid returns the byte offset of the last complete, CRC-valid frame
+// sequence from the start of f.
+func scanValid(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(f)
+	var off int64
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrame {
+			return off, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, nil // torn/corrupt frame: stop here
+		}
+		off += frameHeader + int64(n)
+	}
+}
+
+// Append implements storage.Storage: encode the batch, one write, one
+// fsync.
+func (s *Store) Append(recs []storage.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("filestorage: closed")
+	}
+	buf := s.buf[:0]
+	for i := range recs {
+		buf = appendFrame(buf, encodeRecord(nil, recs[i]))
+	}
+	s.buf = buf[:0]
+	if _, err := s.seg.Write(buf); err != nil {
+		return err
+	}
+	if err := s.seg.Sync(); err != nil {
+		return err
+	}
+	s.segSize += int64(len(buf))
+	if s.segSize >= segMaxBytes {
+		return s.rollLocked()
+	}
+	return nil
+}
+
+// rollLocked closes the tail segment and starts the next one.
+func (s *Store) rollLocked() error {
+	if err := s.seg.Close(); err != nil {
+		return err
+	}
+	return s.openTail(s.segID+1, false)
+}
+
+// Snapshot implements storage.Storage. The segment roll happens before the
+// scan, so every record not covered by the snapshot lives in a retained
+// segment; the manifest flips only after the snapshot file is fully synced.
+func (s *Store) Snapshot(scan func(emit func(storage.SnapObject) error) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("filestorage: closed")
+	}
+	if err := s.rollLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	cut := s.segID // first retained segment once the snapshot lands
+	oldSnap := s.snapName
+	s.mu.Unlock()
+
+	name := snapFile(cut)
+	tmp := s.path(name + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	err = scan(func(o storage.SnapObject) error {
+		_, werr := w.Write(appendFrame(nil, encodeSnapObject(nil, o)))
+		return werr
+	})
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path(name)); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapName = name
+	s.firstSeg = cut
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	// Old segments and snapshots are unreferenced now; best-effort GC.
+	entries, _ := os.ReadDir(s.dir)
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.log", &id); err == nil && id < cut {
+			os.Remove(s.path(e.Name()))
+		}
+	}
+	if oldSnap != "" && oldSnap != name {
+		os.Remove(s.path(oldSnap))
+	}
+	return nil
+}
+
+// Recover implements storage.Storage: snapshot first, then retained
+// segments in order. A torn tail in the newest segment ends replay; torn
+// frames elsewhere are corruption.
+func (s *Store) Recover() (*storage.Recovered, error) {
+	s.mu.Lock()
+	snapName, first, last := s.snapName, s.firstSeg, s.segID
+	s.mu.Unlock()
+
+	r := storage.NewRecovered()
+	if snapName != "" {
+		err := readFrames(s.path(snapName), false, func(payload []byte) error {
+			o, err := decodeSnapObject(payload)
+			if err != nil {
+				return err
+			}
+			r.ApplySnap(o)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("filestorage: snapshot %s: %w", snapName, err)
+		}
+	}
+	for id := first; id <= last; id++ {
+		p := s.path(segName(id))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			continue // never created (empty manifest range)
+		}
+		err := readFrames(p, id == last, func(payload []byte) error {
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			r.ApplyRecord(rec)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("filestorage: segment %d: %w", id, err)
+		}
+	}
+	return r, nil
+}
+
+// readFrames streams the CRC-framed payloads of one file. tornOK makes a
+// trailing invalid frame a clean EOF instead of an error.
+func readFrames(path string, tornOK bool, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("torn frame header: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrame {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("frame length %d exceeds bound", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("torn frame payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			if tornOK {
+				return nil
+			}
+			return fmt.Errorf("frame CRC mismatch")
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Close implements storage.Storage.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.seg.Close()
+}
+
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -106,15 +106,15 @@ func (t *MemTransport) sendable() error {
 func commitMsgSize(m wire.Msg) (int, bool) {
 	switch v := m.(type) {
 	case *wire.CommitInv:
-		n := 30 // kind + tx + epoch + followers + prevval + replay + count
+		n := 34 // kind + tx + epoch + followers + prevval + replay + count
 		for _, u := range v.Updates {
 			n += 20 + len(u.Data)
 		}
 		return n, true
 	case *wire.CommitAck:
-		return 18, true
+		return 22, true
 	case *wire.CommitVal:
-		return 16, true
+		return 20, true
 	}
 	return 0, false
 }

@@ -18,11 +18,11 @@ import (
 // preceded by a one-time handshake carrying the sender's node id; SendBatch
 // and Multicast marshal once and issue a single write per connection.
 type TCP struct {
-	self  wire.NodeID
-	addrs map[wire.NodeID]string
-	ln    net.Listener
+	self wire.NodeID
+	ln   net.Listener
 
 	mu      sync.Mutex
+	addrs   map[wire.NodeID]string // guarded by mu; extended via SetAddr
 	conns   map[wire.NodeID]*tcpConn
 	handler atomic.Value // Handler
 	tick    atomic.Value // func(), invoked after each message dispatch
@@ -41,15 +41,21 @@ type tcpConn struct {
 }
 
 // NewTCP starts a listener on listenAddr and returns a transport that can
-// dial the peers in addrs (node id → host:port).
+// dial the peers in addrs (node id → host:port). The address book is copied;
+// grow it later with SetAddr as the cluster's replicated address book
+// delivers more endpoints.
 func NewTCP(self wire.NodeID, listenAddr string, addrs map[wire.NodeID]string) (*TCP, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
+	book := make(map[wire.NodeID]string, len(addrs))
+	for id, a := range addrs {
+		book[id] = a
+	}
 	t := &TCP{
 		self:   self,
-		addrs:  addrs,
+		addrs:  book,
 		ln:     ln,
 		conns:  make(map[wire.NodeID]*tcpConn),
 		closed: make(chan struct{}),
@@ -57,6 +63,14 @@ func NewTCP(self wire.NodeID, listenAddr string, addrs map[wire.NodeID]string) (
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetAddr records (or replaces) a peer's dial address. An existing
+// connection to the peer stays up; the address applies on the next dial.
+func (t *TCP) SetAddr(id wire.NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[id] = addr
+	t.mu.Unlock()
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -100,7 +114,25 @@ func (t *TCP) serveConn(c net.Conn) {
 		return
 	}
 	peer := wire.NodeID(binary.LittleEndian.Uint16(hdr[:]))
+	// Register the inbound connection for outbound use (first one wins): a
+	// peer with no listed address — a zeusctl client, or a joiner the
+	// address book has not delivered yet — becomes reachable the moment it
+	// dials in, so replies and pushes need no reverse dial.
+	t.mu.Lock()
+	reg, registered := t.conns[peer]
+	if !registered {
+		reg = &tcpConn{c: c}
+		t.conns[peer] = reg
+	}
+	t.mu.Unlock()
 	t.readLoop(peer, c)
+	// The peer hung up: drop the registration (if still ours) so a later
+	// Send redials instead of writing into a dead socket.
+	t.mu.Lock()
+	if cur, ok := t.conns[peer]; ok && cur == reg && reg.c == c {
+		delete(t.conns, peer)
+	}
+	t.mu.Unlock()
 }
 
 func (t *TCP) readLoop(peer wire.NodeID, c net.Conn) {

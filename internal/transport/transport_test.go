@@ -284,19 +284,19 @@ func TestBroadcastSkipsSelf(t *testing.T) {
 }
 
 func TestTCPTransport(t *testing.T) {
-	addrs := map[wire.NodeID]string{}
-	a, err := NewTCP(0, "127.0.0.1:0", addrs)
+	a, err := NewTCP(0, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := NewTCP(1, "127.0.0.1:0", addrs)
+	b, err := NewTCP(1, "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	addrs[0] = a.Addr()
-	addrs[1] = b.Addr()
+	// Addresses learned after construction (the address-book flow).
+	a.SetAddr(1, b.Addr())
+	b.SetAddr(0, a.Addr())
 
 	ca, cb := newCollect(), newCollect()
 	a.SetHandler(ca.handler)

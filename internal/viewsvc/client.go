@@ -23,9 +23,11 @@ type Client struct {
 	cfg      Config
 	tr       transport.Transport
 	replicas []wire.NodeID
+	ownsTr   bool // Close closes tr only when the client installed on it
 
 	mu    sync.Mutex
 	state wire.VSState
+	heard bool // a state from the ensemble (vs the local seed) installed
 
 	onView      func(old, next wire.View, removed wire.Bitmap)
 	onRecovered func(wire.Epoch)
@@ -49,29 +51,48 @@ type Client struct {
 // the deployment's initial view {epoch 1, members}. The client installs its
 // handler on tr and subscribes to commit pushes with an initial query.
 func NewClient(cfg Config, tr transport.Transport, ids []wire.NodeID, members wire.Bitmap) *Client {
+	return newClient(cfg, tr, ids, members, true)
+}
+
+// NewClientDetached is NewClient for callers that own the transport's
+// handler themselves — a zeusd process routes data-plane and view-service
+// traffic through one Router over one socket. The client installs nothing;
+// route KindVSCommit and KindVSQuery to Handle. Close leaves the shared
+// transport open.
+func NewClientDetached(cfg Config, tr transport.Transport, ids []wire.NodeID, members wire.Bitmap) *Client {
+	return newClient(cfg, tr, ids, members, false)
+}
+
+func newClient(cfg Config, tr transport.Transport, ids []wire.NodeID, members wire.Bitmap, install bool) *Client {
 	c := &Client{
 		cfg:      cfg.withDefaults(),
 		tr:       tr,
 		replicas: append([]wire.NodeID(nil), ids...),
+		ownsTr:   install,
 		events:   make(chan wire.VSState, 1024),
 		closed:   make(chan struct{}),
 	}
 	c.state = wire.VSState{
 		Index: 0, Epoch: 1, Live: members,
 		Placement: wire.ComputePlacement(c.cfg.DirShards, c.cfg.DirDegree, 1, members),
+		Addrs:     append([]wire.NodeAddr(nil), c.cfg.InitialAddrs...),
 	}
-	tr.SetHandler(c.handle)
+	if install {
+		tr.SetHandler(c.Handle)
+	}
 	go c.pump()
 	go c.renewLoop()
 	c.query()
 	return c
 }
 
-// Close stops the client's goroutines and closes its transport.
+// Close stops the client's goroutines (and its transport, when owned).
 func (c *Client) Close() {
 	c.once.Do(func() {
 		close(c.closed)
-		_ = c.tr.Close()
+		if c.ownsTr {
+			_ = c.tr.Close()
+		}
 	})
 }
 
@@ -112,6 +133,16 @@ func (c *Client) State() wire.VSState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.state
+}
+
+// Heard reports whether the client has installed at least one state actually
+// received from the ensemble — first contact. Until then State() is only the
+// local seed (for an unseeded client: empty), so external tooling and
+// joiners gate on Heard before trusting the cached view.
+func (c *Client) Heard() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heard
 }
 
 // RecoveryPending reports whether a recovery barrier is open.
@@ -220,7 +251,14 @@ func (c *Client) Fail(node wire.NodeID) {
 // It reports false if the ensemble could not commit the change in time
 // (e.g. no replica quorum survives).
 func (c *Client) Join(node wire.NodeID) bool {
-	return c.driveUntil(wire.VSCommand{Op: wire.VSJoin, Node: node}, func(s wire.VSState) bool {
+	return c.JoinAddr(node, "")
+}
+
+// JoinAddr is Join carrying the node's advertised endpoint: the committed
+// state records it in the replicated address book (VSState.Addrs), so
+// joiners discover peers from the ensemble instead of static peer lists.
+func (c *Client) JoinAddr(node wire.NodeID, addr string) bool {
+	return c.driveUntil(wire.VSCommand{Op: wire.VSJoin, Node: node, Addr: addr}, func(s wire.VSState) bool {
 		return s.Live.Contains(node)
 	}, 5*time.Second)
 }
@@ -238,7 +276,14 @@ func (c *Client) Leave(node wire.NodeID) bool {
 // expects the node.
 func (c *Client) ReportRecoveryDone(epoch wire.Epoch, node wire.NodeID) {
 	go c.driveUntil(wire.VSCommand{Op: wire.VSRecoveryDone, Node: node, Epoch: epoch}, func(s wire.VSState) bool {
-		return s.Barrier == 0 || s.BarrierEpoch != epoch || !s.Barrier.Contains(node)
+		// Only a state that has SEEN this barrier can prove the report landed.
+		// The report is made from inside the pump's view-change callbacks,
+		// before the state that opened the barrier is installed in the cache —
+		// so a cache with no barrier at all (BarrierEpoch < epoch) is merely
+		// stale, and reading its Barrier == 0 as success would drop the report
+		// and wedge the barrier. BarrierEpoch > epoch means a newer failure
+		// superseded this barrier and the report is moot.
+		return s.BarrierEpoch > epoch || (s.BarrierEpoch == epoch && !s.Barrier.Contains(node))
 	}, 10*time.Second)
 }
 
@@ -286,7 +331,9 @@ func (c *Client) query() {
 	transport.Flush(c.tr)
 }
 
-func (c *Client) handle(_ wire.NodeID, m wire.Msg) {
+// Handle consumes one view-service message; it is the transport handler of
+// attached clients and the Router target of detached ones.
+func (c *Client) Handle(_ wire.NodeID, m wire.Msg) {
 	switch v := m.(type) {
 	case *wire.VSCommit:
 		c.enqueue(v.State)
@@ -327,7 +374,16 @@ func (c *Client) pump() {
 		case s = <-c.events:
 		}
 		c.mu.Lock()
-		if s.Index <= c.state.Index {
+		// Index guard, with one exception: the very first state actually
+		// received from the ensemble is installed even at the seed's index.
+		// A founded-but-idle ensemble has committed nothing (renewals are
+		// lease-table multicasts, not log commands), so its query responses
+		// carry Index 0 — a fresh client (zeusctl, a joining zeusd) would
+		// otherwise never learn the live set or the address book. Equal-
+		// index adoption is safe: the content matches any honest seed, no
+		// view-change or recovery edge can derive from it, and Heard lets
+		// callers use first contact as the readiness signal.
+		if s.Index < c.state.Index || (s.Index == c.state.Index && c.heard) {
 			c.mu.Unlock()
 			continue
 		}
@@ -353,6 +409,7 @@ func (c *Client) pump() {
 		}
 		c.mu.Lock()
 		c.state = s
+		c.heard = true
 		c.mu.Unlock()
 	}
 }

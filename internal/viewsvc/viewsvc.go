@@ -71,6 +71,17 @@ type Config struct {
 	// RetryEvery paces client-side proposal retry loops. Default:
 	// max(Lease/2, 2ms).
 	RetryEvery time.Duration
+	// InitialAddrs seeds the replicated address book (VSState.Addrs) with
+	// the deployment's bootstrap endpoints: every replica and client of one
+	// ensemble must be seeded identically (like DirShards, the value only
+	// seeds the initial state; committed VSJoin commands carrying addresses
+	// are authoritative afterwards).
+	InitialAddrs []wire.NodeAddr
+	// AutoFail makes the leader propose VSFail for live data nodes whose
+	// lease renewals went silent for 2×Lease. In-process deployments leave
+	// it off (tests report failures explicitly); multi-process deployments
+	// (zeusd) turn it on — nobody else notices a SIGKILLed process.
+	AutoFail bool
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +186,7 @@ func NewReplica(cfg Config, ids []wire.NodeID, idx int, tr transport.Transport, 
 	r.state = wire.VSState{
 		Index: 0, Epoch: 1, Live: members,
 		Placement: wire.ComputePlacement(r.cfg.DirShards, r.cfg.DirDegree, 1, members),
+		Addrs:     append([]wire.NodeAddr(nil), r.cfg.InitialAddrs...),
 	}
 	now := time.Now().UnixNano()
 	for _, n := range members.Nodes() {
@@ -373,6 +385,12 @@ func applyCmd(s wire.VSState, cmd wire.VSCommand) (next wire.VSState, ok, done b
 		next.Live = s.Live.Add(cmd.Node)
 		next.Epoch = s.Epoch + 1
 		next.Placement = s.Placement.Recompute(next.Epoch, next.Live)
+		if cmd.Addr != "" {
+			// Joins carry the node's advertised endpoint; the address book
+			// commits with the view it belongs to (copy-on-write — states
+			// share the slice across replicas and pushes).
+			next.Addrs = setAddr(s.Addrs, cmd.Node, cmd.Addr)
+		}
 		return next, true, false, 0
 	case wire.VSRecoveryDone:
 		if s.Barrier == 0 || cmd.Epoch != s.BarrierEpoch || !s.Barrier.Contains(cmd.Node) {
@@ -382,6 +400,24 @@ func applyCmd(s wire.VSState, cmd wire.VSCommand) (next wire.VSState, ok, done b
 		return next, true, next.Barrier == 0, next.BarrierEpoch
 	}
 	return s, false, false, 0
+}
+
+// setAddr returns a copy of the address book with node's endpoint set or
+// replaced. Published books are immutable, so updates always copy.
+func setAddr(book []wire.NodeAddr, node wire.NodeID, addr string) []wire.NodeAddr {
+	out := make([]wire.NodeAddr, 0, len(book)+1)
+	replaced := false
+	for _, a := range book {
+		if a.Node == node {
+			a.Addr = addr
+			replaced = true
+		}
+		out = append(out, a)
+	}
+	if !replaced {
+		out = append(out, wire.NodeAddr{Node: node, Addr: addr})
+	}
+	return out
 }
 
 // popQueueLocked starts replicating the next queued command if none is in
@@ -580,6 +616,9 @@ func (r *Replica) tick() {
 				})
 			}
 		}
+		if r.cfg.AutoFail {
+			r.autoFailLocked()
+		}
 		r.mu.Unlock()
 		return
 	}
@@ -620,6 +659,35 @@ func (r *Replica) tick() {
 	}
 	r.multicast(&wire.VSAccept{Ballot: b, Phase: wire.VSPhasePrepare})
 	r.mu.Unlock()
+}
+
+// autoFailLocked (Config.AutoFail) proposes VSFail for every live data node
+// whose renewals have been silent for 2×Lease — the failure detector of a
+// real multi-process deployment, where a SIGKILLed process stops renewing
+// and nothing else reports it. A node this replica has never seen renew is
+// seeded as renewed NOW (same conservatism as the propose path: waiting a
+// full extra lease is always safe). The proposal goes through the normal
+// queue, so the commit is still quorum-replicated and deduplicated.
+func (r *Replica) autoFailLocked() {
+	now := time.Now()
+	for _, n := range r.state.Live.Nodes() {
+		nanos := r.renewals[n].Load()
+		if nanos == 0 {
+			r.renewals[n].Store(now.UnixNano())
+			continue
+		}
+		if now.Sub(time.Unix(0, nanos)) < 2*r.cfg.Lease {
+			continue
+		}
+		cmd := wire.VSCommand{Op: wire.VSFail, Node: n}
+		if _, dup := r.pendFail[n]; dup || r.inFlightLocked(cmd) {
+			continue
+		}
+		// The lease is already more than one Lease stale, so the §3.1
+		// wait is served; queue the failure directly.
+		r.queue = append(r.queue, cmd)
+	}
+	r.popQueueLocked()
 }
 
 // handlePrepare promises the candidate's ballot and returns this replica's

@@ -42,6 +42,7 @@ func (e *enc) ots(t OTS) {
 func (e *enc) tx(t TxID) {
 	e.node(t.Pipe.Node)
 	e.u8(uint8(t.Pipe.Worker))
+	e.epoch(t.Pipe.Incar)
 	e.u64(t.Local)
 }
 func (e *enc) replicas(r ReplicaSet) {
@@ -73,10 +74,22 @@ func (e *enc) objs(os []ObjectID) {
 		e.obj(o)
 	}
 }
+func (e *enc) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) addrs(as []NodeAddr) {
+	e.u16(uint16(len(as)))
+	for _, a := range as {
+		e.node(a.Node)
+		e.str(a.Addr)
+	}
+}
 func (e *enc) vscmd(c VSCommand) {
 	e.u8(uint8(c.Op))
 	e.node(c.Node)
 	e.epoch(c.Epoch)
+	e.str(c.Addr)
 }
 func (e *enc) vsstate(s VSState) {
 	e.u64(s.Index)
@@ -85,6 +98,19 @@ func (e *enc) vsstate(s VSState) {
 	e.bitmap(s.Barrier)
 	e.epoch(s.BarrierEpoch)
 	e.placement(s.Placement)
+	e.addrs(s.Addrs)
+}
+func (e *enc) syncentries(es []SyncEntry) {
+	e.u32(uint32(len(es)))
+	for i := range es {
+		x := &es[i]
+		e.obj(x.Obj)
+		e.u64(x.Version)
+		e.ots(x.TS)
+		e.replicas(x.Replicas)
+		e.boolean(x.HasData)
+		e.bytes(x.Data)
+	}
 }
 func (e *enc) placement(p DirPlacement) {
 	e.epoch(p.Epoch)
@@ -158,7 +184,7 @@ func (d *dec) bitmap() Bitmap { return Bitmap(d.u64()) }
 func (d *dec) boolean() bool  { return d.u8() != 0 }
 func (d *dec) ots() OTS       { return OTS{Ver: d.u64(), Node: d.node()} }
 func (d *dec) tx() TxID {
-	return TxID{Pipe: PipeID{Node: d.node(), Worker: Worker(d.u8())}, Local: d.u64()}
+	return TxID{Pipe: PipeID{Node: d.node(), Worker: Worker(d.u8()), Incar: d.epoch()}, Local: d.u64()}
 }
 func (d *dec) replicas() ReplicaSet {
 	return ReplicaSet{Owner: d.node(), Readers: d.bitmap()}
@@ -252,15 +278,61 @@ func (d *dec) bvers() []BVer {
 	}
 	return out
 }
+func (d *dec) str() string {
+	n := d.u16()
+	if d.err != nil {
+		return ""
+	}
+	if int(n) > len(d.b)-d.off {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+func (d *dec) addrsList() []NodeAddr {
+	n := d.u16()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if int(n)*4 > len(d.b) { // each entry is ≥4 encoded bytes
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]NodeAddr, 0, n)
+	for i := uint16(0); i < n && d.err == nil; i++ {
+		out = append(out, NodeAddr{Node: d.node(), Addr: d.str()})
+	}
+	return out
+}
 func (d *dec) vscmd() VSCommand {
-	return VSCommand{Op: VSOp(d.u8()), Node: d.node(), Epoch: d.epoch()}
+	return VSCommand{Op: VSOp(d.u8()), Node: d.node(), Epoch: d.epoch(), Addr: d.str()}
 }
 func (d *dec) vsstate() VSState {
 	return VSState{
 		Index: d.u64(), Epoch: d.epoch(), Live: d.bitmap(),
 		Barrier: d.bitmap(), BarrierEpoch: d.epoch(),
-		Placement: d.placement(),
+		Placement: d.placement(), Addrs: d.addrsList(),
 	}
+}
+func (d *dec) syncentries() []SyncEntry {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int(n)*41 > len(d.b) { // each entry is ≥41 encoded bytes
+		d.err = ErrTooLarge
+		return nil
+	}
+	out := make([]SyncEntry, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, SyncEntry{
+			Obj: d.obj(), Version: d.u64(), TS: d.ots(),
+			Replicas: d.replicas(), HasData: d.boolean(), Data: d.bytes(),
+		})
+	}
+	return out
 }
 func (d *dec) placement() DirPlacement {
 	p := DirPlacement{Epoch: d.epoch(), Degree: d.u8()}
@@ -365,18 +437,42 @@ func EncodedSize(m Msg) int {
 		return n
 	case *BAbort:
 		return fixed + 8*len(v.Objs)
+	case *VSPropose:
+		return fixed + len(v.Cmd.Addr)
 	case *VSAccept:
-		return fixed + 8*(len(v.State.Placement.Shards)+len(v.AccState.Placement.Shards))
+		return fixed + vsstateSize(&v.State) + vsstateSize(&v.AccState) +
+			len(v.Cmd.Addr) + len(v.AccCmd.Addr)
 	case *VSCommit:
-		return fixed + 8*len(v.State.Placement.Shards)
+		return fixed + vsstateSize(&v.State) + len(v.Cmd.Addr)
 	case *VSQuery:
-		return fixed + 8*len(v.State.Placement.Shards)
+		return fixed + vsstateSize(&v.State)
 	case *DirState:
 		return fixed + 29*len(v.Entries)
 	case *DirPull:
 		return fixed + 4*len(v.Shards)
+	case *SyncPull:
+		return fixed + syncSize(v.Entries)
+	case *SyncState:
+		return fixed + syncSize(v.Entries)
 	}
 	return fixed
+}
+
+// vsstateSize bounds the variable tail of one encoded VSState.
+func vsstateSize(s *VSState) int {
+	n := 8 * len(s.Placement.Shards)
+	for _, a := range s.Addrs {
+		n += 4 + len(a.Addr)
+	}
+	return n
+}
+
+func syncSize(es []SyncEntry) int {
+	n := 41 * len(es)
+	for i := range es {
+		n += len(es[i].Data)
+	}
+	return n
 }
 
 // Marshal serializes a message: one kind byte followed by the body.
@@ -562,6 +658,12 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.epoch(v.PlacementEpoch)
 		e.node(v.From)
 		e.direntries(v.Entries)
+	case *SyncPull:
+		e.node(v.From)
+		e.syncentries(v.Entries)
+	case *SyncState:
+		e.node(v.From)
+		e.syncentries(v.Entries)
 	default:
 		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
 	}
@@ -676,6 +778,10 @@ func Unmarshal(p []byte) (Msg, error) {
 			Shard: d.u32(), PlacementEpoch: d.epoch(), From: d.node(),
 			Entries: d.direntries(),
 		}
+	case KindSyncPull:
+		m = &SyncPull{From: d.node(), Entries: d.syncentries()}
+	case KindSyncState:
+		m = &SyncState{From: d.node(), Entries: d.syncentries()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

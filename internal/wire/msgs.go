@@ -55,6 +55,11 @@ const (
 	KindDirPull
 	KindDirState
 
+	// Restart state sync: a recovered node reconciles its replayed WAL +
+	// snapshot image against current owners before accepting traffic.
+	KindSyncPull
+	KindSyncState
+
 	kindSentinel // keep last
 )
 
@@ -66,7 +71,7 @@ func (k Kind) String() string {
 		"b-lock-resp", "b-validate", "b-validate-resp", "b-backup",
 		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
 		"vs-propose", "vs-accept", "vs-commit", "vs-lease", "vs-query",
-		"dir-pull", "dir-state",
+		"dir-pull", "dir-state", "sync-pull", "sync-state",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -456,6 +461,10 @@ type VSCommand struct {
 	Op    VSOp
 	Node  NodeID
 	Epoch Epoch
+	// Addr is the node's advertised transport address (VSJoin only). The
+	// state machine folds it into VSState.Addrs, making the address book
+	// quorum-committed cluster metadata instead of per-process flag soup.
+	Addr string
 }
 
 // VSState is the complete view-service state after applying a command: the
@@ -474,6 +483,18 @@ type VSState struct {
 	// exactly like membership. The Shards slice is immutable once a state
 	// is published; states share it freely.
 	Placement DirPlacement
+	// Addrs is the replicated address book for multi-process deployments:
+	// every data node's advertised transport address, seeded from the
+	// bootstrap configuration and updated by VSJoin commands. Empty for
+	// in-process clusters (the mem fabric needs no addresses). Like
+	// Placement.Shards, the slice is immutable once published.
+	Addrs []NodeAddr
+}
+
+// NodeAddr maps a data node to its advertised transport address.
+type NodeAddr struct {
+	Node NodeID
+	Addr string
 }
 
 // VSPropose asks the view-service leader to run a command. Clients multicast
@@ -603,3 +624,49 @@ type DirState struct {
 }
 
 func (*DirState) Kind() Kind { return KindDirState }
+
+// ---------------------------------------------------------------------------
+// Restart state-sync messages (rejoin as delta sync, not cold start).
+//
+// A node restarting from its WAL + snapshot holds data whose cluster status
+// it cannot judge: versions may have advanced while it was down, and every
+// recovered access level is conservatively demoted to non-replica. Before
+// rejoining the view it reconciles against current owners, DIR-PULL style:
+// batched pulls carrying (object, recovered version), answered by whichever
+// live node currently owns each object with the authoritative version,
+// replica set and — only when the versions differ — the data delta.
+// ---------------------------------------------------------------------------
+
+// SyncEntry is one object in a state-sync exchange. In a SyncPull, Version
+// is the puller's recovered t_version (data omitted). In a SyncState,
+// Version/TS/Replicas are the owner's authoritative values and Data is set
+// iff the puller's version was stale (HasData distinguishes "up to date"
+// from "deleted to empty").
+type SyncEntry struct {
+	Obj      ObjectID
+	Version  uint64
+	TS       OTS
+	Replicas ReplicaSet
+	HasData  bool
+	Data     []byte
+}
+
+// SyncPull asks live nodes for the authoritative state of the listed
+// objects. The puller multicasts chunks to all live data nodes; only the
+// current owner of each object answers for it, so responses partition the
+// pulled set. Unanswered entries (owner currently failing over) are
+// re-pulled until the sync deadline.
+type SyncPull struct {
+	From    NodeID
+	Entries []SyncEntry
+}
+
+func (*SyncPull) Kind() Kind { return KindSyncPull }
+
+// SyncState answers a SyncPull with the subset of entries the sender owns.
+type SyncState struct {
+	From    NodeID
+	Entries []SyncEntry
+}
+
+func (*SyncState) Kind() Kind { return KindSyncState }

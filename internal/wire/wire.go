@@ -105,13 +105,20 @@ func (o OTS) Equal(x OTS) bool { return o == x }
 
 func (o OTS) String() string { return fmt.Sprintf("⟨%d,%d⟩", o.Ver, o.Node) }
 
-// PipeID names a reliable-commit pipeline: one per (node, worker) pair.
+// PipeID names a reliable-commit pipeline: one per (node, worker) pair and
+// per coordinator incarnation. Incar is the view epoch at which the
+// coordinator created the pipe: a node that crashed and rejoined restarts its
+// slot numbering at 1, and without the incarnation stamp a follower's pipe
+// state from the previous life (watermark, done set) would misread the fresh
+// slots as duplicates — acknowledging them without applying, which silently
+// loses the write. Distinct incarnations are distinct pipes.
 type PipeID struct {
 	Node   NodeID
 	Worker Worker
+	Incar  Epoch
 }
 
-func (p PipeID) String() string { return fmt.Sprintf("n%d/w%d", p.Node, p.Worker) }
+func (p PipeID) String() string { return fmt.Sprintf("n%d/w%d@%d", p.Node, p.Worker, p.Incar) }
 
 // TxID is tx_id = ⟨local_tx_id, node_id⟩ extended with the worker so that
 // pipelines are per-thread as in §7. Local is monotonically increasing within

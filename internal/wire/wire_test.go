@@ -177,7 +177,7 @@ func allMessages() []Msg {
 		&BCommit{ReqID: 5, From: 2, Updates: []Update{{Obj: 1, Version: 3, Data: data}}},
 		&BCommitAck{ReqID: 5, From: 0},
 		&BAbort{ReqID: 5, From: 2, Objs: []ObjectID{1, 2, 3}},
-		&VSPropose{Cmd: VSCommand{Op: VSFail, Node: 3, Epoch: 0}},
+		&VSPropose{Cmd: VSCommand{Op: VSJoin, Node: 3, Epoch: 0, Addr: "127.0.0.1:7003"}},
 		&VSAccept{Ballot: 4, Phase: VSPhasePromise,
 			Cmd:    VSCommand{Op: VSLeave, Node: 2},
 			State:  VSState{Index: 9, Epoch: 5, Live: BitmapOf(0, 1), Barrier: BitmapOf(0), BarrierEpoch: 5},
@@ -185,7 +185,8 @@ func allMessages() []Msg {
 			AccState: VSState{Index: 10, Epoch: 6, Live: BitmapOf(0, 1, 6)}},
 		&VSCommit{Ballot: 4, Cmd: VSCommand{Op: VSRecoveryDone, Node: 1, Epoch: 5},
 			State: VSState{Index: 11, Epoch: 5, Live: BitmapOf(0, 1),
-				Placement: DirPlacement{Epoch: 5, Degree: 2, Shards: []Bitmap{BitmapOf(0, 1), BitmapOf(0, 1)}}},
+				Placement: DirPlacement{Epoch: 5, Degree: 2, Shards: []Bitmap{BitmapOf(0, 1), BitmapOf(0, 1)}},
+				Addrs:     []NodeAddr{{Node: 0, Addr: "10.0.0.1:7000"}, {Node: 1, Addr: "10.0.0.2:7000"}}},
 			BarrierDone: true, DoneEpoch: 5},
 		&VSLeaseMsg{Nodes: BitmapOf(2, 5), Heartbeat: true, Ballot: 7},
 		&VSQuery{Resp: true, Ballot: 7, State: VSState{Index: 3, Epoch: 2, Live: BitmapOf(0, 1, 2),
@@ -194,6 +195,16 @@ func allMessages() []Msg {
 		&DirState{Shard: 9, PlacementEpoch: 3, From: 2, Entries: []DirEntry{
 			{Obj: 42, TS: OTS{9, 1}, Replicas: ReplicaSet{Owner: 3, Readers: BitmapOf(1, 2)}, Pending: true},
 			{Obj: 43, TS: OTS{2, 0}, Replicas: ReplicaSet{Owner: NoNode}},
+		}},
+		&SyncPull{From: 2, Entries: []SyncEntry{
+			{Obj: 42, Version: 9},
+			{Obj: 43, Version: 0},
+		}},
+		&SyncState{From: 1, Entries: []SyncEntry{
+			{Obj: 42, Version: 11, TS: OTS{9, 1},
+				Replicas: ReplicaSet{Owner: 1, Readers: BitmapOf(0, 2)},
+				HasData:  true, Data: data},
+			{Obj: 43, Version: 0, TS: OTS{2, 0}, Replicas: ReplicaSet{Owner: NoNode}},
 		}},
 	}
 }
