@@ -188,12 +188,15 @@ func main() {
 		if err := joinCluster(node, tr, mgr, cli, self, adv, *dirShards); err != nil {
 			log.Fatalf("zeusd: %v", err)
 		}
-	} else if *dataDir != "" && node.Recovered() > 0 {
-		// A founder restarted with retained state before anyone noticed it
-		// was gone: it is still in the seeded view, but its recovered
-		// objects must re-arm against the current owners all the same.
-		if err := node.StateSync(10 * time.Second); err != nil {
-			log.Printf("zeusd: founder state sync: %v", err)
+	} else if *dataDir != "" && node.Incarnation() > 1 {
+		// A founder restarted over an existing data dir (the durable
+		// incarnation counter says a previous lifetime used it). It takes
+		// the same path as an explicit rejoin: leave-then-join bumps the
+		// epoch and has the survivors replay whatever the previous
+		// incarnation left mid-flight, then state sync re-arms the
+		// recovered objects against the current owners.
+		if err := joinCluster(node, tr, mgr, cli, self, adv, *dirShards); err != nil {
+			log.Fatalf("zeusd: founder rejoin: %v", err)
 		}
 	}
 
@@ -212,6 +215,7 @@ func main() {
 
 // joinCluster attaches this node to a running deployment: contact the
 // ensemble, adopt its address book, verify the directory configuration,
+// evict any still-live previous incarnation of itself (leave-then-join),
 // commit the join, and state-sync whatever the local WAL recovered.
 func joinCluster(node *core.Node, tr *transport.TCP, mgr *membership.Manager, cli *viewsvc.Client, self wire.NodeID, adv string, dirShards int) error {
 	// First contact: the cached state is a local seed (empty, for a joiner)
@@ -230,14 +234,32 @@ func joinCluster(node *core.Node, tr *transport.TCP, mgr *membership.Manager, cl
 	}
 	applyAddrs(tr, s, self)
 
-	if !s.Live.Contains(self) {
+	// Restart eviction: a crashed process can be back before the failure
+	// detector noticed, so the previous incarnation still sits in the Live
+	// set and its unfinished replication state is still held by the
+	// survivors. Committing an explicit Leave first bumps the epoch and
+	// opens the recovery barrier — the survivors replay this incarnation's
+	// stranded R-INVs and validate what the crash left mid-flight — before
+	// the rejoin commits. The old "already live, nothing to commit" fast
+	// path skipped all of that: those slots stayed stored forever at the
+	// followers, and on memory-only nodes the unbumped epoch let the new
+	// pipes alias the previous incarnation's PipeIDs.
+	if s.Live.Contains(self) {
 		before := s.Epoch
-		if !cli.JoinAddr(self, adv) {
-			return fmt.Errorf("join did not commit (no ensemble quorum?)")
+		if !cli.Leave(self) {
+			return fmt.Errorf("pre-join leave did not commit (no ensemble quorum?)")
 		}
 		if !mgr.WaitEpoch(before+1, 10*time.Second) {
-			return fmt.Errorf("join view change timed out")
+			return fmt.Errorf("pre-join leave view change timed out")
 		}
+		s = mgr.State()
+	}
+	before := s.Epoch
+	if !cli.JoinAddr(self, adv) {
+		return fmt.Errorf("join did not commit (no ensemble quorum?)")
+	}
+	if !mgr.WaitEpoch(before+1, 10*time.Second) {
+		return fmt.Errorf("join view change timed out")
 	}
 	// Rejoin is state sync, not cold start: recovered objects re-arm at the
 	// owners' current versions; exclusively-owned ones are reclaimed.

@@ -139,6 +139,11 @@ type Engine struct {
 	// acknowledged. nil (the zero default) disables durability.
 	log *storage.Log
 
+	// incar, when non-zero, is the durable per-process incarnation number
+	// stamped into new pipelines' PipeID.Incar (see SetIncarnation). Zero
+	// (no durable storage) falls back to the view epoch at pipe creation.
+	incar wire.Epoch
+
 	stCommitted atomic.Uint64
 	stInvals    atomic.Uint64
 	stReplays   atomic.Uint64
@@ -188,6 +193,13 @@ type inPipe struct {
 	watermark uint64
 	// waiting buffers R-INVs whose predecessor has not been seen yet.
 	waiting map[uint64]*wire.CommitInv
+	// unlogged marks applied slots whose WAL append has not succeeded yet.
+	// A slot enters on apply (durability armed) and leaves once an Append
+	// covering it returns; an entry lingering here means the first append
+	// failed, so the next delivery of the same R-INV retries it. Duplicates
+	// of already-durable slots are *not* in this map and re-ACK without
+	// re-appending — a resend storm must not grow the WAL.
+	unlogged map[uint64]*wire.CommitInv
 }
 
 // New creates a reliable-commit engine.
@@ -209,6 +221,17 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 // SetLog arms write-ahead durability. Must be called before the engine
 // receives traffic (node wiring time); the engine never closes the log.
 func (e *Engine) SetLog(l *storage.Log) { e.log = l }
+
+// SetIncarnation pins new coordinator pipelines to a durable per-process
+// incarnation number (storage.Recovered.Incarnation) instead of the view
+// epoch. The counter advances on every restart over the same store, so a
+// crashed-and-restarted coordinator can never alias its previous life's
+// pipelines at the followers — even when the restart beat the failure
+// detector and the view epoch never bumped. Must be called before the
+// engine receives traffic (node wiring time). A node must not alternate
+// between durable and memory-only lifetimes: the counter and the epoch
+// fallback draw from independent sequences.
+func (e *Engine) SetIncarnation(n uint64) { e.incar = wire.Epoch(n) }
 
 // Close flushes coalesced outbound messages and stops the background loops.
 func (e *Engine) Close() {
@@ -332,15 +355,22 @@ func (e *Engine) pipe(w wire.Worker) *outPipe {
 	return e.outPipes.GetOrCreate(w, func() *outPipe {
 		// Incar pins the pipe to this coordinator incarnation: a restarted
 		// node's pipes must not alias its previous life's at the followers
-		// (wire.PipeID), and an epoch read at pipe creation cannot collide
-		// with one a prior incarnation used — rejoining always bumped it.
-		return &outPipe{id: wire.PipeID{Node: e.self, Worker: w, Incar: e.agent.Epoch()}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
+		// (wire.PipeID). The durable storage incarnation is the primary
+		// source — it advances on every restart even when the restart beat
+		// the failure detector and the view epoch never bumped. Memory-only
+		// nodes fall back to the epoch read at pipe creation, which relies
+		// on rejoining always bumping it.
+		incar := e.incar
+		if incar == 0 {
+			incar = e.agent.Epoch()
+		}
+		return &outPipe{id: wire.PipeID{Node: e.self, Worker: w, Incar: incar}, nextLocal: 1, slots: make(map[uint64]*outSlot)}
 	})
 }
 
 func (e *Engine) inPipe(id wire.PipeID) *inPipe {
 	return e.inPipes.GetOrCreate(id, func() *inPipe {
-		return &inPipe{stored: make(map[uint64]*wire.CommitInv), done: make(map[uint64]bool), waiting: make(map[uint64]*wire.CommitInv)}
+		return &inPipe{stored: make(map[uint64]*wire.CommitInv), done: make(map[uint64]bool), waiting: make(map[uint64]*wire.CommitInv), unlogged: make(map[uint64]*wire.CommitInv)}
 	})
 }
 
@@ -524,10 +554,11 @@ func (e *Engine) handleInv(from wire.NodeID, m *wire.CommitInv) {
 	p.mu.Lock()
 	if p.isDone(m.Tx.Local) || p.stored[m.Tx.Local] != nil {
 		// Already applied (replay or duplicate): just re-ACK (§5.1). Still
-		// routed through ackDurable — re-appending is idempotent at replay
-		// and keeps "no ACK before its WAL write" unconditional.
+		// routed through ackDurable so a slot whose first WAL append failed
+		// gets it retried (unlogged); an already-durable slot re-ACKs
+		// without re-appending, so resend storms cannot grow the WAL.
+		e.ackDurable(p, from, m)
 		p.mu.Unlock()
-		e.ackDurable(from, m)
 		return
 	}
 	// Pipeline ordering (§5.2): apply iff the previous slot was applied or
@@ -558,8 +589,11 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 		o.Mu.Unlock()
 	}
 	p.stored[m.Tx.Local] = m
+	if e.log != nil && len(m.Updates) > 0 {
+		p.unlogged[m.Tx.Local] = m
+	}
 	e.stInvals.Add(1)
-	e.ackDurable(from, m)
+	e.ackDurable(p, from, m)
 
 	// A successor may have been waiting on this slot.
 	for {
@@ -579,30 +613,40 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 			o.Mu.Unlock()
 		}
 		p.stored[m.Tx.Local] = m
+		if e.log != nil && len(m.Updates) > 0 {
+			p.unlogged[m.Tx.Local] = m
+		}
 		e.stInvals.Add(1)
-		e.ackDurable(m.Tx.Pipe.Node, m)
+		e.ackDurable(p, m.Tx.Pipe.Node, m)
 	}
 }
 
 // ackDurable is the single choke point between applying an R-INV and
-// acknowledging it (zeuslint walfrozen): when durability is armed, the
-// updates are appended to the WAL — group-committed, durable on return —
-// strictly before the R-ACK is queued, so a coordinator can never observe
-// an acknowledgement for a write the follower could forget in a crash. The
-// ACK itself stays coalesced: one delivery tick's worth of R-ACKs leaves as
-// a single transport batch.
-func (e *Engine) ackDurable(to wire.NodeID, m *wire.CommitInv) {
-	if l := e.log; l != nil && len(m.Updates) > 0 {
-		recs := make([]storage.Record, len(m.Updates))
-		for i, u := range m.Updates {
-			// Data aliases the applied update; safe because store data is
-			// replace-only and WAL records are frozen at Append.
-			recs[i] = storage.Record{Kind: storage.RecInv, Obj: u.Obj, Version: u.Version, Data: u.Data}
-		}
-		if l.Append(recs...) != nil {
-			// No durability, no ACK: stay silent and let the coordinator
-			// resend. Failing storage degrades liveness, never safety.
-			return
+// acknowledging it (zeuslint walfrozen; p.mu held): when durability is
+// armed and the slot is still in p.unlogged, the updates are appended to
+// the WAL — group-committed, durable on return — strictly before the R-ACK
+// is queued, so a coordinator can never observe an acknowledgement for a
+// write the follower could forget in a crash. A slot already logged (not
+// in unlogged) re-ACKs without touching the WAL: duplicates and resend
+// storms must not grow it. The ACK itself stays coalesced: one delivery
+// tick's worth of R-ACKs leaves as a single transport batch.
+func (e *Engine) ackDurable(p *inPipe, to wire.NodeID, m *wire.CommitInv) {
+	if l := e.log; l != nil {
+		if inv, needs := p.unlogged[m.Tx.Local]; needs {
+			recs := make([]storage.Record, len(inv.Updates))
+			for i, u := range inv.Updates {
+				// Data aliases the applied update; safe because store data
+				// is replace-only and WAL records are frozen at Append.
+				recs[i] = storage.Record{Kind: storage.RecInv, Obj: u.Obj, Version: u.Version, Data: u.Data}
+			}
+			if l.Append(recs...) != nil {
+				// No durability, no ACK: stay silent and let the coordinator
+				// resend (the slot stays in unlogged, so the retransmit
+				// retries the append). Failing storage degrades liveness,
+				// never safety.
+				return
+			}
+			delete(p.unlogged, m.Tx.Local)
 		}
 	}
 	e.enqueue(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
@@ -637,6 +681,7 @@ func (e *Engine) handleVal(m *wire.CommitVal) {
 	p.mu.Lock()
 	inv := p.stored[m.Tx.Local]
 	delete(p.stored, m.Tx.Local)
+	delete(p.unlogged, m.Tx.Local)
 	p.markDone(m.Tx.Local)
 	// The R-VAL may unblock a waiting successor (prev-VAL inclusion rule).
 	if next, ok := p.waiting[m.Tx.Local+1]; ok {

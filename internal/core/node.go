@@ -133,9 +133,10 @@ type Node struct {
 	// Durability (nil without Config.Storage): the group-commit WAL front
 	// end shared by the commit and ownership engines, and the recovery
 	// census taken before the first message was handled.
-	log       *storage.Log
-	stg       storage.Storage
-	recovered int
+	log         *storage.Log
+	stg         storage.Storage
+	recovered   int
+	incarnation uint64
 
 	// State-sync bookkeeping (see sync.go): objects recovered from storage
 	// that still await an authoritative answer from a current owner.
@@ -164,6 +165,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	// the store is rebuilt from the snapshot + WAL replay while no message
 	// can race the install. See installRecovered for the demotion rules.
 	var recovered int
+	var incarnation uint64
 	pending := make(map[wire.ObjectID]syncOrigin)
 	if cfg.Storage != nil {
 		rec, err := cfg.Storage.Recover()
@@ -173,6 +175,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 			panic(fmt.Sprintf("core: storage recovery failed: %v", err))
 		}
 		recovered = installRecovered(id, st, rec, pending)
+		incarnation = rec.Incarnation
 	}
 	// Sharded ownership directory (§6.2): when enabled, ownership REQs
 	// resolve object → shard → drivers through the replicated placement
@@ -191,13 +194,18 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	}
 	n := &Node{id: id, cfg: cfg, st: st, tr: tr, agent: agent, dirsvc: dirsvc,
 		trimQ: make(chan trimReq, trimQueueDepth), closedCh: make(chan struct{}),
-		stg: cfg.Storage, recovered: recovered, syncPending: pending}
+		stg: cfg.Storage, recovered: recovered, incarnation: incarnation,
+		syncPending: pending}
 	n.router = transport.NewRouter()
 	n.cmt = commit.New(id, st, tr, agent)
 	n.own = ownership.New(id, st, tr, agent, cfg.Ownership)
 	if cfg.Storage != nil {
 		n.log = storage.NewLog(cfg.Storage)
 		n.cmt.SetLog(n.log)
+		// The durable incarnation replaces the view epoch as PipeID.Incar:
+		// a fast rejoin that beats the failure detector never bumps the
+		// epoch, but the counter advances on every Recover.
+		n.cmt.SetIncarnation(incarnation)
 		n.own.SetLog(n.log)
 		go n.snapshotLoop()
 	}

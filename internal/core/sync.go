@@ -5,16 +5,35 @@
 // local knowledge into a delta protocol:
 //
 //	restarting node  --- SYNC-PULL {obj, version}* --->  live nodes
-//	current owner    --- SYNC-STATE {obj, version, replicas, ts, data?} -->
+//	current owner    --- SYNC-STATE/owner {obj, version, replicas, ts, data?}
+//	owner mid-commit --- SYNC-STATE/claim {obj}
+//	other replicas   --- SYNC-STATE/hint  {obj, version, ts, data?}
 //
-// Only the current owner of an object answers (owners are the single
-// authority for both the value and the replica set); it sends the payload
-// only when the puller's version is stale, so a node that was briefly down
-// re-arms mostly with metadata-sized messages. Objects whose recovered state
-// named this node as owner and that no live owner claims within the deadline
-// are RECLAIMED from local durable state: the grant WAL says ownership was
-// never transferred away, and a transfer performed while this node was down
-// would have produced a new owner that answers the pull.
+// Only the current owner of an object answers authoritatively (owners are
+// the single authority for both the value and the replica set); it sends the
+// payload only when the puller's version is stale, so a node that was
+// briefly down re-arms mostly with metadata-sized messages. Objects whose
+// recovered state named this node as owner and that no live owner claims
+// within the quiet period are RECLAIMED from local durable state: the grant
+// WAL says ownership was never transferred away, and a transfer performed
+// while this node was down would have produced a new owner that answers the
+// pull.
+//
+// Reclaim is FENCED by the two non-authoritative answer classes, because
+// "no owner answered" does not imply "my durable state is current":
+//
+//   - A CLAIM says some live node holds owner level but is mid-commit or
+//     mid-transfer (it will answer once its pipeline settles). Reclaiming
+//     over a claim would mint a second owner, so claimed objects are never
+//     reclaimed — the puller just keeps retrying.
+//   - A HINT is a non-owner replica reporting a version NEWER than the
+//     puller's. The canonical case: this node crashed as coordinator after
+//     the local commit of V+1 but before validation, so the followers hold
+//     V+1 (validated via dead-coordinator replay) while the recovered WAL
+//     stops at V — and no current owner exists to answer. A validated hint
+//     ships the value and the reclaim installs it; a staged (unvalidated)
+//     hint, or one whose grant timestamp names a different owner, blocks
+//     the reclaim until it resolves.
 package core
 
 import (
@@ -27,12 +46,28 @@ import (
 	"zeus/internal/wire"
 )
 
-// syncOrigin is what recovery remembered about a pending object: whether the
-// durable state named this node as owner (reclaim eligibility) and whether
-// the recovered value had completed a commit (reclaim validity).
+// syncOrigin is what recovery remembered about a pending object — whether
+// the durable state named this node as owner (reclaim eligibility) and
+// whether the recovered value had completed a commit (reclaim validity) —
+// plus the reclaim fences learned from non-authoritative SYNC-STATE answers
+// while the pull is open (see the package comment).
 type syncOrigin struct {
 	selfOwner bool
 	valid     bool
+
+	// claimed: a live node announced owner level (SyncClaim). The object
+	// must never be reclaimed; the claimant answers once it settles.
+	claimed bool
+
+	// Best hint seen so far (highest version; at equal versions a validated
+	// value or a newer grant timestamp upgrades it). hintValid means the
+	// hint shipped a committed value in hintData.
+	hintSeen     bool
+	hintVer      uint64
+	hintTS       wire.OTS
+	hintReplicas wire.ReplicaSet
+	hintData     []byte
+	hintValid    bool
 }
 
 // installRecovered replays a storage.Recovered census into a fresh store,
@@ -70,6 +105,12 @@ func installRecovered(self wire.NodeID, st *store.Store, rec *storage.Recovered,
 // Recovered returns how many objects storage recovery installed (0 without
 // Config.Storage).
 func (n *Node) Recovered() int { return n.recovered }
+
+// Incarnation returns the durable per-process incarnation number the storage
+// driver reported at recovery (0 without Config.Storage; 1 for the first
+// lifetime over a data dir). Values above 1 mean this process is a restart
+// over existing durable state.
+func (n *Node) Incarnation() uint64 { return n.incarnation }
 
 // SyncPending returns how many recovered objects still await an
 // authoritative owner answer (tests poll it; 0 once StateSync finished).
@@ -174,14 +215,20 @@ func (n *Node) sendPulls() {
 // reclaimLeftovers resolves pending objects that no live owner claimed. An
 // object whose durable grant history names this node as owner is restored to
 // owner level — see the package comment for why "no answer" implies "no new
-// owner". Values that had not completed a commit at crash time stay
-// TInvalid (the next write re-validates them); committed values come back
-// readable. Returns how many objects could NOT be reclaimed.
+// owner" — unless a fence blocks it: a live claimant exists (claimed), a
+// hint's grant timestamp names a different owner (this node's grant history
+// is stale), or a replica reported a newer version that has not validated
+// yet (its commit outcome is unknown). Fenced objects stay pending and keep
+// being re-pulled. A validated newer hint is installed before re-arming, so
+// the reclaimed owner serves the cluster's latest committed value rather
+// than its own older one. Values that had not completed a commit at crash
+// time stay TInvalid (the next write re-validates them); committed values
+// come back readable. Returns how many objects could NOT be reclaimed.
 func (n *Node) reclaimLeftovers() int {
 	n.syncMu.Lock()
 	defer n.syncMu.Unlock()
 	for id, org := range n.syncPending {
-		if !org.selfOwner {
+		if !org.selfOwner || org.claimed {
 			continue
 		}
 		o, ok := n.st.Get(id)
@@ -190,6 +237,29 @@ func (n *Node) reclaimLeftovers() int {
 			continue
 		}
 		o.Mu.Lock()
+		if org.hintSeen && org.hintVer > o.TVersion {
+			if owner := org.hintReplicas.Owner; owner != n.id && owner != wire.NoNode {
+				// A replica's grant history names someone else: ownership
+				// moved while this node was down. Whoever holds it answers
+				// (or restarts and reclaims) — never this node.
+				o.Mu.Unlock()
+				continue
+			}
+			if !org.hintValid {
+				// Newer version staged somewhere but not validated; its
+				// commit outcome is unknown. Wait for the replay/validation
+				// to settle — the next pull round gets a validated hint.
+				o.Mu.Unlock()
+				continue
+			}
+			o.Data = org.hintData
+			o.SetTLocked(org.hintVer, store.TValid)
+			if o.OTS.Less(org.hintTS) {
+				o.OTS = org.hintTS
+				o.Replicas = org.hintReplicas
+			}
+			org.valid = true
+		}
 		reps := o.Replicas
 		reps.Owner = n.id
 		o.Replicas = reps
@@ -215,11 +285,15 @@ func (n *Node) handleSync(from wire.NodeID, m wire.Msg) {
 	}
 }
 
-// handleSyncPull answers, as current owner, the entries this node is the
-// authority for. Non-owned entries are skipped silently — the owner, wherever
-// it is, answers them. Objects mid-commit (TState != TValid) are also skipped:
-// the puller retries and picks them up once the pipeline settles, which keeps
-// sync installs from racing an in-flight replication round.
+// handleSyncPull answers the entries this node knows something about. As
+// current owner with a validated value it answers authoritatively
+// (SyncOwner, retiring the pull). As an owner mid-commit or mid-transfer it
+// sends a claim — no state yet, but the puller learns a live owner exists
+// and must not reclaim; it retries and picks the object up once the
+// pipeline settles. As a non-owner replica holding a version NEWER than the
+// puller's it sends a hint (with the value iff validated) so the puller can
+// fence — and feed — a reclaim even when no current owner exists. Entries
+// this node knows nothing useful about are skipped silently.
 func (n *Node) handleSyncPull(p *wire.SyncPull) {
 	var out []wire.SyncEntry
 	for _, e := range p.Entries {
@@ -228,21 +302,32 @@ func (n *Node) handleSyncPull(p *wire.SyncPull) {
 			continue
 		}
 		o.Mu.Lock()
-		if o.Level != wire.Owner || o.OState != store.OValid || o.TState != store.TValid {
-			o.Mu.Unlock()
-			continue
-		}
 		ans := wire.SyncEntry{
 			Obj:      e.Obj,
 			Version:  o.TVersion,
 			TS:       o.OTS,
 			Replicas: o.Replicas,
 		}
-		if o.TVersion != e.Version {
-			// Stale puller: ship the payload. Data is replace-only, so
-			// aliasing it beyond the lock is safe (see store.Object.Data).
-			ans.HasData = true
-			ans.Data = o.Data
+		switch {
+		case o.Level == wire.Owner && o.OState == store.OValid && o.TState == store.TValid:
+			ans.Class = wire.SyncOwner
+			if o.TVersion != e.Version {
+				// Stale puller: ship the payload. Data is replace-only, so
+				// aliasing it beyond the lock is safe (store.Object.Data).
+				ans.HasData = true
+				ans.Data = o.Data
+			}
+		case o.Level == wire.Owner:
+			ans.Class = wire.SyncClaim
+		case o.Level != wire.NonReplica && o.TVersion > e.Version:
+			ans.Class = wire.SyncHint
+			if o.TState == store.TValid {
+				ans.HasData = true
+				ans.Data = o.Data
+			}
+		default:
+			o.Mu.Unlock()
+			continue
 		}
 		o.Mu.Unlock()
 		out = append(out, ans)
@@ -261,13 +346,56 @@ func (n *Node) handleSyncPull(p *wire.SyncPull) {
 // the replica set and ownership timestamp verbatim, this node's level as the
 // replica set implies it, and either the shipped payload (stale puller) or a
 // validity flip of the local bytes (versions matched). Each object accepts
-// exactly ONE answer — the first to arrive retires the pending entry, and
-// later duplicates (resend overlap) or stragglers are dropped. Installing a
-// second answer would be a regression hazard: by the time it arrives the
-// object may have rejoined the live protocol and advanced past the answered
-// version.
+// exactly ONE authoritative answer — the first to arrive retires the pending
+// entry, and later duplicates (resend overlap) or stragglers are dropped.
+// Installing a second answer would be a regression hazard: by the time it
+// arrives the object may have rejoined the live protocol and advanced past
+// the answered version.
+//
+// Claim and hint answers do not retire the entry; they accumulate on its
+// syncOrigin as reclaim fences (and, for validated hints, as the value a
+// reclaim installs) — see reclaimLeftovers.
 func (n *Node) handleSyncState(s *wire.SyncState) {
 	for _, e := range s.Entries {
+		switch e.Class {
+		case wire.SyncClaim:
+			n.syncMu.Lock()
+			if org, ok := n.syncPending[e.Obj]; ok {
+				org.claimed = true
+				n.syncPending[e.Obj] = org
+			}
+			n.syncMu.Unlock()
+			continue
+		case wire.SyncHint:
+			n.syncMu.Lock()
+			if org, ok := n.syncPending[e.Obj]; ok {
+				better := !org.hintSeen || e.Version > org.hintVer
+				if !better && e.Version == org.hintVer {
+					// At equal versions a validated value wins; beyond that
+					// only a newer grant timestamp upgrades, and a dataless
+					// hint never displaces a validated one.
+					if e.HasData {
+						better = !org.hintValid || org.hintTS.Less(e.TS)
+					} else {
+						better = !org.hintValid && org.hintTS.Less(e.TS)
+					}
+				}
+				if better {
+					org.hintSeen = true
+					org.hintVer = e.Version
+					org.hintTS = e.TS
+					org.hintReplicas = e.Replicas
+					org.hintValid = e.HasData
+					org.hintData = nil
+					if e.HasData {
+						org.hintData = append([]byte(nil), e.Data...)
+					}
+					n.syncPending[e.Obj] = org
+				}
+			}
+			n.syncMu.Unlock()
+			continue
+		}
 		n.syncMu.Lock()
 		_, pending := n.syncPending[e.Obj]
 		if pending {

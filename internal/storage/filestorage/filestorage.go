@@ -34,6 +34,7 @@ import (
 
 const (
 	manifestName = "MANIFEST"
+	incarName    = "INCAR"
 	frameHeader  = 8        // u32 len + u32 crc
 	segMaxBytes  = 64 << 20 // roll threshold
 	maxFrame     = 1 << 30  // sanity bound on a single payload
@@ -50,6 +51,7 @@ type Store struct {
 	firstSeg uint64 // oldest retained segment
 	snapName string // "" when no snapshot yet
 	closed   bool
+	failed   bool // tail segment in an unknown state; all appends refused
 
 	buf []byte // append scratch, reused under mu
 }
@@ -207,12 +209,21 @@ func scanValid(f *os.File) (int64, error) {
 }
 
 // Append implements storage.Storage: encode the batch, one write, one
-// fsync.
+// fsync. A failed write must not leave torn bytes in front of the append
+// position: recovery truncates at the first bad frame, so any later
+// successful (acknowledged) append landing after torn bytes would be
+// silently dropped on restart. On a write error we rewind the file to the
+// last known-good offset; if the rewind (or an fsync, whose on-disk
+// outcome is unknowable) fails, the store fail-stops and refuses all
+// further appends.
 func (s *Store) Append(recs []storage.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("filestorage: closed")
+	}
+	if s.failed {
+		return fmt.Errorf("filestorage: store failed by earlier append error")
 	}
 	buf := s.buf[:0]
 	for i := range recs {
@@ -220,9 +231,17 @@ func (s *Store) Append(recs []storage.Record) error {
 	}
 	s.buf = buf[:0]
 	if _, err := s.seg.Write(buf); err != nil {
+		if terr := s.seg.Truncate(s.segSize); terr != nil {
+			s.failed = true
+			return err
+		}
+		if _, serr := s.seg.Seek(s.segSize, io.SeekStart); serr != nil {
+			s.failed = true
+		}
 		return err
 	}
 	if err := s.seg.Sync(); err != nil {
+		s.failed = true
 		return err
 	}
 	s.segSize += int64(len(buf))
@@ -311,13 +330,20 @@ func (s *Store) Snapshot(scan func(emit func(storage.SnapObject) error) error) e
 
 // Recover implements storage.Storage: snapshot first, then retained
 // segments in order. A torn tail in the newest segment ends replay; torn
-// frames elsewhere are corruption.
+// frames elsewhere are corruption. Recover also durably advances the INCAR
+// counter (written before it returns, so a crash right after Recover still
+// burned the number) and reports it in Recovered.Incarnation.
 func (s *Store) Recover() (*storage.Recovered, error) {
 	s.mu.Lock()
 	snapName, first, last := s.snapName, s.firstSeg, s.segID
 	s.mu.Unlock()
 
+	incar, err := s.bumpIncarnation()
+	if err != nil {
+		return nil, err
+	}
 	r := storage.NewRecovered()
+	r.Incarnation = incar
 	if snapName != "" {
 		err := readFrames(s.path(snapName), false, func(payload []byte) error {
 			o, err := decodeSnapObject(payload)
@@ -349,6 +375,34 @@ func (s *Store) Recover() (*storage.Recovered, error) {
 		}
 	}
 	return r, nil
+}
+
+// bumpIncarnation reads, increments and durably replaces the INCAR file.
+// Write-to-temp + rename + dir fsync: a crash mid-bump leaves either the
+// old or the new value, and re-running the bump on the old value still
+// yields a number the previous lifetime never reported.
+func (s *Store) bumpIncarnation() (uint64, error) {
+	var cur uint64
+	b, err := os.ReadFile(s.path(incarName))
+	if err == nil {
+		if _, err := fmt.Sscanf(strings.TrimSpace(string(b)), "%d", &cur); err != nil {
+			return 0, fmt.Errorf("filestorage: bad INCAR file %q: %w", string(b), err)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	next := cur + 1
+	tmp := s.path(incarName + ".tmp")
+	if err := writeFileSync(tmp, []byte(fmt.Sprintf("%d\n", next))); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.path(incarName)); err != nil {
+		return 0, err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	return next, nil
 }
 
 // readFrames streams the CRC-framed payloads of one file. tornOK makes a

@@ -117,6 +117,76 @@ func TestTornTailTruncation(t *testing.T) {
 	}
 }
 
+// TestIncarnationAdvances: every Recover over the same data dir must report
+// a strictly larger incarnation, durably (the INCAR file), so a restarted
+// process can never stamp its commit pipes with a previous life's number.
+func TestIncarnationAdvances(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint64(1); want <= 3; want++ {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Incarnation != want {
+			t.Fatalf("lifetime %d: incarnation = %d", want, r.Incarnation)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "INCAR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "3" {
+		t.Fatalf("INCAR file = %q, want 3", b)
+	}
+}
+
+// TestAppendFailStop: an Append whose write (and rewind) failed must poison
+// the store — a later "successful" append would land after torn bytes and be
+// silently dropped by the restart truncation, despite having been ACKed.
+func TestAppendFailStop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]storage.Record{rec(1, 1, "keep")}); err != nil {
+		t.Fatal(err)
+	}
+	s.seg.Close() // kill the fd underneath: the next write errors
+	if err := s.Append([]storage.Record{rec(2, 1, "torn")}); err == nil {
+		t.Fatal("append over a dead fd did not error")
+	}
+	// The rewind could not run either (same dead fd), so the store must
+	// refuse everything from here on instead of writing past unknown bytes.
+	if err := s.Append([]storage.Record{rec(3, 1, "after")}); err == nil {
+		t.Fatal("append accepted after the store failed")
+	}
+	s.closed = true // skip the double-close in Close
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	r, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := r.Objects[1]; o == nil || string(o.Data) != "keep" {
+		t.Fatalf("lost pre-error record: %+v", o)
+	}
+	if r.Objects[2] != nil || r.Objects[3] != nil {
+		t.Fatalf("unacknowledged records resurrected: %+v", r.Objects)
+	}
+}
+
 // TestSnapshotManifestAtomicity: after a snapshot, recovery uses it plus
 // the retained tail; a crash before the manifest flip (simulated by a
 // leftover tmp file) must leave the previous state intact.

@@ -20,6 +20,7 @@ type Store struct {
 	mu     sync.Mutex
 	snap   []storage.SnapObject
 	wal    []storage.Record // records since the snapshot
+	incar  uint64           // advanced once per Recover (process lifetime)
 	closed bool
 }
 
@@ -71,9 +72,12 @@ func (s *Store) Recover() (*storage.Recovered, error) {
 	s.mu.Lock()
 	snap := s.snap
 	wal := append([]storage.Record(nil), s.wal...)
+	s.incar++
+	incar := s.incar
 	s.mu.Unlock()
 
 	r := storage.NewRecovered()
+	r.Incarnation = incar
 	for _, o := range snap {
 		r.ApplySnap(o)
 	}

@@ -95,7 +95,10 @@ type Storage interface {
 	Snapshot(scan func(emit func(SnapObject) error) error) error
 
 	// Recover replays snapshot + WAL into a recovered image. Call before
-	// the first Append of a process lifetime.
+	// the first Append of a process lifetime. Recover also advances the
+	// store's incarnation counter (durably, for durable drivers) and
+	// reports it in Recovered.Incarnation, so two process lifetimes over
+	// the same store can never observe the same value.
 	Recover() (*Recovered, error)
 
 	// Close releases driver resources. Appends after Close fail.
@@ -120,6 +123,13 @@ type Recovered struct {
 	// Grants counts RecGrant records replayed (for "no lost grants"
 	// assertions in recovery tests).
 	Grants int
+	// Incarnation is this process lifetime's strictly-increasing sequence
+	// number over the store (1 for the first lifetime). The commit engine
+	// stamps it into wire.PipeID.Incar so a crashed-and-restarted
+	// coordinator can never alias its previous life's pipelines at the
+	// followers, even when the restart beat the failure detector and the
+	// view epoch never bumped.
+	Incarnation uint64
 }
 
 // NewRecovered returns an empty recovery image for drivers to fill.

@@ -108,6 +108,7 @@ func (e *enc) syncentries(es []SyncEntry) {
 		e.u64(x.Version)
 		e.ots(x.TS)
 		e.replicas(x.Replicas)
+		e.u8(uint8(x.Class))
 		e.boolean(x.HasData)
 		e.bytes(x.Data)
 	}
@@ -321,7 +322,7 @@ func (d *dec) syncentries() []SyncEntry {
 	if d.err != nil {
 		return nil
 	}
-	if int(n)*41 > len(d.b) { // each entry is ≥41 encoded bytes
+	if int(n)*42 > len(d.b) { // each entry is ≥42 encoded bytes
 		d.err = ErrTooLarge
 		return nil
 	}
@@ -329,7 +330,8 @@ func (d *dec) syncentries() []SyncEntry {
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		out = append(out, SyncEntry{
 			Obj: d.obj(), Version: d.u64(), TS: d.ots(),
-			Replicas: d.replicas(), HasData: d.boolean(), Data: d.bytes(),
+			Replicas: d.replicas(), Class: SyncClass(d.u8()),
+			HasData: d.boolean(), Data: d.bytes(),
 		})
 	}
 	return out
@@ -468,7 +470,7 @@ func vsstateSize(s *VSState) int {
 }
 
 func syncSize(es []SyncEntry) int {
-	n := 41 * len(es)
+	n := 42 * len(es)
 	for i := range es {
 		n += len(es[i].Data)
 	}

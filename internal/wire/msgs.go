@@ -637,16 +637,39 @@ func (*DirState) Kind() Kind { return KindDirState }
 // replica set and — only when the versions differ — the data delta.
 // ---------------------------------------------------------------------------
 
+// SyncClass classifies a SyncState answer (SyncEntry.Class; zero in pulls).
+type SyncClass uint8
+
+const (
+	// SyncOwner marks an authoritative answer: the sender is the object's
+	// current owner with a validated value. It retires the pull.
+	SyncOwner SyncClass = iota + 1
+	// SyncClaim means the sender holds owner level but the object is
+	// mid-commit or mid-transfer, so it cannot answer authoritatively yet.
+	// The pull stays open (the puller retries), but a live owner exists:
+	// the puller must never reclaim the object from local durable state.
+	SyncClaim
+	// SyncHint is a non-owner replica reporting what it knows: its version
+	// and grant timestamp, plus the value when it is validated and newer
+	// than the puller's. Hints fence reclaim — a hint above the puller's
+	// recovered version proves the cluster advanced while it was down, even
+	// if the writer (the old owner) died before any owner can answer.
+	SyncHint
+)
+
 // SyncEntry is one object in a state-sync exchange. In a SyncPull, Version
-// is the puller's recovered t_version (data omitted). In a SyncState,
-// Version/TS/Replicas are the owner's authoritative values and Data is set
-// iff the puller's version was stale (HasData distinguishes "up to date"
-// from "deleted to empty").
+// is the puller's recovered t_version (data omitted, Class zero). In a
+// SyncState, Class says how to read the entry (see SyncClass):
+// Version/TS/Replicas are the sender's values — authoritative for
+// SyncOwner, advisory for SyncHint — and Data is set iff the puller's
+// version was stale and the sender's value is validated (HasData
+// distinguishes "up to date" from "deleted to empty").
 type SyncEntry struct {
 	Obj      ObjectID
 	Version  uint64
 	TS       OTS
 	Replicas ReplicaSet
+	Class    SyncClass
 	HasData  bool
 	Data     []byte
 }

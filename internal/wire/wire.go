@@ -106,12 +106,15 @@ func (o OTS) Equal(x OTS) bool { return o == x }
 func (o OTS) String() string { return fmt.Sprintf("⟨%d,%d⟩", o.Ver, o.Node) }
 
 // PipeID names a reliable-commit pipeline: one per (node, worker) pair and
-// per coordinator incarnation. Incar is the view epoch at which the
-// coordinator created the pipe: a node that crashed and rejoined restarts its
+// per coordinator incarnation. A node that crashed and rejoined restarts its
 // slot numbering at 1, and without the incarnation stamp a follower's pipe
 // state from the previous life (watermark, done set) would misread the fresh
 // slots as duplicates — acknowledging them without applying, which silently
-// loses the write. Distinct incarnations are distinct pipes.
+// loses the write. Distinct incarnations are distinct pipes. Incar is the
+// storage driver's durable per-process incarnation counter on durable nodes
+// (it advances on every restart, even one that beats the failure detector so
+// the view epoch never bumps); memory-only nodes fall back to the view epoch
+// at pipe creation, which is safe because their rejoin always bumps it.
 type PipeID struct {
 	Node   NodeID
 	Worker Worker
