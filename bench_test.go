@@ -136,6 +136,30 @@ func BenchmarkReadOnlyTx(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotReadTx measures an MVCC snapshot read-only transaction on
+// a reader replica (Options.SnapshotReads): one Get served from the local
+// version ring at a fresh timestamp. Unlike BenchmarkReadOnlyTx this pays
+// the safe-time wait — the quorum watermark exchange must cover the
+// transaction's timestamp before the ring read is allowed — so per-op
+// latency is interval-bound; the win is scale-out (see BenchmarkReadScale),
+// not single-stream latency.
+func BenchmarkSnapshotReadTx(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 4, SnapshotReads: true})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 128))
+	n := c.Node(1) // a reader
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := n.BeginRO()
+		if _, err := tx.Get(1); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOwnershipTransfer measures the reliable ownership protocol: each
 // iteration bounces one object between two nodes (§4: 1.5 RTT fast path).
 func BenchmarkOwnershipTransfer(b *testing.B) {
@@ -341,6 +365,21 @@ func BenchmarkAblationScaling(b *testing.B) {
 		if row.Workers == 8 {
 			b.ReportMetric(row.Speedup, "speedup-8w")
 			b.ReportMetric(row.Tps, "tps-8w")
+		}
+	}
+}
+
+// BenchmarkReadScale regenerates the snapshot-read scaling experiment:
+// RO throughput vs reader replicas with the owner serving zero reads.
+func BenchmarkReadScale(b *testing.B) {
+	var r experiments.ReadScaleResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ReadScale(benchScale)
+	}
+	for _, row := range r.Rows {
+		if row.WritePct == 5 && row.Replicas == 4 {
+			b.ReportMetric(row.Tps, "reads/s@95-5x4r")
+			b.ReportMetric(row.Speedup, "speedup-4r")
 		}
 	}
 }

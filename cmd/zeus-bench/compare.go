@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // benchRecord mirrors the BENCH_BASELINE.json / BENCH_AFTER.json layout that
@@ -30,9 +31,35 @@ func loadRecord(path string) (benchRecord, error) {
 	return r, nil
 }
 
+// gatedPrefixes are the read-path benchmarks -compare treats as regression
+// gates, not just informational deltas: the snapshot-read work promises that
+// classic RO transactions stay fast and that the readscale artefacts do not
+// silently decay. A >10% ns/op regression on any of these fails the compare
+// (and with it the CI bench-smoke job).
+var gatedPrefixes = []string{
+	"BenchmarkReadOnlyTx",
+	"BenchmarkSnapshotReadTx",
+	"BenchmarkReadScale",
+}
+
+// gateThreshold is the allowed ns/op growth on gated benchmarks (run-to-run
+// noise on the shared recording host is ±10%).
+const gateThreshold = 0.10
+
+func gated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // compareRecords prints the ns/op delta between two benchmark records — the
 // CI bench-smoke step runs this so a PR's effect on the tracked benchmarks
-// shows up in the job log without digging through artefacts.
+// shows up in the job log without digging through artefacts. Read-path
+// benchmarks (gatedPrefixes) additionally gate: a regression beyond
+// gateThreshold returns an error.
 func compareRecords(w io.Writer, oldPath, newPath string) error {
 	oldRec, err := loadRecord(oldPath)
 	if err != nil {
@@ -49,6 +76,7 @@ func compareRecords(w io.Writer, oldPath, newPath string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var regressions []string
 	for _, name := range names {
 		o := oldRec.Benchmarks[name].NsPerOp
 		n, ok := newRec.Benchmarks[name]
@@ -56,8 +84,15 @@ func compareRecords(w io.Writer, oldPath, newPath string) error {
 			fmt.Fprintf(w, "  %-28s %10.0f ns/op  →  (absent)\n", name, o)
 			continue
 		}
-		fmt.Fprintf(w, "  %-28s %10.0f ns/op  →  %10.0f ns/op  (%+.1f%%)\n",
-			name, o, n.NsPerOp, 100*(n.NsPerOp-o)/o)
+		delta := (n.NsPerOp - o) / o
+		mark := ""
+		if gated(name) && delta > gateThreshold {
+			mark = "  REGRESSION (read-path gate)"
+			regressions = append(regressions,
+				fmt.Sprintf("%s +%.1f%%", name, 100*delta))
+		}
+		fmt.Fprintf(w, "  %-28s %10.0f ns/op  →  %10.0f ns/op  (%+.1f%%)%s\n",
+			name, o, n.NsPerOp, 100*delta, mark)
 	}
 	added := make([]string, 0, len(newRec.Benchmarks))
 	for name := range newRec.Benchmarks {
@@ -68,6 +103,10 @@ func compareRecords(w io.Writer, oldPath, newPath string) error {
 	sort.Strings(added)
 	for _, name := range added {
 		fmt.Fprintf(w, "  %-28s       (new)        →  %10.0f ns/op\n", name, newRec.Benchmarks[name].NsPerOp)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("zeus-bench: read-path benchmarks regressed beyond %.0f%%: %s",
+			100*gateThreshold, strings.Join(regressions, ", "))
 	}
 	return nil
 }

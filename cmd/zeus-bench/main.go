@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, directory, all)")
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, directory, readscale, all)")
 	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
 	list := flag.Bool("list", false, "list available experiments")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON records and print the delta")
@@ -114,5 +114,8 @@ var order = []entry{
 	}},
 	{"directory", "Sharded ownership directory: REQ throughput vs shard count", func(s experiments.Scale) {
 		experiments.Directory(s).Print(os.Stdout)
+	}},
+	{"readscale", "MVCC snapshot reads: RO throughput vs reader replicas (95/5 and 100/0)", func(s experiments.Scale) {
+		experiments.ReadScale(s).Print(os.Stdout)
 	}},
 }

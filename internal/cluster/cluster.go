@@ -77,6 +77,10 @@ type Options struct {
 	// TrimReplicas / AutoAcquireRead forward to core.Config.
 	TrimReplicas    bool
 	AutoAcquireRead bool
+	// SnapshotReads / SafeTimeInterval forward to core.Config: MVCC
+	// snapshot reads from any replica at the quorum-advanced safe-time.
+	SnapshotReads    bool
+	SafeTimeInterval time.Duration
 	// OwnershipDeadline bounds blocking ownership acquisitions.
 	OwnershipDeadline time.Duration
 	// OnOwnershipLatency observes ownership request latencies (Fig. 12).
@@ -251,13 +255,15 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 		renew = time.Millisecond
 	}
 	cfg := core.Config{
-		Degree:          c.opts.Degree,
-		Workers:         c.opts.Workers,
-		DispatchShards:  c.opts.DispatchShards,
-		TrimReplicas:    c.opts.TrimReplicas,
-		AutoAcquireRead: c.opts.AutoAcquireRead,
-		LeaseRenewEvery: renew,
-		Ownership:       ocfg,
+		Degree:           c.opts.Degree,
+		Workers:          c.opts.Workers,
+		DispatchShards:   c.opts.DispatchShards,
+		TrimReplicas:     c.opts.TrimReplicas,
+		AutoAcquireRead:  c.opts.AutoAcquireRead,
+		LeaseRenewEvery:  renew,
+		Ownership:        ocfg,
+		SnapshotReads:    c.opts.SnapshotReads,
+		SafeTimeInterval: c.opts.SafeTimeInterval,
 	}
 	if c.dirShards > 0 {
 		cfg.DirectoryShards = c.dirShards
@@ -526,6 +532,12 @@ func (c *Cluster) Seed(obj wire.ObjectID, owner wire.NodeID, readers wire.Bitmap
 		if o.Level != wire.NonReplica {
 			o.Data = append([]byte(nil), data...)
 			o.SetTLocked(1, store.TValid)
+			// Arm the snapshot-read ring with a floor timestamp: HLC
+			// timestamps are wall-clock-scale, so CTS 1 orders the seeded
+			// version below every commit the cluster will ever mint while
+			// keeping it visible to any snapshot (ts >= 1).
+			o.CommitCTS = 1
+			o.PublishRingLocked(1, 1, o.Data)
 		}
 		o.Mu.Unlock()
 	}

@@ -33,12 +33,14 @@ package commit
 import (
 	"errors"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zeus/internal/membership"
 	"zeus/internal/retry"
+	"zeus/internal/safetime"
 	"zeus/internal/shardmap"
 	"zeus/internal/storage"
 	"zeus/internal/store"
@@ -144,6 +146,17 @@ type Engine struct {
 	// (no durable storage) falls back to the view epoch at pipe creation.
 	incar wire.Epoch
 
+	// clock mints the commit timestamp (CTS) stamped into every R-INV and
+	// merges CTSs observed as a follower, so causally-related commits carry
+	// increasing timestamps across owner migration. New installs a private
+	// clock; SetClock shares the node-wide one.
+	clock *safetime.Clock
+
+	// ts enables commit timestamping (EnableTimestamps, wiring time):
+	// without it commits carry CTS 0 and ring publication no-ops, so the
+	// classic write path pays nothing for the snapshot-read machinery.
+	ts bool
+
 	stCommitted atomic.Uint64
 	stInvals    atomic.Uint64
 	stReplays   atomic.Uint64
@@ -165,6 +178,32 @@ type outPipe struct {
 	mu        sync.Mutex
 	nextLocal uint64
 	slots     map[uint64]*outSlot
+	// order is the registration-order FIFO of the same slots (CTS
+	// ascending — timestamps are minted under mu). The AppliedWM sweep
+	// walks it from the front and stops at the watermark instead of
+	// iterating the slots map, whose cost is capacity- not
+	// size-proportional and never shrinks. Validated slots are trimmed
+	// off the head by compactLocked at the next mu acquisition.
+	order []*outSlot
+	// swept records, per follower, the highest AppliedWM a sweep has
+	// processed. A follower's watermark is one of this pipe's own applied
+	// CTSs, and every slot registered later mints a strictly larger CTS,
+	// so slots at or below the cursor never need re-sweeping — without it
+	// each ack would re-walk the whole in-flight window (every open slot
+	// trails the follower's applied watermark under pipelining).
+	swept map[wire.NodeID]uint64
+}
+
+// compactLocked drops validated slots off the head of the order FIFO.
+// Amortized O(1): each slot is appended once and trimmed once.
+func (p *outPipe) compactLocked() {
+	for len(p.order) > 0 && p.order[0].valed {
+		p.order[0] = nil // release the slot to the GC behind the reslice
+		p.order = p.order[1:]
+	}
+	if len(p.order) == 0 {
+		p.order = nil // let the grown backing array go
+	}
 }
 
 type outSlot struct {
@@ -200,6 +239,10 @@ type inPipe struct {
 	// of already-durable slots are *not* in this map and re-ACK without
 	// re-appending — a resend storm must not grow the WAL.
 	unlogged map[uint64]*wire.CommitInv
+	// lastCTS is the highest CTS applied on this pipe, piggybacked on every
+	// R-ACK (CommitAck.AppliedWM). CTSs increase along a pipe and slots
+	// apply in pipe order, so lastCTS vouches for every earlier slot.
+	lastCTS uint64
 }
 
 // New creates a reliable-commit engine.
@@ -212,6 +255,7 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 		replays: make(map[wire.TxID]*replaySlot),
 		coWake:  make(chan struct{}, 1),
 		closed:  make(chan struct{}),
+		clock:   new(safetime.Clock),
 	}
 	go e.resendLoop()
 	go e.coalesceLoop()
@@ -232,6 +276,28 @@ func (e *Engine) SetLog(l *storage.Log) { e.log = l }
 // between durable and memory-only lifetimes: the counter and the epoch
 // fallback draw from independent sequences.
 func (e *Engine) SetIncarnation(n uint64) { e.incar = wire.Epoch(n) }
+
+// SetClock replaces the engine's private hybrid-logical clock with the
+// node-wide one (shared with the ownership engine and the RO snapshot
+// path). Must be called before the engine receives traffic.
+func (e *Engine) SetClock(c *safetime.Clock) {
+	if c != nil {
+		e.clock = c
+	}
+}
+
+// Clock returns the engine's hybrid-logical clock.
+func (e *Engine) Clock() *safetime.Clock { return e.clock }
+
+// EnableTimestamps turns on commit timestamping: every R-INV carries a CTS
+// minted from the clock and validated versions are published to the object
+// version rings (the substrate of MVCC snapshot reads). Off by default —
+// a deployment that never snapshot-reads skips the clock read on every
+// commit and the ring insert on every validation. Must be called before
+// the engine receives traffic (node wiring time) and uniformly across the
+// cluster: a CTS-0 commit is invisible to the ring, so a mixed cluster
+// would serve snapshots that miss other nodes' writes.
+func (e *Engine) EnableTimestamps() { e.ts = true }
 
 // Close flushes coalesced outbound messages and stops the background loops.
 func (e *Engine) Close() {
@@ -465,12 +531,26 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 		prev.extraVal = prev.extraVal.Union(followers.Remove(e.self))
 	}
 
-	inv := &wire.CommitInv{Tx: tx, Epoch: epoch, Followers: followers, PrevVal: prevVal, Updates: updates}
+	// The CTS is minted while p.mu is held, atomically with slot
+	// registration: Watermark reads the clock first and then scans open
+	// slots, so a timestamp must never exist without its slot being
+	// visible — otherwise a watermark could vouch for a commit it has
+	// never seen. CTS 0 (timestamping off) keeps the seed write path:
+	// no clock read here, no ring publish at validation.
+	var cts uint64
+	if e.ts {
+		cts = e.clock.Next()
+	}
+
+	inv := &wire.CommitInv{Tx: tx, Epoch: epoch, Followers: followers, PrevVal: prevVal, Updates: updates, CTS: cts}
 	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{}), retr: resendPolicy.Start()}
 	if wait, ok := slot.retr.Next(); ok {
 		slot.nextResend = time.Now().Add(wait)
 	}
 	p.slots[local] = slot
+	p.order = append(p.order, slot)
+	//lint:allow lockedsuffix p.mu is held: the backpressure loop above exits via break with the lock taken
+	p.compactLocked()
 	p.mu.Unlock()
 
 	if followers.Count() == 0 {
@@ -503,7 +583,12 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 }
 
 // completeSlot validates a coordinator slot: flip local objects whose version
-// is unchanged back to Valid, release pending counts, broadcast R-VAL.
+// is unchanged back to Valid, publish the committed versions into the MVCC
+// rings, release pending counts, broadcast R-VAL. The slot is removed from
+// the pipe only AFTER the object flips and ring publications: Watermark
+// counts every present slot as open, so deleting first would let a
+// watermark advance past a version that is not ring-published yet — a
+// snapshot reader at that watermark would miss the commit.
 func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	p.mu.Lock()
 	if s.valed {
@@ -512,7 +597,7 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	}
 	s.valed = true
 	extra := s.extraVal
-	delete(p.slots, s.tx.Local)
+	cts := s.inv.CTS
 	p.mu.Unlock()
 
 	for _, u := range s.inv.Updates {
@@ -521,6 +606,10 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 			if o.TVersion == u.Version && o.TState == store.TWrite {
 				o.SetTLocked(o.TVersion, store.TValid)
 			}
+			// Publish regardless of the version check: a superseding write
+			// does not un-commit this version, and the ring insert is
+			// version-sorted.
+			o.PublishRingLocked(cts, u.Version, u.Data)
 			if o.PendingCommits.Load() > 0 {
 				o.PendingCommits.Add(-1)
 			}
@@ -532,7 +621,7 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	// never logged a RecInv for its own write. Cluster-wide durability does
 	// not depend on it (followers persisted the updates before acking);
 	// it spares the restarted coordinator a data delta during state sync.
-	e.recCommitted(s.inv.Updates, true)
+	e.recCommitted(s.inv.Updates, true, cts)
 
 	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
 	for _, n := range s.followers.Union(extra).Nodes() {
@@ -540,6 +629,46 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	}
 	e.stCommitted.Add(1)
 	close(s.done)
+
+	p.mu.Lock()
+	delete(p.slots, s.tx.Local)
+	p.mu.Unlock()
+}
+
+// Watermark computes this node's applied watermark W: every reliable commit
+// this node is responsible for completing (its own open coordinator slots
+// plus any dead-coordinator replays it carries) with CTS ≤ W has been
+// validated — applied and ring-published at all followers and locally. The
+// clock is read FIRST, then open slots lower the bound: a slot registered
+// after the read minted its CTS after (hence above) the candidate, so the
+// result is safe against concurrent commits. Taken over all live nodes
+// (min, monotone — safetime.Tracker), W yields the snapshot-read safe-time.
+func (e *Engine) Watermark() uint64 {
+	w := e.clock.Next()
+	e.outPipes.Range(func(_ wire.Worker, p *outPipe) bool {
+		p.mu.Lock()
+		// CTSs ascend along the registration FIFO, so after trimming
+		// validated slots off the head the front entry carries the
+		// pipe's minimum open CTS — no need to scan the rest.
+		p.compactLocked()
+		if len(p.order) > 0 {
+			if cts := p.order[0].inv.CTS; cts != 0 && cts <= w {
+				w = cts - 1
+			}
+		}
+		p.mu.Unlock()
+		return true
+	})
+	if e.replayN.Load() != 0 {
+		e.replayMu.Lock()
+		for _, rs := range e.replays {
+			if cts := rs.inv.CTS; cts != 0 && cts <= w {
+				w = cts - 1
+			}
+		}
+		e.replayMu.Unlock()
+	}
+	return w
 }
 
 // ---------------------------------------------------------------------------
@@ -579,20 +708,7 @@ func (e *Engine) handleInv(from wire.NodeID, m *wire.CommitInv) {
 // applyInvLocked applies one R-INV (p.mu held), ACKs, and drains any waiting
 // successors that became applicable.
 func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) {
-	for _, u := range m.Updates {
-		o, _ := e.st.GetOrCreate(u.Obj)
-		o.Mu.Lock()
-		if u.Version > o.TVersion {
-			o.Data = u.Data
-			o.SetTLocked(u.Version, store.TInvalid)
-		}
-		o.Mu.Unlock()
-	}
-	p.stored[m.Tx.Local] = m
-	if e.log != nil && len(m.Updates) > 0 {
-		p.unlogged[m.Tx.Local] = m
-	}
-	e.stInvals.Add(1)
+	e.applyOneLocked(p, m)
 	e.ackDurable(p, from, m)
 
 	// A successor may have been waiting on this slot.
@@ -603,22 +719,36 @@ func (e *Engine) applyInvLocked(p *inPipe, from wire.NodeID, m *wire.CommitInv) 
 		}
 		delete(p.waiting, m.Tx.Local+1)
 		m = next
-		for _, u := range m.Updates {
-			o, _ := e.st.GetOrCreate(u.Obj)
-			o.Mu.Lock()
-			if u.Version > o.TVersion {
-				o.Data = u.Data
-				o.SetTLocked(u.Version, store.TInvalid)
-			}
-			o.Mu.Unlock()
-		}
-		p.stored[m.Tx.Local] = m
-		if e.log != nil && len(m.Updates) > 0 {
-			p.unlogged[m.Tx.Local] = m
-		}
-		e.stInvals.Add(1)
+		e.applyOneLocked(p, m)
 		e.ackDurable(p, m.Tx.Pipe.Node, m)
 	}
+}
+
+// applyOneLocked installs one R-INV's updates and records it in the pipe
+// (p.mu held). The ring entry is published at APPLY time, before the R-VAL:
+// a reliable commit never aborts once the coordinator locally committed, so
+// the version is already history — and publish-before-ACK is what lets a
+// follower's ACK vouch that snapshot readers here can see the version.
+func (e *Engine) applyOneLocked(p *inPipe, m *wire.CommitInv) {
+	for _, u := range m.Updates {
+		o, _ := e.st.GetOrCreate(u.Obj)
+		o.Mu.Lock()
+		if u.Version > o.TVersion {
+			o.Data = u.Data
+			o.SetTLocked(u.Version, store.TInvalid)
+		}
+		o.PublishRingLocked(m.CTS, u.Version, u.Data)
+		o.Mu.Unlock()
+	}
+	e.clock.Update(m.CTS)
+	if m.CTS > p.lastCTS {
+		p.lastCTS = m.CTS
+	}
+	p.stored[m.Tx.Local] = m
+	if e.log != nil && len(m.Updates) > 0 {
+		p.unlogged[m.Tx.Local] = m
+	}
+	e.stInvals.Add(1)
 }
 
 // ackDurable is the single choke point between applying an R-INV and
@@ -637,7 +767,7 @@ func (e *Engine) ackDurable(p *inPipe, to wire.NodeID, m *wire.CommitInv) {
 			for i, u := range inv.Updates {
 				// Data aliases the applied update; safe because store data
 				// is replace-only and WAL records are frozen at Append.
-				recs[i] = storage.Record{Kind: storage.RecInv, Obj: u.Obj, Version: u.Version, Data: u.Data}
+				recs[i] = storage.Record{Kind: storage.RecInv, Obj: u.Obj, Version: u.Version, Data: u.Data, CTS: inv.CTS}
 			}
 			if l.Append(recs...) != nil {
 				// No durability, no ACK: stay silent and let the coordinator
@@ -649,20 +779,20 @@ func (e *Engine) ackDurable(p *inPipe, to wire.NodeID, m *wire.CommitInv) {
 			delete(p.unlogged, m.Tx.Local)
 		}
 	}
-	e.enqueue(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self})
+	e.enqueue(to, &wire.CommitAck{Tx: m.Tx, Epoch: m.Epoch, From: e.self, AppliedWM: p.lastCTS})
 }
 
 // recCommitted records validated versions in the WAL (best effort: the
 // records only shorten state sync after a restart; R-INV durability is what
 // acks depend on).
-func (e *Engine) recCommitted(updates []wire.Update, withData bool) {
+func (e *Engine) recCommitted(updates []wire.Update, withData bool, cts uint64) {
 	l := e.log
 	if l == nil || len(updates) == 0 {
 		return
 	}
 	recs := make([]storage.Record, len(updates))
 	for i, u := range updates {
-		recs[i] = storage.Record{Kind: storage.RecCommit, Obj: u.Obj, Version: u.Version}
+		recs[i] = storage.Record{Kind: storage.RecCommit, Obj: u.Obj, Version: u.Version, CTS: cts}
 		if withData {
 			recs[i].Data = u.Data
 		}
@@ -703,7 +833,7 @@ func (e *Engine) handleVal(m *wire.CommitVal) {
 	}
 	// Follower-side commit record: version only, the matching RecInv
 	// already carries the data.
-	e.recCommitted(inv.Updates, false)
+	e.recCommitted(inv.Updates, false, inv.CTS)
 }
 
 func (p *inPipe) isDone(local uint64) bool {
@@ -734,17 +864,50 @@ func (e *Engine) handleAck(m *wire.CommitAck) {
 		if !ok {
 			return
 		}
-		p.mu.Lock()
-		s := p.slots[m.Tx.Local]
-		if s == nil {
-			p.mu.Unlock()
-			return
-		}
-		s.acked = s.acked.Add(m.From)
 		live := e.agent.View().Live
-		complete := s.acked.Union(wire.BitmapOf(e.self)).Intersect(s.followers.Intersect(live)) == s.followers.Intersect(live)
+		self := wire.BitmapOf(e.self)
+		var complete []*outSlot
+		p.mu.Lock()
+		if s := p.slots[m.Tx.Local]; s != nil {
+			s.acked = s.acked.Add(m.From)
+			need := s.followers.Intersect(live)
+			if !s.valed && s.acked.Union(self).Intersect(need) == need {
+				complete = append(complete, s)
+			}
+		}
+		// AppliedWM coverage: the follower vouches for every slot on this
+		// pipe with CTS ≤ AppliedWM (pipes apply in order, CTSs increase
+		// along the pipe), so open slots whose individual R-ACK was lost
+		// in flight are marked acked too. The walk follows the
+		// registration-order FIFO and stops at the watermark — in the
+		// common case (slots complete in order) it touches one or two
+		// slots, never the whole map.
+		p.compactLocked()
+		if prev := p.swept[m.From]; m.AppliedWM > prev {
+			i := sort.Search(len(p.order), func(i int) bool {
+				return p.order[i].inv.CTS > prev
+			})
+			for ; i < len(p.order); i++ {
+				s := p.order[i]
+				if s.inv.CTS == 0 || s.inv.CTS > m.AppliedWM {
+					break
+				}
+				if s.valed || !s.followers.Contains(m.From) || s.acked.Contains(m.From) {
+					continue
+				}
+				s.acked = s.acked.Add(m.From)
+				need := s.followers.Intersect(live)
+				if s.acked.Union(self).Intersect(need) == need {
+					complete = append(complete, s)
+				}
+			}
+			if p.swept == nil {
+				p.swept = make(map[wire.NodeID]uint64)
+			}
+			p.swept[m.From] = m.AppliedWM
+		}
 		p.mu.Unlock()
-		if complete {
+		for _, s := range complete {
 			e.completeSlot(p, s)
 		}
 		return

@@ -31,6 +31,8 @@ import (
 	"zeus/internal/directory"
 	"zeus/internal/membership"
 	"zeus/internal/ownership"
+	"zeus/internal/retry"
+	"zeus/internal/safetime"
 	"zeus/internal/storage"
 	"zeus/internal/store"
 	"zeus/internal/transport"
@@ -86,6 +88,19 @@ type Config struct {
 	// SnapshotEvery is the number of WAL records between background
 	// snapshots (0 picks 16384). Only meaningful with Storage set.
 	SnapshotEvery int
+	// SnapshotReads enables MVCC snapshot reads (§5.3 extended): reliable
+	// commits carry an HLC commit timestamp and publish into per-object
+	// version rings, nodes exchange applied watermarks to advance a
+	// quorum-agreed safe-time, and read-only transactions read at that
+	// safe-time from ANY local replica — zero owner traffic, strictly
+	// serializable. Snapshot transactions never auto-acquire read level: a
+	// non-replica returns ErrNoReplica instead of generating ownership
+	// traffic.
+	SnapshotReads bool
+	// SafeTimeInterval is the period of the safe-time exchange (applied
+	// watermark broadcast). 0 picks 50µs. Only meaningful with
+	// SnapshotReads.
+	SafeTimeInterval time.Duration
 }
 
 // DefaultConfig mirrors the paper's evaluation setup: 3-way replication, the
@@ -106,6 +121,9 @@ type Stats struct {
 	Aborts    uint64
 	ROCommits uint64
 	ROAborts  uint64
+	// SnapshotReads counts object reads served from the version ring by
+	// snapshot transactions (SnapshotReads mode only).
+	SnapshotReads uint64
 }
 
 // Node is one Zeus datastore server.
@@ -119,6 +137,12 @@ type Node struct {
 	own    *ownership.Engine
 	cmt    *commit.Engine
 	dirsvc *directory.Service // nil with the static compat directory
+
+	// Safe-time plane (always wired; the exchange loop only runs with
+	// Config.SnapshotReads): the node's HLC (shared with the commit and
+	// ownership engines) and the per-node watermark tracker.
+	clk   *safetime.Clock
+	safet *safetime.Tracker
 
 	nextWorker atomic.Uint32
 
@@ -147,6 +171,7 @@ type Node struct {
 	stAborts    atomic.Uint64
 	stROCommits atomic.Uint64
 	stROAborts  atomic.Uint64
+	stSnapReads atomic.Uint64
 }
 
 // NewNode builds and wires a node on the given transport and membership
@@ -165,7 +190,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	// the store is rebuilt from the snapshot + WAL replay while no message
 	// can race the install. See installRecovered for the demotion rules.
 	var recovered int
-	var incarnation uint64
+	var incarnation, maxCTS uint64
 	pending := make(map[wire.ObjectID]syncOrigin)
 	if cfg.Storage != nil {
 		rec, err := cfg.Storage.Recover()
@@ -176,6 +201,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		}
 		recovered = installRecovered(id, st, rec, pending)
 		incarnation = rec.Incarnation
+		maxCTS = rec.MaxCTS
 	}
 	// Sharded ownership directory (§6.2): when enabled, ownership REQs
 	// resolve object → shard → drivers through the replicated placement
@@ -199,6 +225,22 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	n.router = transport.NewRouter()
 	n.cmt = commit.New(id, st, tr, agent)
 	n.own = ownership.New(id, st, tr, agent, cfg.Ownership)
+	// One HLC per node, shared by both engines: commit stamps CTSs from it,
+	// ownership merges the CTS riding on grants back in. Recovery seeds it
+	// above every persisted timestamp so the new lifetime never reuses one.
+	n.clk = n.cmt.Clock()
+	n.clk.Update(maxCTS)
+	n.own.SetClock(n.clk)
+	if cfg.SnapshotReads {
+		// Commit timestamping (and with it ring publication) is paid only
+		// by deployments that serve snapshot reads.
+		n.cmt.EnableTimestamps()
+	}
+	n.safet = safetime.NewTracker()
+	{
+		v := agent.View()
+		n.safet.OnViewChange(v.Epoch, v.Live, 0)
+	}
 	if cfg.Storage != nil {
 		n.log = storage.NewLog(cfg.Storage)
 		n.cmt.SetLog(n.log)
@@ -210,6 +252,7 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		go n.snapshotLoop()
 	}
 	n.router.HandleMany(n.handleSync, wire.KindSyncPull, wire.KindSyncState)
+	n.router.Handle(wire.KindSafeTime, n.handleSafeTime)
 	// The owner refuses ownership transfers while the object is involved
 	// in a pending reliable commit (§4.1). Executing local transactions
 	// (local ownership held) are detected by the ownership engine itself
@@ -239,6 +282,11 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	}
 
 	agent.OnChange(func(old, next wire.View, removed wire.Bitmap) {
+		// The safe-time tracker resets on EVERY view change (cross-epoch
+		// watermarks are not comparable) and pauses on removals until the
+		// recovery barrier closes; the ownership/commit machinery below
+		// only reacts to removals.
+		n.safet.OnViewChange(next.Epoch, next.Live, removed)
 		if removed.Count() == 0 {
 			return
 		}
@@ -246,7 +294,13 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		n.own.PruneDead(next.Live)
 		n.cmt.OnViewChange(next, removed) // reports recovery-done when drained
 	})
-	agent.OnRecovered(func(wire.Epoch) { n.own.Resume() })
+	agent.OnRecovered(func(ep wire.Epoch) {
+		n.own.Resume()
+		n.safet.Resume(ep)
+	})
+	if cfg.SnapshotReads {
+		go n.safetimeLoop()
+	}
 	if cfg.LeaseRenewEvery >= 0 {
 		every := cfg.LeaseRenewEvery
 		if every == 0 {
@@ -256,6 +310,50 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	}
 	return n
 }
+
+// safetimeLoop drives the safe-time exchange (SnapshotReads mode): each
+// tick computes this node's applied watermark — every reliable commit this
+// node coordinated with CTS ≤ W is validated at all followers — folds it
+// into the local tracker and broadcasts it to the live peers. The exchange
+// is tiny (one 20-byte message per peer per tick) and off every critical
+// path; its period bounds how far behind real time the safe-time trails.
+func (n *Node) safetimeLoop() {
+	every := n.cfg.SafeTimeInterval
+	if every <= 0 {
+		every = 50 * time.Microsecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closedCh:
+			return
+		case <-t.C:
+		}
+		v := n.agent.View()
+		w := n.cmt.Watermark()
+		n.safet.Observe(n.id, v.Epoch, w)
+		m := &wire.SafeTime{From: n.id, Epoch: v.Epoch, WM: w}
+		for _, nd := range v.Live.Nodes() {
+			if nd != n.id {
+				_ = n.tr.Send(nd, m)
+			}
+		}
+		transport.Flush(n.tr)
+	}
+}
+
+func (n *Node) handleSafeTime(from wire.NodeID, m wire.Msg) {
+	st := m.(*wire.SafeTime)
+	n.safet.Observe(st.From, st.Epoch, st.WM)
+}
+
+// SafeTime returns the node's current quorum-advanced safe-time (0 until
+// the first full exchange completes). Tests and tooling.
+func (n *Node) SafeTime() uint64 { return n.safet.Safe() }
+
+// Clock exposes the node's hybrid-logical clock (tests and tooling).
+func (n *Node) Clock() *safetime.Clock { return n.clk }
 
 // renewLoop keeps this node's membership lease fresh. The membership client
 // throttles the wire traffic, so the ticker can run finer than the lease.
@@ -297,10 +395,11 @@ func (n *Node) Agent() *membership.Agent { return n.agent }
 // Stats returns this node's transaction counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		Commits:   n.stCommits.Load(),
-		Aborts:    n.stAborts.Load(),
-		ROCommits: n.stROCommits.Load(),
-		ROAborts:  n.stROAborts.Load(),
+		Commits:       n.stCommits.Load(),
+		Aborts:        n.stAborts.Load(),
+		ROCommits:     n.stROCommits.Load(),
+		ROAborts:      n.stROAborts.Load(),
+		SnapshotReads: n.stSnapReads.Load(),
 	}
 }
 
@@ -400,6 +499,8 @@ type Tx struct {
 	n        *Node
 	worker   int
 	ro       bool
+	snap     bool                     // snapshot read (SnapshotReads mode): serve from the ring
+	at       uint64                   // snapshot timestamp (snap only)
 	reads    map[wire.ObjectID]uint64 // version observed at first read
 	readBuf  map[wire.ObjectID][]byte // stable snapshot of reads
 	writes   map[wire.ObjectID][]byte // private copies (opacity)
@@ -426,10 +527,22 @@ func (n *Node) BeginOn(worker int) *Tx {
 }
 
 // BeginRO starts a read-only transaction: local, strictly serializable on
-// any replica, no network traffic (§5.3).
+// any replica, no network traffic (§5.3). With Config.SnapshotReads the
+// transaction reads at a fixed HLC timestamp from the version ring instead
+// of validating current versions (see snapshotGet).
 func (n *Node) BeginRO() *Tx {
-	tx := n.BeginOn(int(n.nextWorker.Add(1)))
+	return n.beginRO(int(n.nextWorker.Add(1)))
+}
+
+// beginRO must stay inlinable (with BeginOn) into its callers: the whole
+// Tx, maps included, then stack-allocates for short transactions. The
+// snapshot timestamp is therefore minted lazily in snapshotGet, not here —
+// a clock call would blow the inlining budget for every RO transaction,
+// snapshot mode or not.
+func (n *Node) beginRO(worker int) *Tx {
+	tx := n.BeginOn(worker)
 	tx.ro = true
+	tx.snap = n.cfg.SnapshotReads
 	return tx
 }
 
@@ -446,6 +559,9 @@ func (tx *Tx) Get(obj uint64) ([]byte, error) {
 	}
 	if b, ok := tx.readBuf[id]; ok {
 		return append([]byte(nil), b...), nil
+	}
+	if tx.snap {
+		return tx.snapshotGet(id)
 	}
 	if err := tx.ensureReadable(id); err != nil {
 		return nil, err
@@ -481,6 +597,81 @@ func (tx *Tx) Get(obj uint64) ([]byte, error) {
 	tx.reads[id] = ver
 	tx.readBuf[id] = data
 	return append([]byte(nil), data...), nil
+}
+
+// snapshotGet serves a read at the transaction's snapshot timestamp from
+// the local version ring: any replica answers, the owner is never
+// contacted. The read delays (waitSafe) until the quorum-advanced
+// safe-time covers the timestamp — at that point every commit that could
+// order before it is ring-published on this replica, so the newest ring
+// entry with CTS ≤ at is exactly the strictly-serializable answer. A miss
+// (non-replica, ring evicted past the timestamp, or safe-time not
+// advancing) returns ErrConflict and the dbapi retry loop re-begins with a
+// fresh, later timestamp.
+func (tx *Tx) snapshotGet(id wire.ObjectID) ([]byte, error) {
+	n := tx.n
+	if tx.at == 0 {
+		// Lazy mint (see beginRO): from the local HLC, NOT the current
+		// safe-time — reading at a fresh T (and delaying until S ≥ T) is
+		// what makes the snapshot strictly serializable. The first read is
+		// still inside the transaction's lifetime, so T orders after every
+		// commit that completed before the transaction began.
+		tx.at = n.clk.Next()
+	}
+	o, ok := n.st.Get(id)
+	if !ok {
+		return nil, dbapi.ErrNoReplica
+	}
+	o.Mu.Lock()
+	lvl := o.Level
+	o.Mu.Unlock()
+	if lvl == wire.NonReplica {
+		// Snapshot reads never generate ownership traffic; the caller
+		// routes to a replica instead.
+		return nil, dbapi.ErrNoReplica
+	}
+	if err := tx.waitSafe(); err != nil {
+		return nil, err
+	}
+	o.Mu.Lock()
+	e, ok := o.RingReadLocked(tx.at)
+	o.Mu.Unlock()
+	if !ok {
+		return nil, dbapi.ErrConflict
+	}
+	tx.reads[id] = e.Version
+	tx.readBuf[id] = e.Data
+	n.stSnapReads.Add(1)
+	return append([]byte(nil), e.Data...), nil
+}
+
+// waitSafe delays until the safe-time covers the snapshot timestamp
+// (SAFETIME-style pacing via internal/retry — no raw sleeps in engine
+// code). A replica that cannot catch up within the policy's horizon gives
+// up with ErrConflict rather than blocking the reader forever.
+func (tx *Tx) waitSafe() error {
+	n := tx.n
+	if n.safet.Safe() >= tx.at {
+		return nil
+	}
+	r := retry.Policy{
+		InitialBackoff: 5 * time.Microsecond,
+		MaxBackoff:     200 * time.Microsecond,
+		MaxElapsed:     2 * time.Second,
+	}.Start()
+	for n.safet.Safe() < tx.at {
+		select {
+		case <-n.closedCh:
+			return dbapi.ErrConflict
+		default:
+		}
+		d, ok := r.Next()
+		if !ok {
+			return dbapi.ErrConflict
+		}
+		_ = retry.Sleep(nil, d, n.closedCh)
+	}
+	return nil
 }
 
 // Set buffers a full-object write in the transaction's private copy
@@ -674,7 +865,11 @@ func (tx *Tx) Commit() error {
 	n := tx.n
 
 	if tx.ro || len(tx.writes) == 0 {
-		ok := tx.validateReads()
+		// Snapshot transactions are already serializable at their fixed
+		// timestamp: every read came from an immutable ring entry chosen
+		// at `at`, so there is nothing to re-validate (and validating
+		// against the CURRENT version would wrongly abort them).
+		ok := tx.snap || tx.validateReads()
 		tx.release()
 		if !ok {
 			if tx.ro {
@@ -784,9 +979,7 @@ func (n *Node) DB() dbapi.DB { return dbAdapter{n} }
 
 func (a dbAdapter) Begin(worker int) dbapi.Txn { return a.n.BeginOn(worker) }
 func (a dbAdapter) BeginRO(worker int) dbapi.Txn {
-	tx := a.n.BeginOn(worker)
-	tx.ro = true
-	return tx
+	return a.n.beginRO(worker)
 }
 
 var _ dbapi.Txn = (*Tx)(nil)

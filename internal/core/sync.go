@@ -61,13 +61,15 @@ type syncOrigin struct {
 
 	// Best hint seen so far (highest version; at equal versions a validated
 	// value or a newer grant timestamp upgrades it). hintValid means the
-	// hint shipped a committed value in hintData.
+	// hint shipped a committed value in hintData. hintCTS is the commit
+	// timestamp of the hinted version (for the snapshot-read ring).
 	hintSeen     bool
 	hintVer      uint64
 	hintTS       wire.OTS
 	hintReplicas wire.ReplicaSet
 	hintData     []byte
 	hintValid    bool
+	hintCTS      uint64
 }
 
 // installRecovered replays a storage.Recovered census into a fresh store,
@@ -87,6 +89,13 @@ func installRecovered(self wire.NodeID, st *store.Store, rec *storage.Recovered,
 		o.Mu.Lock()
 		o.Data = r.Data
 		o.SetTLocked(r.Version, store.TInvalid)
+		// The version ring does not survive a restart: ring entries vouch
+		// for "committed and safe-time-covered" and a rejoiner can vouch
+		// for nothing until state sync re-arms it. The recovered CTS is
+		// kept as a hint so a validity flip re-enables the implicit
+		// current-version entry.
+		o.ResetRingLocked()
+		o.CommitCTS = r.CTS
 		o.OState = store.OValid
 		o.OTS = r.TS
 		reps := r.Replicas
@@ -254,6 +263,8 @@ func (n *Node) reclaimLeftovers() int {
 			}
 			o.Data = org.hintData
 			o.SetTLocked(org.hintVer, store.TValid)
+			o.CommitCTS = org.hintCTS
+			o.PublishRingLocked(org.hintCTS, org.hintVer, org.hintData)
 			if o.OTS.Less(org.hintTS) {
 				o.OTS = org.hintTS
 				o.Replicas = org.hintReplicas
@@ -307,6 +318,7 @@ func (n *Node) handleSyncPull(p *wire.SyncPull) {
 			Version:  o.TVersion,
 			TS:       o.OTS,
 			Replicas: o.Replicas,
+			CTS:      o.CommitCTS,
 		}
 		switch {
 		case o.Level == wire.Owner && o.OState == store.OValid && o.TState == store.TValid:
@@ -387,6 +399,7 @@ func (n *Node) handleSyncState(s *wire.SyncState) {
 					org.hintReplicas = e.Replicas
 					org.hintValid = e.HasData
 					org.hintData = nil
+					org.hintCTS = e.CTS
 					if e.HasData {
 						org.hintData = append([]byte(nil), e.Data...)
 					}
@@ -424,10 +437,15 @@ func (n *Node) handleSyncState(s *wire.SyncState) {
 		if e.HasData {
 			o.Data = append([]byte(nil), e.Data...)
 			o.SetTLocked(e.Version, store.TValid)
+			o.CommitCTS = e.CTS
+			o.PublishRingLocked(e.CTS, e.Version, o.Data)
 		} else if o.TVersion == e.Version {
 			o.SetTLocked(o.TVersion, store.TValid)
+			o.CommitCTS = e.CTS
+			o.PublishRingLocked(e.CTS, o.TVersion, o.Data)
 		}
 		o.Mu.Unlock()
+		n.clk.Update(e.CTS)
 	}
 }
 
@@ -480,6 +498,7 @@ func (n *Node) SnapshotNow() error {
 				TS:       o.OTS,
 				Replicas: o.Replicas,
 				Level:    o.Level,
+				CTS:      o.CommitCTS,
 			}
 			o.Mu.Unlock()
 			err = emit(so)

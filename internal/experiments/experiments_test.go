@@ -227,6 +227,37 @@ func TestScalingExperiment(t *testing.T) {
 	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "Scaling", "workers=8")
 }
 
+func TestReadScaleExperiment(t *testing.T) {
+	r := ReadScale(tiny)
+	if len(r.Rows) != 6 {
+		t.Fatalf("want 6 rows (2 mixes x 3 replica counts), got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ReadOps <= 0 || row.Tps <= 0 {
+			t.Fatalf("empty row: %+v", row)
+		}
+		// The headline invariants hold at every point: snapshot reads are
+		// served entirely by the reader replicas (zero ring reads at the
+		// owner) and generate zero ownership traffic.
+		if row.OwnerRingReads != 0 {
+			t.Fatalf("owner served %d ring reads: %+v", row.OwnerRingReads, row)
+		}
+		if row.ReaderOwnReqs != 0 {
+			t.Fatalf("readers issued %d ownership requests: %+v", row.ReaderOwnReqs, row)
+		}
+		if row.WritePct == 0 && row.WriteOps != 0 {
+			t.Fatalf("100/0 mix committed writes: %+v", row)
+		}
+		if row.WritePct > 0 && row.WriteOps == 0 {
+			t.Fatalf("95/5 mix committed no writes: %+v", row)
+		}
+	}
+	if r.Rows[0].Replicas != 1 || r.Rows[0].Speedup != 1 {
+		t.Fatalf("baseline row malformed: %+v", r.Rows[0])
+	}
+	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "Readscale", "replicas=4", "mix  95/5")
+}
+
 func TestTransportExperiment(t *testing.T) {
 	r := Transport(tiny)
 	if r.Msgs == 0 || r.BatchedFrames == 0 || r.NoDelayFrames == 0 {

@@ -23,6 +23,12 @@
 //     commit log encodes it asynchronously), and in any function that sends
 //     a CommitAck the WAL Append comes first with its error consumed — no
 //     acknowledgement may outrun the durability it promises.
+//   - ringpublish: store.Object.Ring (the MVCC version ring behind snapshot
+//     reads) is append-via-publish only — entries enter through
+//     PublishRingLocked after SetTLocked advanced the seqlock word, are
+//     immutable once published, and leave only through ResetRingLocked; a
+//     direct write, in-place mutation or hand-rolled append rewrites history
+//     a committed snapshot may already have observed.
 //
 // Findings can be waived in place with a trailing or preceding comment:
 //
@@ -61,6 +67,7 @@ func Analyzers() []*analysis.Analyzer {
 		SendFrozen,
 		RetryDiscipline,
 		WalFrozen,
+		RingPublish,
 	}
 }
 

@@ -36,6 +36,10 @@ func TestWalFrozen(t *testing.T) {
 	linttest.Run(t, "walfrozen", lint.WalFrozen)
 }
 
+func TestRingPublish(t *testing.T) {
+	linttest.Run(t, "ringpublish", lint.RingPublish)
+}
+
 // TestWaiverRequiresReason: a //lint:allow with no reason is itself a finding
 // (rule "waiver"), and the waiver does not apply — the underlying diagnostic
 // still fires. Both must surface.

@@ -1,0 +1,86 @@
+// Package ringpublish exercises the ringpublish analyzer: the version ring
+// behind MVCC snapshot reads is append-via-publish only — entries enter
+// through PublishRingLocked after the seqlock word advanced, are immutable
+// once published, and leave only through ResetRingLocked.
+package ringpublish
+
+import "zeus/internal/store"
+
+func directWrite(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.Ring = nil // want `direct write of store\.Object\.Ring`
+}
+
+func elementWrite(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.Ring[0] = store.VersionEntry{} // want `in-place write of a store\.Object\.Ring entry`
+}
+
+// aliasingAppend shares the ring's backing array: a later write through x
+// mutates a published entry even though o.Ring itself was never assigned.
+func aliasingAppend(o *store.Object) []store.VersionEntry {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	return append(o.Ring, store.VersionEntry{}) // want `append to store\.Object\.Ring`
+}
+
+// escape: taking the address lets arbitrary code write the field later.
+func escape(o *store.Object) *[]store.VersionEntry {
+	return &o.Ring // want `direct address-of of store\.Object\.Ring`
+}
+
+// construct: a keyed ring seed bypasses the publish ordering entirely.
+func construct() *store.Object {
+	return &store.Object{
+		ID:   1,
+		Ring: []store.VersionEntry{{CTS: 1}}, // want `store\.Object constructed with keyed Ring`
+	}
+}
+
+// publishTooEarly publishes before the seqlock word advanced: a snapshot
+// reader could serve version 2 while validation still vouches for 1.
+func publishTooEarly(o *store.Object, data []byte) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.PublishRingLocked(9, 2, data) // want `PublishRingLocked with no earlier SetTLocked`
+	o.SetTLocked(2, store.TValid)
+}
+
+// publishAfterSet is the legal ordering: the seqlock word first, then the
+// ring entry that vouches for it.
+func publishAfterSet(o *store.Object, data []byte) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.Data = data
+	o.SetTLocked(2, store.TValid)
+	o.PublishRingLocked(9, 2, data)
+}
+
+// readsAreFine: iterating and measuring the ring never flags; only writes
+// and unpublished appends rewrite history.
+func readsAreFine(o *store.Object, ts uint64) (int, []byte) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	if e, ok := o.RingReadLocked(ts); ok {
+		return len(o.Ring), e.Data
+	}
+	for range o.Ring {
+	}
+	return len(o.Ring), nil
+}
+
+// resetIsFine: the blessed drop path is a method call, not a field write.
+func resetIsFine(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.ResetRingLocked()
+}
+
+// waived proves //lint:allow suppresses a finding (reason is mandatory).
+func waived(o *store.Object) {
+	o.Mu.Lock()
+	defer o.Mu.Unlock()
+	o.Ring = nil //lint:allow ringpublish fixture demonstrates the waiver syntax
+}

@@ -36,6 +36,7 @@ import (
 	"zeus/internal/directory"
 	"zeus/internal/membership"
 	"zeus/internal/retry"
+	"zeus/internal/safetime"
 	"zeus/internal/shardmap"
 	"zeus/internal/storage"
 	"zeus/internal/store"
@@ -166,6 +167,11 @@ type Engine struct {
 	// restarted node knows each object's last-known replica set and level.
 	log *storage.Log
 
+	// clock, when set, merges the commit timestamps riding on ownership
+	// ACKs/RESPs into the node's HLC, and transferred data re-arms the
+	// receiving replica's snapshot-read ring at the shipped CTS.
+	clock *safetime.Clock
+
 	stRequests  atomic.Uint64
 	stSucceeded atomic.Uint64
 	stNacks     atomic.Uint64
@@ -195,6 +201,7 @@ type pendingReq struct {
 	hasData     bool
 	tversion    uint64
 	data        []byte
+	cts         uint64
 	applied     bool
 	done        chan outcome
 }
@@ -209,6 +216,7 @@ type recovState struct {
 	hasData  bool
 	tversion uint64
 	data     []byte
+	cts      uint64
 	finished bool
 }
 
@@ -244,6 +252,7 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 		closed:           make(chan struct{}),
 		selfQ:            make(chan wire.Msg, 4096),
 		rng:              rand.New(rand.NewSource(int64(self)*7919 + 1)),
+		clock:            new(safetime.Clock),
 		HasPendingCommit: func(wire.ObjectID) bool { return false },
 	}
 	go e.selfLoop()
@@ -253,6 +262,14 @@ func New(self wire.NodeID, st *store.Store, tr transport.Transport, agent *membe
 // SetLog arms grant journaling. Must be called before the engine receives
 // traffic (node wiring time); the engine never closes the log.
 func (e *Engine) SetLog(l *storage.Log) { e.log = l }
+
+// SetClock shares the node's hybrid-logical clock with the engine (node
+// wiring time). Nil keeps a private clock so call sites stay nil-safe.
+func (e *Engine) SetClock(c *safetime.Clock) {
+	if c != nil {
+		e.clock = c
+	}
+}
 
 // Register installs the engine's handlers on the router.
 func (e *Engine) Register(r *transport.Router) {
@@ -781,6 +798,7 @@ func (e *Engine) buildAck(inv *wire.OwnInv) *wire.OwnAck {
 			if inv.Recovery || o.Replicas.LevelOf(inv.Requester) == wire.NonReplica {
 				ack.HasData = true
 				ack.TVersion = o.TVersion
+				ack.CTS = o.CommitCTS
 				// No copy: object payloads are replace-only (see the
 				// store.Object.Data contract) and a data-carrying ACK is
 				// never self-delivered (the data source is never the
@@ -928,6 +946,7 @@ func (e *Engine) applyLocked(o *store.Object) (ts wire.OTS, reps wire.ReplicaSet
 	if wasReplica && newLevel == wire.NonReplica {
 		o.Data = nil // dropped reader discards its replica
 		o.SetTLocked(0, store.TValid)
+		o.ResetRingLocked() // a dropped replica must never serve ring reads
 	}
 	o.Level = newLevel
 	o.Pending = nil
@@ -1017,6 +1036,7 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 			req.acked = 0
 			req.hasData = false
 			req.data = nil
+			req.cts = 0
 		} else {
 			req.mu.Unlock()
 			return // stale ACK from a superseded arbitration
@@ -1030,6 +1050,7 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 		req.hasData = true
 		req.tversion = m.TVersion
 		req.data = m.Data
+		req.cts = m.CTS
 	}
 	if req.acked.Intersect(req.arbiters) != req.arbiters {
 		req.mu.Unlock()
@@ -1039,12 +1060,13 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 	ts, arbiters := req.ts, req.arbiters
 	mode := req.mode
 	hasData, tversion, data := req.hasData, req.tversion, req.data
+	cts := req.cts
 	newReplicas := req.newReplicas
 	req.mu.Unlock()
 
 	// All expected ACKs received: the requester applies the request first
 	// (before any arbiter), unblocks the application, then VALs.
-	e.applyAsRequester(m.Obj, ts, newReplicas, mode, hasData, tversion, data)
+	e.applyAsRequester(m.Obj, ts, newReplicas, mode, hasData, tversion, data, cts)
 	select {
 	case req.done <- outcome{ok: true}:
 	default:
@@ -1067,7 +1089,7 @@ func (e *Engine) handleAck(m *wire.OwnAck) {
 // re-ran: applying the abandoned grant over the newer state would hand
 // ownership metadata back in time and present two owners.
 func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.ReplicaSet,
-	mode wire.ReqMode, hasData bool, tversion uint64, data []byte) {
+	mode wire.ReqMode, hasData bool, tversion uint64, data []byte, cts uint64) {
 
 	if mode == wire.DeleteObject {
 		if e.dir.DrivesShard(e.self, obj) {
@@ -1101,14 +1123,20 @@ func (e *Engine) applyAsRequester(obj wire.ObjectID, ts wire.OTS, reps wire.Repl
 	if hasData && tversion >= o.TVersion {
 		o.Data = data
 		o.SetTLocked(tversion, store.TValid)
+		// A shipped value re-arms this replica's snapshot-read ring: the
+		// ex-owner's CommitCTS vouches for the version it shipped.
+		o.CommitCTS = cts
+		o.PublishRingLocked(cts, tversion, data)
 	}
 	newLevel := reps.LevelOf(e.self)
 	if o.Level != wire.NonReplica && newLevel == wire.NonReplica {
 		o.Data = nil
 		o.SetTLocked(0, store.TValid)
+		o.ResetRingLocked() // a dropped replica must never serve ring reads
 	}
 	o.Level = newLevel
 	o.Mu.Unlock()
+	e.clock.Update(cts)
 	e.recGrant(obj, ts, reps)
 }
 
@@ -1235,6 +1263,7 @@ func (e *Engine) handleRecoveryAckLocked(rs *recovState, m *wire.OwnAck) {
 		rs.hasData = true
 		rs.tversion = m.TVersion
 		rs.data = m.Data
+		rs.cts = m.CTS
 	}
 	e.checkRecoveryCompleteLocked(rs, m.Epoch)
 }
@@ -1256,13 +1285,14 @@ func (e *Engine) checkRecoveryCompleteLocked(rs *recovState, epoch wire.Epoch) {
 			ReqID: rs.reqID, Obj: rs.obj, TS: rs.ts, Epoch: epoch,
 			Driver: e.self, Arbiters: rs.arbiters, NewReplicas: p.NewReplicas,
 			Mode: p.Mode, HasData: rs.hasData, TVersion: rs.tversion, Data: rs.data,
+			CTS: rs.cts,
 		})
 		return
 	}
 	// Requester dead (or is this very node): finalize directly.
 	go func() {
 		if p.Requester == e.self {
-			e.applyAsRequester(rs.obj, rs.ts, p.NewReplicas, p.Mode, rs.hasData, rs.tversion, rs.data)
+			e.applyAsRequester(rs.obj, rs.ts, p.NewReplicas, p.Mode, rs.hasData, rs.tversion, rs.data, rs.cts)
 		}
 		val := &wire.OwnVal{ReqID: rs.reqID, Obj: rs.obj, TS: rs.ts, Epoch: epoch}
 		for _, n := range rs.arbiters.Nodes() {
@@ -1295,7 +1325,7 @@ func (e *Engine) handleResp(m *wire.OwnResp) {
 	if m.Epoch != e.agent.Epoch() {
 		return
 	}
-	e.applyAsRequester(m.Obj, m.TS, m.NewReplicas, m.Mode, m.HasData, m.TVersion, m.Data)
+	e.applyAsRequester(m.Obj, m.TS, m.NewReplicas, m.Mode, m.HasData, m.TVersion, m.Data, m.CTS)
 	req, ok := e.pending.Get(m.ReqID)
 	if ok {
 		select {

@@ -1,0 +1,176 @@
+package safetime
+
+import (
+	"sync"
+	"testing"
+
+	"zeus/internal/wire"
+)
+
+func TestClockStrictlyIncreasing(t *testing.T) {
+	var c Clock
+	prev := c.Next()
+	for i := 0; i < 10000; i++ {
+		n := c.Next()
+		if n <= prev {
+			t.Fatalf("Next not strictly increasing: %d then %d", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestClockUpdateMerges(t *testing.T) {
+	var c Clock
+	far := c.Next() + 1e18
+	c.Update(far)
+	if n := c.Next(); n <= far {
+		t.Fatalf("Next after Update(%d) = %d, want > observed", far, n)
+	}
+	// Updating backwards is a no-op.
+	cur := c.Now()
+	c.Update(1)
+	if c.Now() != cur {
+		t.Fatalf("backwards Update moved the clock")
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	var c Clock
+	const g, per = 8, 2000
+	out := make([][]uint64, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts := make([]uint64, per)
+			for j := range ts {
+				ts[j] = c.Next()
+			}
+			out[i] = ts
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, g*per)
+	for _, ts := range out {
+		for _, v := range ts {
+			if seen[v] {
+				t.Fatalf("duplicate timestamp %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestTrackerAdvancesOnFullQuorum(t *testing.T) {
+	tr := NewTracker()
+	live := wire.BitmapOf(0, 1, 2)
+	tr.OnViewChange(1, live, 0)
+
+	tr.Observe(0, 1, 100)
+	tr.Observe(1, 1, 90)
+	if s := tr.Safe(); s != 0 {
+		t.Fatalf("safe advanced to %d before all live nodes reported", s)
+	}
+	tr.Observe(2, 1, 80)
+	if s := tr.Safe(); s != 80 {
+		t.Fatalf("safe = %d, want min(100,90,80) = 80", s)
+	}
+	// Laggard catches up: safe follows the new min.
+	tr.Observe(2, 1, 95)
+	if s := tr.Safe(); s != 90 {
+		t.Fatalf("safe = %d, want 90", s)
+	}
+}
+
+func TestTrackerMonotone(t *testing.T) {
+	tr := NewTracker()
+	tr.OnViewChange(1, wire.BitmapOf(0, 1), 0)
+	tr.Observe(0, 1, 100)
+	tr.Observe(1, 1, 100)
+	if s := tr.Safe(); s != 100 {
+		t.Fatalf("safe = %d, want 100", s)
+	}
+	// A join resets the table; safe must hold at 100, not regress, even
+	// when the new epoch's reports start lower.
+	tr.OnViewChange(2, wire.BitmapOf(0, 1, 2), 0)
+	if s := tr.Safe(); s != 100 {
+		t.Fatalf("safe regressed to %d across view change", s)
+	}
+	tr.Observe(0, 2, 50)
+	tr.Observe(1, 2, 50)
+	tr.Observe(2, 2, 50)
+	if s := tr.Safe(); s != 100 {
+		t.Fatalf("safe regressed to %d from low new-epoch reports", s)
+	}
+	tr.Observe(2, 2, 120)
+	tr.Observe(0, 2, 120)
+	tr.Observe(1, 2, 120)
+	if s := tr.Safe(); s != 120 {
+		t.Fatalf("safe = %d, want 120", s)
+	}
+}
+
+func TestTrackerEpochFencing(t *testing.T) {
+	tr := NewTracker()
+	tr.OnViewChange(2, wire.BitmapOf(0, 1), 0)
+	// Stale-epoch and future-epoch reports are dropped.
+	tr.Observe(0, 1, 500)
+	tr.Observe(1, 3, 500)
+	tr.Observe(0, 2, 10)
+	tr.Observe(1, 2, 10)
+	if s := tr.Safe(); s != 10 {
+		t.Fatalf("safe = %d, want 10 (cross-epoch reports must not count)", s)
+	}
+	// Reports from non-live nodes are dropped too.
+	tr.Observe(5, 2, 999)
+	if s := tr.Safe(); s != 10 {
+		t.Fatalf("safe = %d after non-live report, want 10", s)
+	}
+}
+
+func TestTrackerPausesOnRemovalUntilResume(t *testing.T) {
+	tr := NewTracker()
+	tr.OnViewChange(1, wire.BitmapOf(0, 1, 2), 0)
+	tr.Observe(0, 1, 40)
+	tr.Observe(1, 1, 40)
+	tr.Observe(2, 1, 40)
+	if s := tr.Safe(); s != 40 {
+		t.Fatalf("safe = %d, want 40", s)
+	}
+
+	// Node 2 dies: epoch 2, removal ⇒ paused.
+	tr.OnViewChange(2, wire.BitmapOf(0, 1), wire.BitmapOf(2))
+	tr.Observe(0, 2, 200)
+	tr.Observe(1, 2, 200)
+	if s := tr.Safe(); s != 40 {
+		t.Fatalf("safe advanced to %d while paused for recovery", s)
+	}
+
+	// Stale resume is ignored.
+	tr.Resume(1)
+	if s := tr.Safe(); s != 40 {
+		t.Fatalf("stale Resume unpaused: safe = %d", s)
+	}
+
+	tr.Resume(2)
+	if s := tr.Safe(); s != 200 {
+		t.Fatalf("safe = %d after Resume, want 200", s)
+	}
+}
+
+func TestTrackerResumeBeforeReportsStaysPut(t *testing.T) {
+	tr := NewTracker()
+	tr.OnViewChange(1, wire.BitmapOf(0, 1), 0)
+	tr.Observe(0, 1, 30)
+	tr.Observe(1, 1, 30)
+	tr.OnViewChange(2, wire.BitmapOf(0), wire.BitmapOf(1))
+	tr.Resume(2)
+	if s := tr.Safe(); s != 30 {
+		t.Fatalf("safe = %d after Resume with empty table, want 30", s)
+	}
+	tr.Observe(0, 2, 60)
+	if s := tr.Safe(); s != 60 {
+		t.Fatalf("safe = %d, want 60", s)
+	}
+}

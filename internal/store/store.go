@@ -159,6 +159,93 @@ type Object struct {
 	// remote requester forever — the pipeline drains and the requester's
 	// next probe wins. Zero means no yield.
 	YieldLocalUntil time.Time
+
+	// CommitCTS is the commit timestamp of the newest reliably-committed
+	// version this replica knows about (0 when unknown, e.g. an object
+	// seeded before snapshot reads or recovered without a timestamp).
+	// Guarded by Mu; written only via PublishRingLocked / ResetRingLocked.
+	CommitCTS uint64
+
+	// Ring is the per-object MVCC version ring: the last few committed
+	// ⟨CTS, version, payload⟩ triples, newest last, serving snapshot reads
+	// at a timestamp. Entries follow the same REPLACE-ONLY discipline as
+	// Data — VersionEntry.Data aliases published payloads and is never
+	// mutated in place — and the slice itself changes only through
+	// PublishRingLocked / ResetRingLocked under Mu (enforced by the
+	// zeuslint ringpublish analyzer). A published entry's payload may be
+	// aliased by concurrent snapshot readers after Mu is released.
+	Ring []VersionEntry
+}
+
+// VersionEntry is one committed version in an object's ring.
+type VersionEntry struct {
+	// CTS is the commit timestamp the coordinator minted for the reliable
+	// commit that produced Version.
+	CTS     uint64
+	Version uint64
+	// Data is the committed payload. Replace-only, like Object.Data.
+	Data []byte
+}
+
+// DefaultRingEntries is the per-object ring capacity: enough to cover the
+// read-timestamp window (a few safe-time exchange intervals) without
+// retaining unbounded history.
+const DefaultRingEntries = 8
+
+// PublishRingLocked records a committed version in the ring (caller holds
+// Mu). Publication is a sorted insert by version with dedupe: slot
+// completions race (ack handlers run per follower), so version k may be
+// published after k+1 — an append-only ring would drop k and serve a stale
+// read at timestamps in [cts_k, cts_{k+1}). When the ring is full the
+// oldest entry is dropped. CommitCTS tracks the newest published entry.
+func (o *Object) PublishRingLocked(cts, ver uint64, data []byte) {
+	if cts == 0 {
+		return // no timestamp known (e.g. pre-snapshot-reads seed): nothing to publish
+	}
+	i := len(o.Ring)
+	for i > 0 && o.Ring[i-1].Version >= ver {
+		if o.Ring[i-1].Version == ver {
+			return // already published
+		}
+		i--
+	}
+	o.Ring = append(o.Ring, VersionEntry{})
+	copy(o.Ring[i+1:], o.Ring[i:])
+	o.Ring[i] = VersionEntry{CTS: cts, Version: ver, Data: data}
+	if len(o.Ring) > DefaultRingEntries {
+		o.Ring = o.Ring[:copy(o.Ring, o.Ring[1:])]
+	}
+	if cts > o.CommitCTS {
+		o.CommitCTS = cts
+	}
+}
+
+// ResetRingLocked drops the ring and commit timestamp (caller holds Mu):
+// used when a replica's history stops being authoritative — recovery
+// installs, ownership drops — so a rejoining node can never serve pre-sync
+// versions from a stale ring.
+func (o *Object) ResetRingLocked() {
+	o.Ring = nil
+	o.CommitCTS = 0
+}
+
+// RingReadLocked returns the newest committed version with CTS ≤ ts
+// (caller holds Mu). When the ring has no entries at or below ts, the
+// current committed value stands in: a validated object whose CommitCTS ≤
+// ts (including CommitCTS 0 — committed before timestamps existed, hence
+// before any read timestamp) is itself the snapshot. ok=false means this
+// replica's retained history starts after ts and the read must retry at a
+// fresher timestamp.
+func (o *Object) RingReadLocked(ts uint64) (VersionEntry, bool) {
+	for i := len(o.Ring) - 1; i >= 0; i-- {
+		if o.Ring[i].CTS <= ts {
+			return o.Ring[i], true
+		}
+	}
+	if o.TState == TValid && o.CommitCTS <= ts {
+		return VersionEntry{CTS: o.CommitCTS, Version: o.TVersion, Data: o.Data}, true
+	}
+	return VersionEntry{}, false
 }
 
 // TryAcquireLocal attempts to make worker the local owner. It succeeds if

@@ -106,13 +106,13 @@ func (t *MemTransport) sendable() error {
 func commitMsgSize(m wire.Msg) (int, bool) {
 	switch v := m.(type) {
 	case *wire.CommitInv:
-		n := 34 // kind + tx + epoch + followers + prevval + replay + count
+		n := 42 // kind + tx + epoch + followers + prevval + replay + count + cts
 		for _, u := range v.Updates {
 			n += 20 + len(u.Data)
 		}
 		return n, true
 	case *wire.CommitAck:
-		return 22, true
+		return 30, true // + applied watermark
 	case *wire.CommitVal:
 		return 20, true
 	}

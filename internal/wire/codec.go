@@ -111,6 +111,7 @@ func (e *enc) syncentries(es []SyncEntry) {
 		e.u8(uint8(x.Class))
 		e.boolean(x.HasData)
 		e.bytes(x.Data)
+		e.u64(x.CTS)
 	}
 }
 func (e *enc) placement(p DirPlacement) {
@@ -322,7 +323,7 @@ func (d *dec) syncentries() []SyncEntry {
 	if d.err != nil {
 		return nil
 	}
-	if int(n)*42 > len(d.b) { // each entry is ≥42 encoded bytes
+	if int(n)*50 > len(d.b) { // each entry is ≥50 encoded bytes
 		d.err = ErrTooLarge
 		return nil
 	}
@@ -331,7 +332,7 @@ func (d *dec) syncentries() []SyncEntry {
 		out = append(out, SyncEntry{
 			Obj: d.obj(), Version: d.u64(), TS: d.ots(),
 			Replicas: d.replicas(), Class: SyncClass(d.u8()),
-			HasData: d.boolean(), Data: d.bytes(),
+			HasData: d.boolean(), Data: d.bytes(), CTS: d.u64(),
 		})
 	}
 	return out
@@ -470,7 +471,7 @@ func vsstateSize(s *VSState) int {
 }
 
 func syncSize(es []SyncEntry) int {
-	n := 42 * len(es)
+	n := 50 * len(es)
 	for i := range es {
 		n += len(es[i].Data)
 	}
@@ -521,6 +522,7 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.boolean(v.HasData)
 		e.u64(v.TVersion)
 		e.bytes(v.Data)
+		e.u64(v.CTS)
 	case *OwnVal:
 		e.u64(v.ReqID)
 		e.obj(v.Obj)
@@ -544,6 +546,7 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.boolean(v.HasData)
 		e.u64(v.TVersion)
 		e.bytes(v.Data)
+		e.u64(v.CTS)
 	case *CommitInv:
 		e.tx(v.Tx)
 		e.epoch(v.Epoch)
@@ -551,10 +554,12 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.boolean(v.PrevVal)
 		e.boolean(v.Replay)
 		e.updates(v.Updates)
+		e.u64(v.CTS)
 	case *CommitAck:
 		e.tx(v.Tx)
 		e.epoch(v.Epoch)
 		e.node(v.From)
+		e.u64(v.AppliedWM)
 	case *CommitVal:
 		e.tx(v.Tx)
 		e.epoch(v.Epoch)
@@ -666,6 +671,10 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 	case *SyncState:
 		e.node(v.From)
 		e.syncentries(v.Entries)
+	case *SafeTime:
+		e.node(v.From)
+		e.epoch(v.Epoch)
+		e.u64(v.WM)
 	default:
 		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
 	}
@@ -699,7 +708,7 @@ func Unmarshal(p []byte) (Msg, error) {
 			ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch(),
 			From: d.node(), Arbiters: d.bitmap(), NewReplicas: d.replicas(),
 			Mode: ReqMode(d.u8()), HasData: d.boolean(), TVersion: d.u64(),
-			Data: d.bytes(),
+			Data: d.bytes(), CTS: d.u64(),
 		}
 	case KindOwnVal:
 		m = &OwnVal{ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch()}
@@ -713,15 +722,16 @@ func Unmarshal(p []byte) (Msg, error) {
 			ReqID: d.u64(), Obj: d.obj(), TS: d.ots(), Epoch: d.epoch(),
 			Driver: d.node(), Arbiters: d.bitmap(), NewReplicas: d.replicas(),
 			Mode: ReqMode(d.u8()), HasData: d.boolean(), TVersion: d.u64(),
-			Data: d.bytes(),
+			Data: d.bytes(), CTS: d.u64(),
 		}
 	case KindCommitInv:
 		m = &CommitInv{
 			Tx: d.tx(), Epoch: d.epoch(), Followers: d.bitmap(),
 			PrevVal: d.boolean(), Replay: d.boolean(), Updates: d.updates(),
+			CTS: d.u64(),
 		}
 	case KindCommitAck:
-		m = &CommitAck{Tx: d.tx(), Epoch: d.epoch(), From: d.node()}
+		m = &CommitAck{Tx: d.tx(), Epoch: d.epoch(), From: d.node(), AppliedWM: d.u64()}
 	case KindCommitVal:
 		m = &CommitVal{Tx: d.tx(), Epoch: d.epoch()}
 	case KindView:
@@ -784,6 +794,8 @@ func Unmarshal(p []byte) (Msg, error) {
 		m = &SyncPull{From: d.node(), Entries: d.syncentries()}
 	case KindSyncState:
 		m = &SyncState{From: d.node(), Entries: d.syncentries()}
+	case KindSafeTime:
+		m = &SafeTime{From: d.node(), Epoch: d.epoch(), WM: d.u64()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

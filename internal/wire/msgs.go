@@ -60,6 +60,10 @@ const (
 	KindSyncPull
 	KindSyncState
 
+	// Safe-time exchange: per-node applied watermarks backing MVCC
+	// snapshot reads.
+	KindSafeTime
+
 	kindSentinel // keep last
 )
 
@@ -71,7 +75,7 @@ func (k Kind) String() string {
 		"b-lock-resp", "b-validate", "b-validate-resp", "b-backup",
 		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
 		"vs-propose", "vs-accept", "vs-commit", "vs-lease", "vs-query",
-		"dir-pull", "dir-state", "sync-pull", "sync-state",
+		"dir-pull", "dir-state", "sync-pull", "sync-state", "safe-time",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -151,6 +155,9 @@ type OwnAck struct {
 	HasData     bool
 	TVersion    uint64
 	Data        []byte
+	// CTS is the piggybacked value's commit timestamp (0 when unknown),
+	// seeding the requester's version ring for snapshot reads.
+	CTS uint64
 }
 
 func (*OwnAck) Kind() Kind { return KindOwnAck }
@@ -194,6 +201,8 @@ type OwnResp struct {
 	HasData     bool
 	TVersion    uint64
 	Data        []byte
+	// CTS mirrors OwnAck.CTS for the recovery-path data hand-off.
+	CTS uint64
 }
 
 func (*OwnResp) Kind() Kind { return KindOwnResp }
@@ -216,6 +225,11 @@ type CommitInv struct {
 	// Replay marks a replayed R-INV after a coordinator failure.
 	Replay  bool
 	Updates []Update
+	// CTS is the commit timestamp minted from the coordinator's hybrid
+	// logical clock when the slot was registered. Followers merge it into
+	// their clocks and publish it with the ring entries of the updates, so
+	// MVCC snapshot reads can pick the newest version ≤ a read timestamp.
+	CTS uint64
 }
 
 func (*CommitInv) Kind() Kind { return KindCommitInv }
@@ -226,6 +240,11 @@ type CommitAck struct {
 	Tx    TxID
 	Epoch Epoch
 	From  NodeID
+	// AppliedWM piggybacks the sender's highest applied CTS on this pipe:
+	// every R-INV with CTS ≤ AppliedWM delivered on the pipe has been
+	// applied (and ring-published) at the sender. The coordinator uses it
+	// to mark earlier slots acked when their individual R-ACKs were lost.
+	AppliedWM uint64
 }
 
 func (*CommitAck) Kind() Kind { return KindCommitAck }
@@ -672,6 +691,10 @@ type SyncEntry struct {
 	Class    SyncClass
 	HasData  bool
 	Data     []byte
+	// CTS is the sender's commit timestamp for Version (0 when unknown),
+	// so a state-synced replica restarts its version ring at the
+	// authoritative timestamp instead of serving pre-sync versions.
+	CTS uint64
 }
 
 // SyncPull asks live nodes for the authoritative state of the listed
@@ -693,3 +716,22 @@ type SyncState struct {
 }
 
 func (*SyncState) Kind() Kind { return KindSyncState }
+
+// ---------------------------------------------------------------------------
+// Safe-time exchange (MVCC snapshot reads).
+// ---------------------------------------------------------------------------
+
+// SafeTime advertises the sender's applied watermark WM: every reliable
+// commit the sender coordinates with CTS ≤ WM is applied (and
+// ring-published) at all of its followers, and every R-INV the sender
+// accepted with CTS ≤ WM is applied locally. Receivers fold the reports
+// into safetime.Tracker; min over live nodes, made monotone, is the
+// safe-time at which any replica may serve snapshot reads. Epoch-fenced
+// like every protocol message.
+type SafeTime struct {
+	From  NodeID
+	Epoch Epoch
+	WM    uint64
+}
+
+func (*SafeTime) Kind() Kind { return KindSafeTime }

@@ -150,16 +150,17 @@ func allMessages() []Msg {
 			PrevOwner: 1, Arbiters: BitmapOf(0, 1, 2), Recovery: true},
 		&OwnAck{ReqID: 7, Obj: 42, TS: OTS{9, 1}, Epoch: 2, From: 1,
 			Arbiters: BitmapOf(0, 1, 2), NewReplicas: ReplicaSet{Owner: 3, Readers: BitmapOf(1)},
-			Mode: AcquireOwner, HasData: true, TVersion: 11, Data: data},
+			Mode: AcquireOwner, HasData: true, TVersion: 11, Data: data, CTS: 77},
 		&OwnVal{ReqID: 7, Obj: 42, TS: OTS{9, 1}, Epoch: 2},
 		&OwnNack{ReqID: 7, Obj: 42, Epoch: 2, From: 1, Reason: NackPendingCommit},
 		&OwnResp{ReqID: 7, Obj: 42, TS: OTS{9, 1}, Epoch: 2, Driver: 0,
 			Arbiters: BitmapOf(0, 1), NewReplicas: ReplicaSet{Owner: 3}, Mode: AcquireOwner,
-			HasData: true, TVersion: 4, Data: data},
+			HasData: true, TVersion: 4, Data: data, CTS: 78},
 		&CommitInv{Tx: TxID{Pipe: PipeID{Node: 2, Worker: 5}, Local: 99}, Epoch: 3,
 			Followers: BitmapOf(0, 1), PrevVal: true, Replay: true,
-			Updates: []Update{{Obj: 1, Version: 2, Data: data}, {Obj: 9, Version: 1, Data: nil}}},
-		&CommitAck{Tx: TxID{Pipe: PipeID{Node: 2, Worker: 5}, Local: 99}, Epoch: 3, From: 1},
+			Updates: []Update{{Obj: 1, Version: 2, Data: data}, {Obj: 9, Version: 1, Data: nil}},
+			CTS:     1234567},
+		&CommitAck{Tx: TxID{Pipe: PipeID{Node: 2, Worker: 5}, Local: 99}, Epoch: 3, From: 1, AppliedWM: 1234566},
 		&CommitVal{Tx: TxID{Pipe: PipeID{Node: 2, Worker: 5}, Local: 99}, Epoch: 3},
 		&View{Epoch: 4, Live: BitmapOf(0, 1, 2, 4)},
 		&RecoveryDone{Epoch: 4, From: 2},
@@ -203,9 +204,10 @@ func allMessages() []Msg {
 		&SyncState{From: 1, Entries: []SyncEntry{
 			{Obj: 42, Version: 11, TS: OTS{9, 1},
 				Replicas: ReplicaSet{Owner: 1, Readers: BitmapOf(0, 2)},
-				HasData:  true, Data: data},
+				HasData:  true, Data: data, CTS: 99},
 			{Obj: 43, Version: 0, TS: OTS{2, 0}, Replicas: ReplicaSet{Owner: NoNode}},
 		}},
+		&SafeTime{From: 2, Epoch: 5, WM: 987654321},
 	}
 }
 
@@ -287,9 +289,9 @@ func TestUnmarshalHugeLengthPrefix(t *testing.T) {
 	// An OwnAck whose Data length claims 4 GiB must be rejected cleanly.
 	m := &OwnAck{ReqID: 1, Obj: 2, HasData: true, Data: []byte{1, 2, 3}}
 	b := Marshal(m)
-	// The data length prefix is the last 4+3 bytes; overwrite length.
-	copy(b[len(b)-7:len(b)-3], []byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := Unmarshal(b[:len(b)-3]); err == nil {
+	// The encoding ends [len u32][data 3][cts u64]; overwrite the length.
+	copy(b[len(b)-15:len(b)-11], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Unmarshal(b[:len(b)-11]); err == nil {
 		t.Fatal("huge length prefix must be rejected")
 	}
 }

@@ -95,6 +95,16 @@ type Options struct {
 	// OnOwnershipLatency observes every successful ownership request's
 	// latency (the Figure 12 metric).
 	OnOwnershipLatency func(time.Duration)
+	// SnapshotReads enables MVCC snapshot reads: read-only transactions
+	// read at a hybrid-logical-clock timestamp from per-object version
+	// rings on ANY local replica, delaying until the cluster's
+	// quorum-advanced safe-time covers the timestamp. Strictly
+	// serializable, zero owner traffic — read throughput scales with the
+	// replica count.
+	SnapshotReads bool
+	// SafeTimeInterval is the period of the safe-time watermark exchange
+	// (default 50µs). Only meaningful with SnapshotReads.
+	SafeTimeInterval time.Duration
 }
 
 // Cluster is an in-process Zeus deployment.
@@ -123,6 +133,8 @@ func New(opts Options) *Cluster {
 		co.Reliable = opts.Transport
 	}
 	co.OnOwnershipLatency = opts.OnOwnershipLatency
+	co.SnapshotReads = opts.SnapshotReads
+	co.SafeTimeInterval = opts.SafeTimeInterval
 	return &Cluster{c: cluster.New(co)}
 }
 
@@ -214,10 +226,13 @@ func (n *Node) View(worker int, fn func(*Tx) error) error {
 
 // Stats reports this node's transaction counters.
 type Stats struct {
-	Commits          uint64
-	Aborts           uint64
-	ReadOnlyCommits  uint64
-	ReadOnlyAborts   uint64
+	Commits         uint64
+	Aborts          uint64
+	ReadOnlyCommits uint64
+	ReadOnlyAborts  uint64
+	// SnapshotReads counts object reads served from the local version ring
+	// by snapshot transactions (Options.SnapshotReads mode).
+	SnapshotReads    uint64
 	OwnershipMoves   uint64
 	PendingPipelines int
 }
@@ -231,6 +246,7 @@ func (n *Node) Stats() Stats {
 		Aborts:           cs.Aborts,
 		ReadOnlyCommits:  cs.ROCommits,
 		ReadOnlyAborts:   cs.ROAborts,
+		SnapshotReads:    cs.SnapshotReads,
 		OwnershipMoves:   os.Succeeded,
 		PendingPipelines: n.n.CommitEngine().PendingSlots(),
 	}
