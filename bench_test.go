@@ -60,6 +60,37 @@ func BenchmarkLocalWriteTx(b *testing.B) {
 	n.WaitReplication(5 * time.Second)
 }
 
+// BenchmarkLocalWriteTxObs is BenchmarkLocalWriteTx with the observability
+// registry enabled (metrics recording on every commit path, tracing off):
+// the delta against BenchmarkLocalWriteTx is the full metrics overhead,
+// which the PR 9 acceptance bounds at 5%.
+func BenchmarkLocalWriteTxObs(b *testing.B) {
+	c := zeus.New(zeus.Options{Nodes: 3, Workers: 4, Observability: true})
+	defer c.Close()
+	c.Seed(1, 0, make([]byte, 128))
+	n := c.Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := n.BeginOn(0)
+		v, err := tx.Get(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(v, uint64(i))
+		if err := tx.Set(1, v); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	n.WaitReplication(5 * time.Second)
+	if v, _ := n.Obs().CounterValue("cmt_committed_total"); v == 0 {
+		b.Fatal("observability enabled but cmt_committed_total is zero")
+	}
+}
+
 // BenchmarkLocalWriteTxParallel measures fully local write transactions on
 // distinct objects driven through all worker pipelines at once — the §7
 // multi-core path. Each benchmark goroutine owns one object and one worker

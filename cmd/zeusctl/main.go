@@ -5,9 +5,14 @@
 // answer over the inbound connection, so zeusctl needs no listed address).
 //
 //	zeusctl -view :7100,:7101,:7102 status
+//	zeusctl -view :7100,:7101,:7102 metrics -node 0
 //	zeusctl -view :7100,:7101,:7102 join  -node 3 -addr 127.0.0.1:7003
 //	zeusctl -view :7100,:7101,:7102 fail  -node 3
 //	zeusctl -view :7100,:7101,:7102 leave -node 3
+//
+// status additionally pulls each live node's observability header (applied
+// watermark, safe-time lag, commits, incidents) over the data plane;
+// metrics pulls one node's full metric registry.
 package main
 
 import (
@@ -48,8 +53,21 @@ func main() {
 		log.Fatalf("zeusctl: %v", err)
 	}
 	defer tr.Close()
-	cli := viewsvc.NewClient(viewsvc.Config{}, tr, replicaIDs, 0)
+	// Detached client + router (the zeusd pattern): view-service traffic is
+	// steered to the client while ObsState replies from data nodes land in
+	// obsCh for the metrics/status commands.
+	router := transport.NewRouter()
+	cli := viewsvc.NewClientDetached(viewsvc.Config{}, tr, replicaIDs, 0)
 	defer cli.Close()
+	router.HandleMany(cli.Handle, wire.KindVSCommit, wire.KindVSQuery)
+	obsCh := make(chan *wire.ObsState, 8)
+	router.Handle(wire.KindObsState, func(from wire.NodeID, m wire.Msg) {
+		select {
+		case obsCh <- m.(*wire.ObsState):
+		default:
+		}
+	})
+	tr.SetHandler(router.Dispatch)
 
 	// The cached state is a local zero until the ensemble answers;
 	// WaitEpoch re-queries, doubling as the contact retry loop.
@@ -63,7 +81,18 @@ func main() {
 
 	switch cmd {
 	case "status":
-		printStatus(cli.State())
+		s := cli.State()
+		printStatus(s)
+		printNodeRows(tr, obsCh, s)
+	case "metrics":
+		requireNode(*node)
+		st, err := fetchObs(tr, obsCh, cli.State(), wire.NodeID(*node), true, *timeout)
+		if err != nil {
+			log.Fatalf("zeusctl: %v", err)
+		}
+		fmt.Printf("# node %d  epoch=%d applied_wm=%d safe_time=%d clock=%d commits=%d incidents=%d\n",
+			st.From, st.Epoch, st.AppliedWM, st.SafeTime, st.Clock, st.Commits, st.Incidents)
+		os.Stdout.Write(st.Metrics)
 	case "join":
 		requireNode(*node)
 		if *addr == "" {
@@ -113,6 +142,56 @@ func printStatus(s wire.VSState) {
 	}
 }
 
+// printNodeRows polls every live node over ObsPull and prints its applied
+// watermark, safe-time lag and commit/incident counts — the per-node health
+// row of `zeusctl status`. Nodes that do not answer in time (e.g. still
+// recovering) are reported as unreachable rather than failing the command.
+func printNodeRows(tr *transport.TCP, ch chan *wire.ObsState, s wire.VSState) {
+	for _, id := range s.Live.Nodes() {
+		st, err := fetchObs(tr, ch, s, id, false, 2*time.Second)
+		if err != nil {
+			fmt.Printf("node %-3d  (no obs reply: %v)\n", id, err)
+			continue
+		}
+		lag := "-"
+		if st.SafeTime > 0 && st.Clock > st.SafeTime {
+			lag = time.Duration(st.Clock - st.SafeTime).String()
+		}
+		fmt.Printf("node %-3d  applied_wm=%-12d safe_lag=%-10s commits=%-8d incidents=%d\n",
+			id, st.AppliedWM, lag, st.Commits, st.Incidents)
+	}
+}
+
+// fetchObs pulls one node's observability state: resolve the node's address
+// from the replicated book, send ObsPull (full = include the rendered
+// metrics) and wait for the matching reply, re-sending until the deadline.
+func fetchObs(tr *transport.TCP, ch chan *wire.ObsState, s wire.VSState, node wire.NodeID, full bool, timeout time.Duration) (*wire.ObsState, error) {
+	addr := ""
+	for _, a := range s.Addrs {
+		if a.Node == node {
+			addr = a.Addr
+		}
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("no address for node %d in the replicated book", node)
+	}
+	tr.SetAddr(node, addr)
+	deadline := time.Now().Add(timeout)
+	for {
+		_ = tr.Send(node, &wire.ObsPull{From: viewsvc.ClientID, Full: full})
+		select {
+		case st := <-ch:
+			if st.From == node {
+				return st, nil
+			}
+		case <-time.After(300 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("node %d did not answer within %v", node, timeout)
+		}
+	}
+}
+
 func requireNode(n int) {
 	if n < 0 || wire.NodeID(n) > viewsvc.MaxDataNode {
 		log.Fatalf("zeusctl: -node is required (0..%d)", viewsvc.MaxDataNode)
@@ -134,7 +213,9 @@ func usage() {
 
 commands:
   status   print the committed view: epoch, live set, recovery barrier,
-           directory placement, and the replicated address book
+           directory placement, the replicated address book, and each live
+           node's applied watermark / safe-time lag / commit count
+  metrics  pull node -node's full metrics registry (text rendering)
   join     admit node -node at address -addr
   fail     report node -node failed (waits for the committed removal)
   leave    retire node -node gracefully

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -38,6 +39,7 @@ import (
 
 	"zeus/internal/core"
 	"zeus/internal/membership"
+	"zeus/internal/obs"
 	"zeus/internal/ownership"
 	"zeus/internal/storage/filestorage"
 	"zeus/internal/transport"
@@ -60,6 +62,9 @@ func main() {
 	workers := flag.Int("workers", 8, "worker threads")
 	dirShards := flag.Int("dir-shards", 0, "ownership-directory shard count (0 = service default; every process MUST pass the same value)")
 	lease := flag.Duration("lease", 500*time.Millisecond, "membership lease (failure detection horizon)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP listen address (/metrics, /debug/trace, /debug/incidents); empty = off")
+	traceSample := flag.Uint64("trace-sample", 0, "sample every Nth write transaction with a per-phase trace (0 = off; needs -obs-addr)")
+	watchdogAge := flag.Duration("watchdog-age", 0, "commit-debt watchdog threshold (0 = ZEUS_WATCHDOG_AGE or off)")
 	demo := flag.Bool("demo", false, "run a small demo workload after startup")
 	flag.Parse()
 
@@ -178,8 +183,18 @@ func main() {
 		}
 		cfg.Storage = stg
 	}
+	if *obsAddr != "" {
+		cfg.Obs = obs.NewRegistry()
+		cfg.TraceSample = *traceSample
+		cfg.Obs.CounterFunc("tcp_decode_drops_total", tr.DecodeDrops)
+		cli.SetObs(cfg.Obs)
+	}
+	cfg.WatchdogAge = *watchdogAge
 	node := core.NewNode(self, tr, agent, cfg)
 	defer node.Close()
+	if *obsAddr != "" {
+		serveObs(*obsAddr, node.Obs())
+	}
 	// The router owns the shared socket's handler; view-service pushes and
 	// query replies are steered to the detached client here.
 	node.Router().HandleMany(cli.Handle, wire.KindVSCommit, wire.KindVSQuery)
@@ -305,6 +320,33 @@ func applyAddrs(tr *transport.TCP, s wire.VSState, self wire.NodeID) {
 			tr.SetAddr(a.Node, a.Addr)
 		}
 	}
+}
+
+// serveObs exposes the node's registry over HTTP: /metrics (the full text
+// rendering), /debug/trace (the slowest sampled transactions of the current
+// window) and /debug/incidents (the watchdog's recent incidents). Scrape
+// endpoints only — rendering walks the registry at request time, the hot
+// paths never see the server.
+func serveObs(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Traces.WriteText(w)
+	})
+	mux.HandleFunc("/debug/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Incidents.WriteText(w)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("zeusd: obs server on %s: %v", addr, err)
+		}
+	}()
+	log.Printf("zeusd: obs endpoints on http://%s/{metrics,debug/trace,debug/incidents}", addr)
 }
 
 func waitSignal() {

@@ -28,8 +28,12 @@ func fromU64c(b []byte) uint64 {
 // TestKillOwnerUnderLoad crashes the owner of a hot object while survivors
 // keep incrementing it. Every increment acknowledged as committed before or
 // after the crash must survive; the final counter equals the committed count.
+// Runs with observability on: the liveness checks read the per-node metric
+// registries instead of hand-rolled engine stats.
 func TestKillOwnerUnderLoad(t *testing.T) {
-	c := New(DefaultOptions(4))
+	opts := DefaultOptions(4)
+	opts.Observability = true
+	c := New(opts)
 	defer c.Close()
 	// Owner is node 3; readers are nodes 0 and 1 (defaults put them after
 	// the owner in the live ring: 0,1).
@@ -88,8 +92,19 @@ func TestKillOwnerUnderLoad(t *testing.T) {
 		t.Fatalf("lost updates across owner crash: counter=%d committed=%d",
 			final, committed.Load())
 	}
-	if committed.Load() == 0 {
-		t.Fatal("no transactions committed at all")
+	// Liveness via the registries: the survivors' scraped commit counters
+	// must show the load ran, and the view-service client must have measured
+	// the recovery barrier the kill opened.
+	var scraped uint64
+	for _, node := range []int{0, 1} {
+		v, _ := c.Obs(node).CounterValue("core_commits_total")
+		scraped += v
+	}
+	if scraped == 0 {
+		t.Fatal("no transactions committed at all (core_commits_total zero on both survivors)")
+	}
+	if barrier, ok := c.ViewObs().HistogramSnapshot("vs_barrier_ns"); !ok || barrier.Count == 0 {
+		t.Fatal("owner kill left no vs_barrier_ns sample")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"zeus/internal/core"
 	"zeus/internal/membership"
 	"zeus/internal/netsim"
+	"zeus/internal/obs"
 	"zeus/internal/ownership"
 	"zeus/internal/retry"
 	"zeus/internal/shardmap"
@@ -91,6 +92,19 @@ type Options struct {
 	// incarnation wrote (drivers exposing Reopen() — memstorage — are
 	// reopened across the in-process restart).
 	Storage func(wire.NodeID) storage.Storage
+	// Observability gives every node its own obs.Registry (metrics, traces,
+	// incidents — reachable via Cluster.Obs) plus a cluster-level registry
+	// for the shared view-service client (ViewObs). FabricSim endpoints
+	// additionally scrape their reliable-transport counters into the node's
+	// registry. Off by default: benchmarks measure the nil-registry paths
+	// unless they opt in.
+	Observability bool
+	// TraceSample forwards to core.Config: sample every Nth write
+	// transaction with a per-phase trace. Requires Observability.
+	TraceSample uint64
+	// WatchdogAge forwards to core.Config: arm the commit-engine debt
+	// watchdog at this slot-age threshold (0 defers to ZEUS_WATCHDOG_AGE).
+	WatchdogAge time.Duration
 }
 
 // DefaultOptions mirrors the paper's setup: 3-way replication, directory on
@@ -121,6 +135,11 @@ type Cluster struct {
 	stores    map[wire.NodeID]storage.Storage // retained across Restart
 	dirs      wire.Bitmap
 	dirShards int // > 0: sharded directory; <= 0: legacy static DirNodes
+
+	// viewObs (Options.Observability only) holds the shared view-service
+	// client's metrics — epoch changes, recovery-barrier durations, lease
+	// renew lag — which belong to the cluster, not to any one node.
+	viewObs *obs.Registry
 }
 
 // New builds and starts a cluster.
@@ -203,6 +222,10 @@ func New(opts Options) *Cluster {
 	}
 	c.views = viewsvc.StartEnsemble(vcfg, c.vsIDs, vtrs, members)
 	cli := viewsvc.NewClient(vcfg, c.endpoint(viewsvc.ClientID), c.vsIDs, members)
+	if opts.Observability {
+		c.viewObs = obs.NewRegistry()
+		cli.SetObs(c.viewObs)
+	}
 	c.mgr = membership.NewManagerOver(membership.Config{Lease: opts.Lease}, cli)
 	for i := 0; i < opts.Nodes; i++ {
 		c.startNode(wire.NodeID(i))
@@ -268,6 +291,17 @@ func (c *Cluster) startNode(id wire.NodeID) *core.Node {
 	if c.dirShards > 0 {
 		cfg.DirectoryShards = c.dirShards
 	}
+	if c.opts.Observability {
+		cfg.Obs = obs.NewRegistry()
+		cfg.TraceSample = c.opts.TraceSample
+		cfg.WatchdogAge = c.opts.WatchdogAge
+		if rel, ok := tr.(*transport.Reliable); ok {
+			// FabricSim: the node's reliable endpoint scrapes its frame
+			// counters into the same registry (FabricMem's hub is perfect
+			// and carries cluster-wide totals via Messages/Bytes instead).
+			rel.RegisterObs(cfg.Obs)
+		}
+	}
 	if c.opts.Storage != nil {
 		stg, retained := c.stores[id]
 		if !retained {
@@ -305,6 +339,21 @@ func (c *Cluster) Nodes() int {
 
 // Manager exposes the membership manager.
 func (c *Cluster) Manager() *membership.Manager { return c.mgr }
+
+// Obs returns node i's observability registry (nil unless the cluster was
+// built with Options.Observability, or ZEUS_WATCHDOG_AGE armed a private
+// one).
+func (c *Cluster) Obs(i int) *obs.Registry {
+	n := c.Node(i)
+	if n == nil {
+		return nil
+	}
+	return n.Obs()
+}
+
+// ViewObs returns the cluster-level registry holding the shared view-service
+// client's metrics (nil without Options.Observability).
+func (c *Cluster) ViewObs() *obs.Registry { return c.viewObs }
 
 // ViewService exposes the view-service ensemble (tests and tooling).
 func (c *Cluster) ViewService() *viewsvc.Ensemble { return c.views }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"zeus/internal/membership"
+	"zeus/internal/obs"
 	"zeus/internal/retry"
 	"zeus/internal/safetime"
 	"zeus/internal/shardmap"
@@ -157,6 +158,11 @@ type Engine struct {
 	// classic write path pays nothing for the snapshot-read machinery.
 	ts bool
 
+	// obs, when set (SetObs, wiring time), holds the cached metric handles
+	// the hot path records into. nil (the zero default) keeps the seed
+	// write path: every record site is gated on one nil check.
+	obs *engineObs
+
 	stCommitted atomic.Uint64
 	stInvals    atomic.Uint64
 	stReplays   atomic.Uint64
@@ -220,6 +226,11 @@ type outSlot struct {
 	// Crash-aware resend pacing (see resendPolicy).
 	retr       *retry.Retrier
 	nextResend time.Time
+	// Observability (zero unless the engine has an obs bundle): openedAt
+	// feeds the phase-latency histograms and the watchdog's age scan, tr is
+	// the sampled transaction's trace (nil for unsampled commits).
+	openedAt time.Time
+	tr       *obs.Trace
 }
 
 // inPipe tracks one remote coordinator pipeline at a follower.
@@ -243,6 +254,10 @@ type inPipe struct {
 	// R-ACK (CommitAck.AppliedWM). CTSs increase along a pipe and slots
 	// apply in pipe order, so lastCTS vouches for every earlier slot.
 	lastCTS uint64
+	// wdSeen is watchdog-only state: when the debt scanner first observed
+	// each stored R-INV (under mu, but ONLY from watchdogScan — the apply
+	// and validate hot paths never touch it, so obs costs nothing here).
+	wdSeen map[uint64]time.Time
 }
 
 // New creates a reliable-commit engine.
@@ -492,6 +507,15 @@ func (e *Engine) WaitIdle(timeout time.Duration) bool {
 // pending state — see HasPending). The returned channel closes when the slot
 // is validated (tests and drain paths wait on it; applications do not).
 func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bitmap) (wire.TxID, <-chan struct{}) {
+	return e.CommitTraced(w, updates, followers, nil)
+}
+
+// CommitTraced is Commit carrying a sampled transaction's trace recorder
+// (nil for unsampled transactions — Trace.Event is nil-receiver-safe). The
+// slot stamps "inv" after the R-INV fan-out and "ack"/"val"/"applied"
+// through completeSlot, and offers the finished trace to the registry's
+// slowest-N table.
+func (e *Engine) CommitTraced(w wire.Worker, updates []wire.Update, followers wire.Bitmap, tr *obs.Trace) (wire.TxID, <-chan struct{}) {
 	p := e.pipe(w)
 	live := e.agent.View().Live
 	epoch := e.agent.Epoch()
@@ -543,9 +567,17 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 	}
 
 	inv := &wire.CommitInv{Tx: tx, Epoch: epoch, Followers: followers, PrevVal: prevVal, Updates: updates, CTS: cts}
-	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{}), retr: resendPolicy.Start()}
+	slot := &outSlot{tx: tx, inv: inv, followers: followers, done: make(chan struct{}), retr: resendPolicy.Start(), tr: tr}
 	if wait, ok := slot.retr.Next(); ok {
-		slot.nextResend = time.Now().Add(wait)
+		// Share one clock read between resend pacing and the obs phase
+		// stamp: on this path time.Now() is the dominant obs cost.
+		now := time.Now()
+		slot.nextResend = now.Add(wait)
+		if e.obs != nil {
+			slot.openedAt = now
+		}
+	} else if e.obs != nil {
+		slot.openedAt = time.Now()
 	}
 	p.slots[local] = slot
 	p.order = append(p.order, slot)
@@ -570,6 +602,10 @@ func (e *Engine) Commit(w wire.Worker, updates []wire.Update, followers wire.Bit
 		e.enqueue(n, inv)
 		e.stBytes.Add(size)
 	}
+	if ob := e.obs; ob != nil {
+		ob.fanout.Add(uint64(followers.Count()))
+	}
+	tr.Event("inv")
 	// Shallow pipeline = nothing behind this slot to coalesce with: push the
 	// R-INV out now (plus any still-queued R-VALs). A busy pipeline leaves
 	// the fan-out to the count threshold and the inbound R-ACK tick.
@@ -600,6 +636,11 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	cts := s.inv.CTS
 	p.mu.Unlock()
 
+	s.tr.Event("ack")
+	if ob := e.obs; ob != nil && !s.openedAt.IsZero() {
+		ob.ackNS.RecordSince(s.openedAt)
+	}
+
 	for _, u := range s.inv.Updates {
 		if o, ok := e.st.Get(u.Obj); ok {
 			o.Mu.Lock()
@@ -621,6 +662,7 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 	// never logged a RecInv for its own write. Cluster-wide durability does
 	// not depend on it (followers persisted the updates before acking);
 	// it spares the restarted coordinator a data delta during state sync.
+	s.tr.Event("val")
 	e.recCommitted(s.inv.Updates, true, cts)
 
 	val := &wire.CommitVal{Tx: s.tx, Epoch: s.inv.Epoch}
@@ -628,6 +670,13 @@ func (e *Engine) completeSlot(p *outPipe, s *outSlot) {
 		e.enqueue(n, val) // coalesced with neighbouring slots' R-VALs
 	}
 	e.stCommitted.Add(1)
+	s.tr.Event("applied")
+	if ob := e.obs; ob != nil {
+		if !s.openedAt.IsZero() {
+			ob.appliedNS.RecordSince(s.openedAt)
+		}
+		ob.reg.Traces.Offer(s.tr)
+	}
 	close(s.done)
 
 	p.mu.Lock()
@@ -942,6 +991,8 @@ type replaySlot struct {
 	// Crash-aware resend pacing (see resendPolicy).
 	retr       *retry.Retrier
 	nextResend time.Time
+	// since stamps replay creation for the watchdog's age scan.
+	since time.Time
 }
 
 // OnViewChange prunes dead followers from this coordinator's open slots and
@@ -1018,7 +1069,7 @@ func (e *Engine) OnViewChange(next wire.View, removed wire.Bitmap) {
 		inv.Epoch = epoch
 		inv.Replay = true
 		inv.Followers = it.inv.Followers.Intersect(live).Remove(e.self)
-		rs := &replaySlot{inv: &inv, followers: inv.Followers, retr: resendPolicy.Start()}
+		rs := &replaySlot{inv: &inv, followers: inv.Followers, retr: resendPolicy.Start(), since: time.Now()}
 		if wait, ok := rs.retr.Next(); ok {
 			rs.nextResend = time.Now().Add(wait)
 		}

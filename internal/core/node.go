@@ -18,8 +18,10 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +32,7 @@ import (
 	"zeus/internal/dbapi"
 	"zeus/internal/directory"
 	"zeus/internal/membership"
+	"zeus/internal/obs"
 	"zeus/internal/ownership"
 	"zeus/internal/retry"
 	"zeus/internal/safetime"
@@ -101,6 +104,24 @@ type Config struct {
 	// watermark broadcast). 0 picks 50µs. Only meaningful with
 	// SnapshotReads.
 	SafeTimeInterval time.Duration
+	// Obs, when non-nil, wires the observability registry through every
+	// engine at construction time (metrics, traces, incidents — see
+	// internal/obs). Nil keeps every record site behind its nil check: the
+	// seed hot paths are untouched. The registry is also reachable remotely
+	// via wire.ObsPull regardless (the reply just carries less).
+	Obs *obs.Registry
+	// TraceSample samples every Nth write transaction with a per-phase
+	// obs.Trace (begin → inv → ack → val → applied). 0 disables tracing.
+	// Requires Obs.
+	TraceSample uint64
+	// WatchdogAge arms the commit-engine debt watchdog: replication slots,
+	// stored R-INVs or replay probes older than this threshold raise
+	// structured incidents. 0 defers to the ZEUS_WATCHDOG_AGE environment
+	// variable (a Go duration; unset leaves the watchdog off). When the
+	// watchdog is armed without Config.Obs, a private registry is created so
+	// incidents have somewhere to land — CI race jobs catch wedges without
+	// every test opting into metrics.
+	WatchdogAge time.Duration
 }
 
 // DefaultConfig mirrors the paper's evaluation setup: 3-way replication, the
@@ -172,6 +193,49 @@ type Node struct {
 	stROCommits atomic.Uint64
 	stROAborts  atomic.Uint64
 	stSnapReads atomic.Uint64
+
+	// Observability (nil without Config.Obs / ZEUS_WATCHDOG_AGE): the node's
+	// registry, the write-transaction trace sampler, and the sampling
+	// sequence. Set once in NewNode before traffic; read unsynchronized.
+	obs     *obs.Registry
+	sampler *obs.Sampler
+	txSeq   atomic.Uint64
+	// liveTraces parks sampled transactions' traces between Begin and
+	// Commit/Abort (nil without sampling). See traceTable for why it is a
+	// separate allocation and why Tx carries a numeric key instead of the
+	// trace pointer.
+	liveTraces *traceTable
+}
+
+// traceTable parks sampled write transactions' traces between Begin and
+// Commit/Abort, keyed by the sampling sequence number. Escape-analysis
+// discipline keeps the unsampled hot path allocation-free: (1) the Tx
+// carries only the uint64 key — a *obs.Trace field would give Commit a
+// depth-1 content-leak summary and heap-allocate EVERY transaction's maps,
+// read-only ones included; (2) the table is its own allocation rather than
+// inline Node fields — its methods lock the mutex, which leaks their
+// receiver, and as a Node field that would put tx.n one dereference from
+// the heap in Commit's summary with the same effect. BenchmarkReadOnlyTx's
+// 1 alloc/op pins this.
+type traceTable struct {
+	mu sync.Mutex
+	m  map[uint64]*obs.Trace
+}
+
+// park stores a freshly sampled transaction's trace under its key.
+func (t *traceTable) park(id uint64, tr *obs.Trace) {
+	t.mu.Lock()
+	t.m[id] = tr
+	t.mu.Unlock()
+}
+
+// take claims (and removes) a parked trace; nil if the key is unknown.
+func (t *traceTable) take(id uint64) *obs.Trace {
+	t.mu.Lock()
+	tr := t.m[id]
+	delete(t.m, id)
+	t.mu.Unlock()
+	return tr
 }
 
 // NewNode builds and wires a node on the given transport and membership
@@ -184,6 +248,19 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
+	}
+	// Watchdog arming via the environment (CI race jobs set a low threshold
+	// for every test binary without code changes). Resolved before the Node
+	// copies cfg so there is exactly one Config to read.
+	if cfg.WatchdogAge == 0 {
+		if v := os.Getenv("ZEUS_WATCHDOG_AGE"); v != "" {
+			if d, err := time.ParseDuration(v); err == nil && d > 0 {
+				cfg.WatchdogAge = d
+			}
+		}
+	}
+	if cfg.Obs == nil && cfg.WatchdogAge > 0 {
+		cfg.Obs = obs.NewRegistry()
 	}
 	st := store.New()
 	// Durable recovery happens FIRST, before any engine or handler exists:
@@ -251,8 +328,30 @@ func NewNode(id wire.NodeID, tr transport.Transport, agent *membership.Agent, cf
 		n.own.SetLog(n.log)
 		go n.snapshotLoop()
 	}
+	// Observability (wiring time, before any traffic): fan the registry out
+	// to every engine, register the node-level scrape callbacks, and hook the
+	// trace sampler. Every record site below this point is behind a nil
+	// check, so a nil registry costs the seed paths nothing.
+	if cfg.Obs != nil {
+		r := cfg.Obs
+		n.obs = r
+		n.sampler = obs.NewSampler(cfg.TraceSample)
+		if n.sampler != nil {
+			n.liveTraces = &traceTable{m: make(map[uint64]*obs.Trace)}
+		}
+		n.cmt.SetObs(r)
+		n.own.SetObs(r)
+		if n.log != nil {
+			n.log.SetObs(r)
+		}
+		n.registerNodeMetrics(r)
+		if cfg.WatchdogAge > 0 {
+			n.cmt.StartWatchdog(cfg.WatchdogAge)
+		}
+	}
 	n.router.HandleMany(n.handleSync, wire.KindSyncPull, wire.KindSyncState)
 	n.router.Handle(wire.KindSafeTime, n.handleSafeTime)
+	n.router.Handle(wire.KindObsPull, n.handleObsPull)
 	// The owner refuses ownership transfers while the object is involved
 	// in a pending reliable commit (§4.1). Executing local transactions
 	// (local ownership held) are detected by the ownership engine itself
@@ -351,6 +450,82 @@ func (n *Node) handleSafeTime(from wire.NodeID, m wire.Msg) {
 // SafeTime returns the node's current quorum-advanced safe-time (0 until
 // the first full exchange completes). Tests and tooling.
 func (n *Node) SafeTime() uint64 { return n.safet.Safe() }
+
+// Obs returns the node's observability registry (nil unless Config.Obs was
+// set or ZEUS_WATCHDOG_AGE armed the watchdog).
+func (n *Node) Obs() *obs.Registry { return n.obs }
+
+// registerNodeMetrics exposes the node-level transaction counters and the
+// safe-time plane through the registry. Pure pull-scrape over the existing
+// engine atomics — the callbacks run at render time only, never on a hot
+// path, and the atomics stay the single source of truth (no double counting
+// against Stats()).
+func (n *Node) registerNodeMetrics(r *obs.Registry) {
+	r.CounterFunc("core_commits_total", n.stCommits.Load)
+	r.CounterFunc("core_aborts_total", n.stAborts.Load)
+	r.CounterFunc("core_ro_commits_total", n.stROCommits.Load)
+	r.CounterFunc("core_ro_aborts_total", n.stROAborts.Load)
+	r.CounterFunc("core_snapshot_reads_total", n.stSnapReads.Load)
+	r.GaugeFunc("st_applied_wm", func() int64 { return int64(n.cmt.Watermark()) })
+	r.GaugeFunc("st_safe_time", func() int64 { return int64(n.safet.Safe()) })
+	// Safe-time lag: how far the quorum-advanced safe-time trails the local
+	// HLC, in nanoseconds (the HLC is ns-based). 0 until the first full
+	// exchange — "lag since 1970" would drown every real reading.
+	r.GaugeFunc("st_safe_lag_ns", func() int64 {
+		s := n.safet.Safe()
+		if s == 0 {
+			return 0
+		}
+		if now := n.clk.Now(); now > s {
+			return int64(now - s)
+		}
+		return 0
+	})
+}
+
+// handleObsPull answers a remote metrics pull (zeusctl metrics / status):
+// the cheap header — epoch, applied watermark, safe-time, clock, commit
+// count, incident count — always; the full text rendering of the registry
+// only when asked (Full), since it allocates.
+func (n *Node) handleObsPull(from wire.NodeID, m wire.Msg) {
+	pull := m.(*wire.ObsPull)
+	st := &wire.ObsState{
+		From:      n.id,
+		Epoch:     n.agent.View().Epoch,
+		AppliedWM: n.cmt.Watermark(),
+		SafeTime:  n.safet.Safe(),
+		Clock:     n.clk.Now(),
+		Commits:   n.stCommits.Load(),
+	}
+	if r := n.obs; r != nil {
+		st.Incidents = r.Incidents.Total()
+		if pull.Full {
+			var buf bytes.Buffer
+			_ = r.WriteText(&buf)
+			st.Metrics = buf.Bytes()
+		}
+	}
+	_ = n.tr.Send(from, st)
+	transport.Flush(n.tr)
+}
+
+// maybeTrace attaches a per-phase trace to every sampler-selected write
+// transaction. One atomic add and a modulo when sampling is on; one nil
+// check when it is off. The trace parks in liveTraces (only the numeric
+// key rides the Tx — see that field's comment) until Commit/Abort claims
+// it via takeTrace.
+func (n *Node) maybeTrace(tx *Tx) {
+	s := n.sampler
+	if s == nil {
+		return
+	}
+	if id := n.txSeq.Add(1); s.Sample(id) {
+		tr := obs.NewTrace(id)
+		tr.Event("begin")
+		n.liveTraces.park(id, tr)
+		tx.trID = id
+	}
+}
 
 // Clock exposes the node's hybrid-logical clock (tests and tooling).
 func (n *Node) Clock() *safetime.Clock { return n.clk }
@@ -507,11 +682,18 @@ type Tx struct {
 	held     map[wire.ObjectID]*store.Object
 	finished bool
 	durable  <-chan struct{}
+	// trID keys this transaction's sampled trace in Node.liveTraces (0 for
+	// the unsampled majority). Deliberately NOT a *obs.Trace: a pointer
+	// field handed to the commit engine would leak the Tx's content in
+	// Commit's escape summary and heap-allocate every transaction's maps.
+	trID uint64
 }
 
 // Begin starts a write transaction on an automatically assigned worker.
 func (n *Node) Begin() *Tx {
-	return n.BeginOn(int(n.nextWorker.Add(1)) % n.cfg.Workers)
+	tx := n.BeginOn(int(n.nextWorker.Add(1)) % n.cfg.Workers)
+	n.maybeTrace(tx)
+	return tx
 }
 
 // BeginOn starts a write transaction on a specific worker thread. Worker ids
@@ -863,6 +1045,12 @@ func (tx *Tx) Commit() error {
 	}
 	tx.finished = true
 	n := tx.n
+	// Claim the parked trace (sampled write transactions only). Aborting
+	// paths below simply drop it — the trace table keeps no entry behind.
+	var tr *obs.Trace
+	if tx.trID != 0 {
+		tr = n.liveTraces.take(tx.trID)
+	}
 
 	if tx.ro || len(tx.writes) == 0 {
 		// Snapshot transactions are already serializable at their fixed
@@ -935,7 +1123,7 @@ func (tx *Tx) Commit() error {
 	tx.release()
 
 	// Reliable commit: pipelined, never blocks the worker (§5.2).
-	_, done := n.cmt.Commit(wire.Worker(tx.worker), updates, followers)
+	_, done := n.cmt.CommitTraced(wire.Worker(tx.worker), updates, followers, tr)
 	tx.durable = done
 	n.stCommits.Add(1)
 	return nil
@@ -947,6 +1135,9 @@ func (tx *Tx) Abort() {
 		return
 	}
 	tx.finished = true
+	if tx.trID != 0 {
+		tx.n.liveTraces.take(tx.trID) // drop the parked trace
+	}
 	tx.release()
 	if tx.ro {
 		tx.n.stROAborts.Add(1)
@@ -977,7 +1168,11 @@ type dbAdapter struct{ n *Node }
 // DB returns the node as a dbapi.DB for the shared benchmark workloads.
 func (n *Node) DB() dbapi.DB { return dbAdapter{n} }
 
-func (a dbAdapter) Begin(worker int) dbapi.Txn { return a.n.BeginOn(worker) }
+func (a dbAdapter) Begin(worker int) dbapi.Txn {
+	tx := a.n.BeginOn(worker)
+	a.n.maybeTrace(tx)
+	return tx
+}
 func (a dbAdapter) BeginRO(worker int) dbapi.Txn {
 	return a.n.beginRO(worker)
 }

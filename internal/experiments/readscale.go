@@ -78,6 +78,11 @@ func readScalePoint(s Scale, writePct, replicas int) ReadScaleRow {
 	opts := cluster.DefaultOptions(nodes)
 	opts.Workers = s.Workers
 	opts.SnapshotReads = true
+	// The zero-owner-traffic invariants are read from the per-node obs
+	// registries (core_snapshot_reads_total / own_requests_total) instead of
+	// ad-hoc engine stats — the experiment doubles as a live check that the
+	// instrumented paths count correctly.
+	opts.Observability = true
 	c := cluster.New(opts)
 	defer c.Close()
 
@@ -171,9 +176,10 @@ func readScalePoint(s Scale, writePct, replicas int) ReadScaleRow {
 		Elapsed:  elapsed,
 		Tps:      float64(reads.Load()) / elapsed.Seconds(),
 	}
-	row.OwnerRingReads = c.Node(owner).Stats().SnapshotReads
+	row.OwnerRingReads, _ = c.Obs(owner).CounterValue("core_snapshot_reads_total")
 	for i := 0; i < replicas; i++ {
-		row.ReaderOwnReqs += c.Node(i).OwnershipEngine().Stats().Requests
+		reqs, _ := c.Obs(i).CounterValue("own_requests_total")
+		row.ReaderOwnReqs += reqs
 	}
 	return row
 }

@@ -23,6 +23,12 @@
 //     commit log encodes it asynchronously), and in any function that sends
 //     a CommitAck the WAL Append comes first with its error consumed — no
 //     acknowledgement may outrun the durability it promises.
+//   - obsrecord: metric record sites are allocation-free and nil-guarded —
+//     constant metric names (dynamic families register at wiring time under
+//     a waiver), no time.Now() pairs split across locks (RecordSince), no
+//     registry lookups on the record path, and field-path records dominated
+//     by a nil check of the obs handle so disabled deployments keep the
+//     seed hot path.
 //   - ringpublish: store.Object.Ring (the MVCC version ring behind snapshot
 //     reads) is append-via-publish only — entries enter through
 //     PublishRingLocked after SetTLocked advanced the seqlock word, are
@@ -68,6 +74,7 @@ func Analyzers() []*analysis.Analyzer {
 		RetryDiscipline,
 		WalFrozen,
 		RingPublish,
+		Obsrecord,
 	}
 }
 

@@ -40,6 +40,10 @@ func TestRingPublish(t *testing.T) {
 	linttest.Run(t, "ringpublish", lint.RingPublish)
 }
 
+func TestObsRecord(t *testing.T) {
+	linttest.Run(t, "obsrecord", lint.Obsrecord)
+}
+
 // TestWaiverRequiresReason: a //lint:allow with no reason is itself a finding
 // (rule "waiver"), and the waiver does not apply — the underlying diagnostic
 // still fires. Both must surface.

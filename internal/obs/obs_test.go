@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear bucket layout: values below 4 are
+// exact, every bucket's range is contiguous with its neighbours, and the
+// relative error of the upper-bound estimate stays within one sub-bucket.
+func TestBucketBoundaries(t *testing.T) {
+	for v := uint64(0); v < 4; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact bucket", v, got)
+		}
+		if got := BucketUpper(int(v)); got != v {
+			t.Fatalf("BucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Contiguity: BucketUpper(i)+1 must land in bucket i+1.
+	for i := 0; i < NumBuckets-1; i++ {
+		upper := BucketUpper(i)
+		if got := bucketOf(upper); got != i {
+			t.Fatalf("bucketOf(BucketUpper(%d)=%d) = %d", i, upper, got)
+		}
+		if got := bucketOf(upper + 1); got != i+1 {
+			t.Fatalf("bucketOf(%d) = %d, want %d", upper+1, got, i+1)
+		}
+	}
+	// Extremes.
+	if got := bucketOf(^uint64(0)); got != NumBuckets-1 {
+		t.Fatalf("bucketOf(max) = %d, want %d", got, NumBuckets-1)
+	}
+	if got := BucketUpper(NumBuckets - 1); got != ^uint64(0) {
+		t.Fatalf("BucketUpper(last) = %d, want max uint64", got)
+	}
+	// Known spot checks: [4,5) .. [8,10) boundaries at subBits=2.
+	for _, tc := range []struct {
+		v    uint64
+		want int
+	}{
+		{4, 4}, {5, 5}, {6, 6}, {7, 7}, {8, 8}, {9, 8}, {10, 9}, {15, 11}, {16, 12},
+	} {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMerge(t *testing.T) {
+	var a, b Histogram
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+	}
+	s := a.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Fatalf("snapshot count=%d sum=%d, want 100/5050", s.Count, s.Sum)
+	}
+	p50 := s.Quantile(0.50)
+	// Bucket upper bounds overshoot by at most 25%.
+	if p50 < 50 || p50 > 63 {
+		t.Fatalf("p50 = %d, want in [50, 63]", p50)
+	}
+	if p0 := s.Quantile(0); p0 > 1 {
+		t.Fatalf("p0 = %d, want <= 1", p0)
+	}
+	p100 := s.Quantile(1)
+	if p100 < 100 || p100 > 127 {
+		t.Fatalf("p100 = %d, want in [100, 127]", p100)
+	}
+
+	for v := uint64(1000); v < 1100; v++ {
+		b.Record(v)
+	}
+	sb := b.Snapshot()
+	s.Merge(&sb)
+	if s.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", s.Count)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1000 {
+		t.Fatalf("merged p99 = %d, want >= 1000", p99)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines
+// (run under -race in CI) and checks nothing is lost.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		per     = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(seed*1000 + uint64(i))
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	bucketTotal := uint64(0)
+	for _, c := range s.Buckets {
+		bucketTotal += c
+	}
+	if bucketTotal != workers*per {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_depth").Set(-2)
+	r.CounterFunc("c_scraped", func() uint64 { return 7 })
+	r.GaugeFunc("d_lag", func() int64 { return 9 })
+	r.Histogram("e_ns").Record(5)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a_total 3\n", "b_depth -2\n", "c_scraped 7\n", "d_lag 9\n", "e_ns_count 1\n", "e_ns_sum 5\n", "e_ns_p50 5\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q in:\n%s", want, out)
+		}
+	}
+	// Same handle on repeat lookup.
+	if r.Counter("a_total").Load() != 3 {
+		t.Fatal("Counter lookup did not return the existing handle")
+	}
+}
+
+// TestTraceRingTruncation: events past the ring cap are dropped and counted,
+// never reallocated.
+func TestTraceRingTruncation(t *testing.T) {
+	tr := NewTrace(1)
+	for i := 0; i < TraceEvents+5; i++ {
+		tr.Event("e")
+	}
+	if got := len(tr.Events()); got != TraceEvents {
+		t.Fatalf("events = %d, want %d", got, TraceEvents)
+	}
+	if got := tr.Dropped(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	if !strings.Contains(tr.String(), "dropped") {
+		t.Fatalf("String() should flag drops: %s", tr.String())
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Event("ignored") // must not panic
+	if tr.Events() != nil || tr.Dropped() != 0 || tr.Total() != 0 {
+		t.Fatal("nil trace accessors must be zero")
+	}
+}
+
+// TestSamplerDeterminism: the sampling decision is a pure function of reqID.
+func TestSamplerDeterminism(t *testing.T) {
+	s := NewSampler(4)
+	want := []bool{true, false, false, false, true, false, false, false, true}
+	for id, w := range want {
+		if got := s.Sample(uint64(id)); got != w {
+			t.Fatalf("Sample(%d) = %v, want %v", id, got, w)
+		}
+		// Repeatable.
+		if got := s.Sample(uint64(id)); got != w {
+			t.Fatalf("Sample(%d) not deterministic", id)
+		}
+	}
+	if NewSampler(0).Sample(0) {
+		t.Fatal("every=0 must disable sampling")
+	}
+	if !NewSampler(1).Sample(12345) {
+		t.Fatal("every=1 must sample everything")
+	}
+}
+
+func TestTraceTableSlowestWindow(t *testing.T) {
+	tt := NewTraceTable()
+	for i := 0; i < tableSlowest+4; i++ {
+		tr := NewTrace(uint64(i))
+		tr.Event("begin")
+		// Synthesize distinct totals without sleeping: stamp directly.
+		tr.ev[0].at = int64(i) * int64(time.Millisecond)
+		tt.Offer(tr)
+	}
+	recs := tt.Slowest()
+	if len(recs) != tableSlowest {
+		t.Fatalf("retained %d, want %d", len(recs), tableSlowest)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Total > recs[i-1].Total {
+			t.Fatal("slowest not sorted descending")
+		}
+	}
+	// The fastest offers must have been evicted.
+	if recs[len(recs)-1].Total < 4*time.Millisecond {
+		t.Fatalf("fast trace survived eviction: %v", recs[len(recs)-1].Total)
+	}
+}
+
+func TestIncidentLog(t *testing.T) {
+	var l IncidentLog
+	var mirrored int
+	l.Mirror = func(Incident) { mirrored++ }
+	for i := 0; i < incidentRing+10; i++ {
+		l.Report("wedge", "detail")
+	}
+	if l.Total() != incidentRing+10 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if got := len(l.Recent()); got != incidentRing {
+		t.Fatalf("retained = %d, want %d", got, incidentRing)
+	}
+	if mirrored != incidentRing+10 {
+		t.Fatalf("mirrored = %d", mirrored)
+	}
+	var sb strings.Builder
+	if err := l.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "incidents_total 74") {
+		t.Fatalf("WriteText: %s", sb.String())
+	}
+}

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvents bounds the span ring of one trace. Events past the cap are
+// dropped (counted), never reallocated: a trace must stay a fixed-size
+// record the commit pipeline can stamp lock-free.
+const TraceEvents = 16
+
+type traceEvent struct {
+	label string
+	at    int64 // nanoseconds since Start
+}
+
+// Trace is one sampled transaction's span recorder: a fixed ring of
+// timestamped events threaded from dbapi.Run through core.Tx into the
+// commit slot. Event is nil-receiver-safe, so unsampled transactions carry
+// a nil *Trace end to end and pay exactly one predictable branch per span
+// point. Slots are claimed with an atomic index, so concurrent recorders
+// (the worker goroutine and the commit dispatch goroutine) never race on a
+// slot; readers render only after the transaction completed.
+type Trace struct {
+	ReqID uint64
+	Start time.Time
+
+	n       atomic.Int32
+	dropped atomic.Uint32
+	ev      [TraceEvents]traceEvent
+}
+
+// NewTrace starts a trace for one sampled transaction.
+func NewTrace(reqID uint64) *Trace {
+	return &Trace{ReqID: reqID, Start: time.Now()}
+}
+
+// Event stamps one span point. Safe on a nil Trace (unsampled transaction).
+func (t *Trace) Event(label string) {
+	if t == nil {
+		return
+	}
+	i := t.n.Add(1) - 1
+	if int(i) >= TraceEvents {
+		t.dropped.Add(1)
+		return
+	}
+	t.ev[i].at = int64(time.Since(t.Start))
+	t.ev[i].label = label
+}
+
+// Dropped returns how many events overflowed the ring.
+func (t *Trace) Dropped() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// TraceEvent is one rendered span point.
+type TraceEvent struct {
+	Label string
+	At    time.Duration
+}
+
+// Events returns the recorded span points in stamp order.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	n := int(t.n.Load())
+	if n > TraceEvents {
+		n = TraceEvents
+	}
+	out := make([]TraceEvent, n)
+	for i := 0; i < n; i++ {
+		out[i] = TraceEvent{Label: t.ev[i].label, At: time.Duration(t.ev[i].at)}
+	}
+	return out
+}
+
+// Total returns the offset of the last event (the transaction's observed
+// end-to-end latency).
+func (t *Trace) Total() time.Duration {
+	ev := t.Events()
+	if len(ev) == 0 {
+		return 0
+	}
+	return ev[len(ev)-1].At
+}
+
+// String renders the per-phase breakdown:
+//
+//	trace reqid=64 total=812µs: begin +0s → inv +11µs → ack +640µs → val +700µs → applied +812µs
+func (t *Trace) String() string {
+	if t == nil {
+		return "trace <nil>"
+	}
+	s := fmt.Sprintf("trace reqid=%d total=%s:", t.ReqID, t.Total())
+	for i, e := range t.Events() {
+		sep := " "
+		if i > 0 {
+			sep = " → "
+		}
+		s += fmt.Sprintf("%s%s +%s", sep, e.Label, e.At)
+	}
+	if d := t.Dropped(); d > 0 {
+		s += fmt.Sprintf(" (+%d dropped)", d)
+	}
+	return s
+}
+
+// Sampler decides deterministically which transactions to trace: reqID
+// multiples of the sampling period. Determinism (no RNG) makes sampled runs
+// reproducible and keeps the decision to one integer op on the begin path.
+type Sampler struct {
+	every uint64
+}
+
+// NewSampler samples every N-th request; 0 disables sampling entirely.
+func NewSampler(every uint64) *Sampler {
+	if every == 0 {
+		return nil
+	}
+	return &Sampler{every: every}
+}
+
+// Sample reports whether reqID should carry a trace. Safe on a nil Sampler.
+func (s *Sampler) Sample(reqID uint64) bool {
+	return s != nil && reqID%s.every == 0
+}
+
+// tableSlowest is how many traces a window retains.
+const tableSlowest = 8
+
+// tableWindow is the retention window: the table resets when the first
+// entry is older than this, so "slowest" reflects recent behaviour, not the
+// warm-up outlier from minutes ago.
+const tableWindow = 10 * time.Second
+
+// TraceRecord is one completed trace retained by the table.
+type TraceRecord struct {
+	ReqID   uint64
+	Total   time.Duration
+	Dropped uint32
+	Events  []TraceEvent
+	When    time.Time
+}
+
+// TraceTable keeps the slowest-N completed traces of the current window.
+// Offer runs on the commit completion path but only for sampled
+// transactions, so the mutex and the Events copy are off the common case.
+type TraceTable struct {
+	mu    sync.Mutex
+	start time.Time
+	recs  []TraceRecord
+}
+
+// NewTraceTable returns an empty table.
+func NewTraceTable() *TraceTable { return &TraceTable{} }
+
+// Offer submits a completed trace; it is retained iff it ranks among the
+// window's slowest. Safe on a nil table or nil trace.
+func (tt *TraceTable) Offer(t *Trace) {
+	if tt == nil || t == nil {
+		return
+	}
+	rec := TraceRecord{ReqID: t.ReqID, Total: t.Total(), Dropped: t.Dropped(), Events: t.Events(), When: time.Now()}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if tt.start.IsZero() || time.Since(tt.start) > tableWindow {
+		tt.start = time.Now()
+		tt.recs = tt.recs[:0]
+	}
+	tt.recs = append(tt.recs, rec)
+	sort.Slice(tt.recs, func(i, j int) bool { return tt.recs[i].Total > tt.recs[j].Total })
+	if len(tt.recs) > tableSlowest {
+		tt.recs = tt.recs[:tableSlowest]
+	}
+}
+
+// Slowest returns the window's retained traces, slowest first.
+func (tt *TraceTable) Slowest() []TraceRecord {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return append([]TraceRecord(nil), tt.recs...)
+}
+
+// WriteText renders the table for /debug/trace and zeusctl.
+func (tt *TraceTable) WriteText(w io.Writer) error {
+	for _, r := range tt.Slowest() {
+		if _, err := fmt.Fprintf(w, "reqid=%d total=%s", r.ReqID, r.Total); err != nil {
+			return err
+		}
+		for _, e := range r.Events {
+			if _, err := fmt.Fprintf(w, " %s=+%s", e.Label, e.At); err != nil {
+				return err
+			}
+		}
+		if r.Dropped > 0 {
+			if _, err := fmt.Fprintf(w, " dropped=%d", r.Dropped); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Incident is one structured watchdog report: a condition that should not
+// persist (a commit slot past the age threshold, stored R-INV debt, a stuck
+// replay) captured in-flight with enough engine state to diagnose it.
+type Incident struct {
+	When   time.Time
+	Kind   string
+	Detail string
+}
+
+// incidentRing bounds the retained incident history.
+const incidentRing = 64
+
+// IncidentLog retains the last incidentRing incidents and a total count.
+// The zero value is ready.
+type IncidentLog struct {
+	mu    sync.Mutex
+	ring  []Incident
+	total atomic.Uint64
+
+	// Mirror, when set (wiring time, before any Report), additionally
+	// receives every incident — the hook CI uses to surface wedges on
+	// stderr the moment the watchdog sees them.
+	Mirror func(Incident)
+}
+
+// Report files an incident.
+func (l *IncidentLog) Report(kind, detail string) {
+	if l == nil {
+		return
+	}
+	inc := Incident{When: time.Now(), Kind: kind, Detail: detail}
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring = append(l.ring, inc)
+	if len(l.ring) > incidentRing {
+		l.ring = l.ring[len(l.ring)-incidentRing:]
+	}
+	mirror := l.Mirror
+	l.mu.Unlock()
+	if mirror != nil {
+		mirror(inc)
+	}
+}
+
+// Total returns how many incidents were ever reported.
+func (l *IncidentLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// Recent returns the retained incidents, oldest first.
+func (l *IncidentLog) Recent() []Incident {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Incident(nil), l.ring...)
+}
+
+// WriteText renders the log for /debug/incidents and zeusctl.
+func (l *IncidentLog) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "incidents_total %d\n", l.Total()); err != nil {
+		return err
+	}
+	for _, inc := range l.Recent() {
+		if _, err := fmt.Fprintf(w, "%s [%s] %s\n", inc.When.Format(time.RFC3339Nano), inc.Kind, inc.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package ownership
+
+import (
+	"fmt"
+	"strings"
+
+	"zeus/internal/obs"
+	"zeus/internal/wire"
+)
+
+// nackReasonCount sizes the per-reason NACK counter family (the reasons are
+// a compact enum ending at NackNotDriver).
+const nackReasonCount = int(wire.NackNotDriver) + 1
+
+// engineObs is the ownership engine's cached observability bundle (see
+// commit.engineObs): handles resolved once at wiring time, record sites pay
+// a nil check plus an atomic.
+type engineObs struct {
+	reg *obs.Registry
+
+	// acquireNS is the successful Acquire latency (REQ to final ACK across
+	// retries — the metric of the paper's Figure 12).
+	acquireNS *obs.Histogram
+	// nacks counts NACKs received by this requester, indexed by
+	// wire.NackReason — the breakdown that tells a pending-commit stall
+	// from directory contention.
+	nacks [nackReasonCount]*obs.Counter
+	// migrations counts successful acquisitions per directory shard: the
+	// per-shard heat signal load-aware placement (Lion, PAPERS.md) needs.
+	migrations []*obs.Counter
+}
+
+// SetObs wires the observability registry. Must be called before the engine
+// receives traffic (node wiring time). The per-reason and per-shard counter
+// families have computed names; they register here, once, never on the
+// record path.
+func (e *Engine) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	b := &engineObs{reg: r, acquireNS: r.Histogram("own_acquire_ns")}
+	for i := range b.nacks {
+		name := strings.ReplaceAll(wire.NackReason(i).String(), "-", "_")
+		//lint:allow obsrecord the per-reason NACK counter family is registered once at wiring time
+		b.nacks[i] = r.Counter(fmt.Sprintf("own_nack_%s_total", name))
+	}
+	b.migrations = make([]*obs.Counter, e.dir.Shards())
+	for s := range b.migrations {
+		//lint:allow obsrecord per-shard migration heat counters are registered once at wiring time
+		b.migrations[s] = r.Counter(fmt.Sprintf("own_migrations_shard%d_total", s))
+	}
+	r.CounterFunc("own_requests_total", e.stRequests.Load)
+	r.CounterFunc("own_succeeded_total", e.stSucceeded.Load)
+	r.CounterFunc("own_nacks_sent_total", e.stNacks.Load)
+	r.CounterFunc("own_timeouts_total", e.stTimeouts.Load)
+	r.CounterFunc("own_replays_total", e.stReplays.Load)
+	e.obs = b
+}
+
+// MigrationsByShard returns the per-shard successful-acquisition counts (nil
+// when observability is off) — the heat vector placement experiments read.
+func (e *Engine) MigrationsByShard() []uint64 {
+	if e.obs == nil {
+		return nil
+	}
+	out := make([]uint64, len(e.obs.migrations))
+	for i, c := range e.obs.migrations {
+		out[i] = c.Load()
+	}
+	return out
+}

@@ -172,6 +172,10 @@ type Engine struct {
 	// receiving replica's snapshot-read ring at the shipped CTS.
 	clock *safetime.Clock
 
+	// obs, when set (SetObs, wiring time), holds the cached metric handles
+	// the request path records into; nil keeps the seed path (one branch).
+	obs *engineObs
+
 	stRequests  atomic.Uint64
 	stSucceeded atomic.Uint64
 	stNacks     atomic.Uint64
@@ -468,11 +472,22 @@ func (e *Engine) run(obj wire.ObjectID, mode wire.ReqMode, target wire.Bitmap) e
 		case <-e.closed:
 			return ErrClosed
 		}
+		if ob := e.obs; ob != nil && !timedOut && !out.ok && int(out.reason) < nackReasonCount {
+			ob.nacks[out.reason].Inc()
+		}
 
 		ownerBusy := false
 		switch {
 		case !timedOut && out.ok:
 			e.stSucceeded.Add(1)
+			if ob := e.obs; ob != nil {
+				ob.acquireNS.RecordSince(start)
+				// Bounds-checked: a placement change can grow the
+				// shard count past the wiring-time family.
+				if s := e.dir.ShardOf(obj); s < len(ob.migrations) {
+					ob.migrations[s].Inc()
+				}
+			}
 			if e.cfg.OnLatency != nil {
 				e.cfg.OnLatency(time.Since(start))
 			}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"zeus/internal/obs"
 )
 
 // ErrClosed is returned by Log.Append after Close.
@@ -24,6 +27,33 @@ type Log struct {
 
 	closed   atomic.Bool
 	appended atomic.Int64 // records appended since the last mark
+
+	// obs, when set (SetObs, wiring time), holds the group-commit metric
+	// handles; nil keeps the seed flush path.
+	obs *logObs
+}
+
+// logObs caches the WAL metric handles (resolved once at wiring time).
+type logObs struct {
+	// appendNS is the driver Append latency per batch (the fsync for
+	// filestorage); batchRecs is the group-commit batch size — together
+	// they show how well concurrent appenders amortize the sync.
+	appendNS  *obs.Histogram
+	batchRecs *obs.Histogram
+}
+
+// SetObs wires the observability registry. Must be called before the log
+// sees traffic (node wiring time): drain reads l.obs unsynchronized.
+func (l *Log) SetObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	l.obs = &logObs{
+		appendNS:  r.Histogram("wal_append_ns"),
+		batchRecs: r.Histogram("wal_batch_records"),
+	}
+	// Gauge, not counter: the mark resets at every snapshot.
+	r.GaugeFunc("wal_records_since_mark", l.appended.Load)
 }
 
 type logBatch struct {
@@ -92,7 +122,14 @@ func (l *Log) drain() {
 		if b == nil {
 			return
 		}
-		b.err = l.s.Append(b.recs)
+		if ob := l.obs; ob != nil {
+			start := time.Now()
+			b.err = l.s.Append(b.recs)
+			ob.appendNS.RecordSince(start)
+			ob.batchRecs.Record(uint64(len(b.recs)))
+		} else {
+			b.err = l.s.Append(b.recs)
+		}
 		l.appended.Add(int64(len(b.recs)))
 		close(b.done)
 	}

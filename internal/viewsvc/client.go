@@ -45,6 +45,10 @@ type Client struct {
 	events chan wire.VSState
 	closed chan struct{}
 	once   sync.Once
+
+	// obs, when set (SetObs, wiring time), holds the cached metric
+	// handles; nil keeps the seed paths.
+	obs *clientObs
 }
 
 // NewClient attaches a client to the ensemble at ids over tr, seeded with
@@ -201,6 +205,9 @@ func (c *Client) Renew(node wire.NodeID) {
 		return // a recent flush covers us; the sweeper sends the rest
 	}
 	if c.renewFlushed.CompareAndSwap(last, now) {
+		if ob := c.obs; ob != nil && last != 0 && now > last {
+			ob.renewLagNS.Record(uint64(now - last))
+		}
 		c.flushRenewals()
 	}
 }
@@ -231,7 +238,11 @@ func (c *Client) renewLoop() {
 			return
 		case <-t.C:
 			if c.renewPending.Load() != 0 {
-				c.renewFlushed.Store(time.Now().UnixNano())
+				now := time.Now().UnixNano()
+				prev := c.renewFlushed.Swap(now)
+				if ob := c.obs; ob != nil && prev != 0 && now > prev {
+					ob.renewLagNS.Record(uint64(now - prev))
+				}
 				c.flushRenewals()
 			}
 		}
@@ -395,6 +406,26 @@ func (c *Client) pump() {
 		recovered := s.Barrier == 0 && (oldBarrier != 0 || (viewChanged && removed != 0))
 		onView, onRecovered, onState := c.onView, c.onRecovered, c.onState
 		c.mu.Unlock()
+		if ob := c.obs; ob != nil {
+			if viewChanged {
+				ob.epochChanges.Inc()
+				if removed != 0 {
+					ob.barrierStart = time.Now()
+				}
+			}
+			if recovered {
+				if ob.barrierStart.IsZero() {
+					// Recovery completed within one state push: the
+					// barrier was never observed open, but the owner-kill
+					// still recovered — record a zero-length barrier so
+					// every recovery leaves a sample.
+					ob.barrierNS.Record(0)
+				} else {
+					ob.barrierNS.RecordSince(ob.barrierStart)
+					ob.barrierStart = time.Time{}
+				}
+			}
+		}
 		// Callbacks first, install second: by the time WaitEpoch or
 		// RecoveryPending observe the new state, its consequences (engine
 		// pause/recovery/resume) have fully propagated.

@@ -675,6 +675,18 @@ func AppendMarshal(dst []byte, m Msg) []byte {
 		e.node(v.From)
 		e.epoch(v.Epoch)
 		e.u64(v.WM)
+	case *ObsPull:
+		e.node(v.From)
+		e.boolean(v.Full)
+	case *ObsState:
+		e.node(v.From)
+		e.epoch(v.Epoch)
+		e.u64(v.AppliedWM)
+		e.u64(v.SafeTime)
+		e.u64(v.Clock)
+		e.u64(v.Commits)
+		e.u64(v.Incidents)
+		e.bytes(v.Metrics)
 	default:
 		panic(fmt.Sprintf("wire: Marshal: unhandled message type %T", m))
 	}
@@ -796,6 +808,14 @@ func Unmarshal(p []byte) (Msg, error) {
 		m = &SyncState{From: d.node(), Entries: d.syncentries()}
 	case KindSafeTime:
 		m = &SafeTime{From: d.node(), Epoch: d.epoch(), WM: d.u64()}
+	case KindObsPull:
+		m = &ObsPull{From: d.node(), Full: d.boolean()}
+	case KindObsState:
+		m = &ObsState{
+			From: d.node(), Epoch: d.epoch(), AppliedWM: d.u64(),
+			SafeTime: d.u64(), Clock: d.u64(), Commits: d.u64(),
+			Incidents: d.u64(), Metrics: d.bytes(),
+		}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(k))
 	}

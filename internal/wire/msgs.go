@@ -64,6 +64,11 @@ const (
 	// snapshot reads.
 	KindSafeTime
 
+	// Observability pull: a tool (zeusctl metrics/status) asks a node for
+	// a point-in-time metrics and liveness snapshot.
+	KindObsPull
+	KindObsState
+
 	kindSentinel // keep last
 )
 
@@ -76,6 +81,7 @@ func (k Kind) String() string {
 		"b-backup-ack", "b-commit", "b-commit-ack", "b-abort",
 		"vs-propose", "vs-accept", "vs-commit", "vs-lease", "vs-query",
 		"dir-pull", "dir-state", "sync-pull", "sync-state", "safe-time",
+		"obs-pull", "obs-state",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -735,3 +741,35 @@ type SafeTime struct {
 }
 
 func (*SafeTime) Kind() Kind { return KindSafeTime }
+
+// ---------------------------------------------------------------------------
+// Observability pull (zeusctl metrics / status).
+// ---------------------------------------------------------------------------
+
+// ObsPull asks a node for an observability snapshot. Full additionally
+// requests the rendered metric text (zeusctl metrics); without it the reply
+// carries only the scalar status fields (zeusctl status), keeping the
+// periodic status poll cheap.
+type ObsPull struct {
+	From NodeID
+	Full bool
+}
+
+func (*ObsPull) Kind() Kind { return KindObsPull }
+
+// ObsState answers an ObsPull with the node's liveness scalars — current
+// epoch, applied watermark, safe-time and clock (snapshot-read staleness is
+// Clock - SafeTime), committed transaction count, watchdog incident count —
+// plus, when Full was requested, the full text-format metric dump.
+type ObsState struct {
+	From      NodeID
+	Epoch     Epoch
+	AppliedWM uint64
+	SafeTime  uint64
+	Clock     uint64
+	Commits   uint64
+	Incidents uint64
+	Metrics   []byte
+}
+
+func (*ObsState) Kind() Kind { return KindObsState }

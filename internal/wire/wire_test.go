@@ -208,6 +208,9 @@ func allMessages() []Msg {
 			{Obj: 43, Version: 0, TS: OTS{2, 0}, Replicas: ReplicaSet{Owner: NoNode}},
 		}},
 		&SafeTime{From: 2, Epoch: 5, WM: 987654321},
+		&ObsPull{From: 3, Full: true},
+		&ObsState{From: 1, Epoch: 4, AppliedWM: 10, SafeTime: 9, Clock: 11,
+			Commits: 5, Incidents: 1, Metrics: []byte("zeus_commits_total 5\n")},
 	}
 }
 

@@ -41,7 +41,7 @@ start_node() { # id view_host extra...
 log "founding 3-node cluster (each hosting one view replica)"
 start_node 0 0
 start_node 1 1
-start_node 2 2 -demo
+start_node 2 2 -demo -obs-addr 127.0.0.1:7202
 
 log "waiting for the ensemble to commit state"
 ok=
@@ -62,6 +62,18 @@ for _ in $(seq 1 50); do
 done
 [ -n "$ok" ] || fail "demo never finished"
 grep "demo:" "$WORK/node2.log" | tail -3
+
+log "scraping node 2's observability endpoint"
+curl -fsS "http://127.0.0.1:7202/metrics" >"$WORK/metrics.txt" || fail "metrics endpoint unreachable"
+committed=$(awk '$1 == "cmt_committed_total" {print $2}' "$WORK/metrics.txt")
+[ -n "$committed" ] && [ "$committed" -gt 0 ] \
+  || fail "cmt_committed_total missing or zero after the demo workload (got '${committed:-}')"
+log "node 2 scraped: cmt_committed_total=$committed"
+curl -fsS "http://127.0.0.1:7202/debug/incidents" >"$WORK/incidents.txt" || fail "incidents endpoint unreachable"
+grep -q "incidents_total 0" "$WORK/incidents.txt" \
+  || fail "healthy demo run reported incidents: $(cat "$WORK/incidents.txt")"
+log "fetching per-node watermarks via zeusctl metrics"
+"$BIN/zeusctl" -view "$VIEW" -timeout 5s -node 2 metrics | head -2
 
 log "SIGKILL node 1 (its view replica dies with it — quorum of 2 survives)"
 kill -9 "${PIDS[1]}"

@@ -34,6 +34,7 @@ import (
 	"zeus/internal/core"
 	"zeus/internal/dbapi"
 	"zeus/internal/netsim"
+	"zeus/internal/obs"
 	"zeus/internal/ownership"
 	"zeus/internal/transport"
 	"zeus/internal/wire"
@@ -105,6 +106,23 @@ type Options struct {
 	// SafeTimeInterval is the period of the safe-time watermark exchange
 	// (default 50µs). Only meaningful with SnapshotReads.
 	SafeTimeInterval time.Duration
+	// Observability gives every node an obs.Registry: per-node counters and
+	// latency histograms across the commit, ownership, storage and transport
+	// layers, sampled per-transaction traces, and the commit-engine debt
+	// watchdog. Reach a node's registry via Node.Obs. Off by default — every
+	// record site then stays behind its nil check, leaving the hot paths as
+	// the seed measured them.
+	Observability bool
+	// TraceSample samples every Nth write transaction with a per-phase
+	// trace (begin → inv → ack → val → applied); the slowest traces per
+	// window are kept in the registry's trace table. 0 disables. Requires
+	// Observability.
+	TraceSample uint64
+	// WatchdogAge arms the commit-engine debt watchdog: replication debt
+	// older than this threshold raises structured incidents in the
+	// registry's incident log. 0 defers to the ZEUS_WATCHDOG_AGE
+	// environment variable (unset = off).
+	WatchdogAge time.Duration
 }
 
 // Cluster is an in-process Zeus deployment.
@@ -135,6 +153,9 @@ func New(opts Options) *Cluster {
 	co.OnOwnershipLatency = opts.OnOwnershipLatency
 	co.SnapshotReads = opts.SnapshotReads
 	co.SafeTimeInterval = opts.SafeTimeInterval
+	co.Observability = opts.Observability
+	co.TraceSample = opts.TraceSample
+	co.WatchdogAge = opts.WatchdogAge
 	return &Cluster{c: cluster.New(co)}
 }
 
@@ -263,6 +284,11 @@ func (n *Node) AcquireOwnership(obj uint64) error {
 func (n *Node) WaitReplication(timeout time.Duration) bool {
 	return n.n.WaitReplication(timeout)
 }
+
+// Obs returns this node's observability registry — counters, histograms,
+// sampled traces and watchdog incidents (nil unless the deployment was built
+// with Options.Observability). See internal/obs for the registry API.
+func (n *Node) Obs() *obs.Registry { return n.n.Obs() }
 
 // Tx is one transaction. Exactly one of Commit or Abort must finish it.
 type Tx struct {
