@@ -1,14 +1,18 @@
 // Command zeus-bench regenerates the paper's evaluation artefacts (§8):
-// every table and figure, plus the ablation studies.
+// every table and figure, plus the ablation studies and the repo's own
+// regression experiments.
 //
 // Usage:
 //
 //	zeus-bench -experiment all
 //	zeus-bench -experiment fig8 -full
+//	zeus-bench -experiment slo -slo-out BENCH_SLO.json
+//	zeus-bench -compare -slo -slo-new /tmp/slo.json
 //	zeus-bench -list
 //
-// Experiments: tab2, locality, fig7 … fig15, ablation, all. The default
-// scale finishes in seconds; -full runs the larger populations.
+// Experiments: tab2, locality, fig7 … fig15, ablation, transport, scaling,
+// directory, readscale, slo, all. The default scale finishes in seconds;
+// -full runs the larger populations.
 package main
 
 import (
@@ -21,16 +25,26 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, directory, readscale, all)")
+	exp := flag.String("experiment", "all", "experiment id (tab2, locality, fig7..fig15, ablation, transport, scaling, directory, readscale, slo, all)")
 	full := flag.Bool("full", false, "run the full-scale configuration (slower)")
 	list := flag.Bool("list", false, "list available experiments")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON records and print the delta")
 	oldFile := flag.String("old", "BENCH_BASELINE.json", "baseline record for -compare")
 	newFile := flag.String("new", "BENCH_AFTER.json", "current record for -compare")
+	sloCmp := flag.Bool("slo", false, "with -compare: gate open-loop SLO records instead of go-bench records")
+	sloOld := flag.String("slo-old", "BENCH_SLO.json", "baseline SLO record for -compare -slo")
+	sloNew := flag.String("slo-new", "SLO_AFTER.json", "current SLO record for -compare -slo")
+	sloOut := flag.String("slo-out", "", "with -experiment slo: write the matrix percentiles to this JSON record")
 	flag.Parse()
 
 	if *compare {
-		if err := compareRecords(os.Stdout, *oldFile, *newFile); err != nil {
+		var err error
+		if *sloCmp {
+			err = compareSLORecords(os.Stdout, *sloOld, *sloNew)
+		} else {
+			err = compareRecords(os.Stdout, *oldFile, *newFile)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -50,17 +64,45 @@ func main() {
 
 	want := strings.ToLower(*exp)
 	ran := 0
+	failed := false
 	for _, e := range order {
 		if want != "all" && want != e.name {
 			continue
 		}
-		e.run(scale)
+		if e.name == "slo" {
+			r := experiments.SLOExp(scale)
+			r.Print(os.Stdout)
+			if *sloOut != "" {
+				label := "slo " + scaleName(*full)
+				if err := writeSLORecord(*sloOut, label, r); err != nil {
+					fmt.Fprintln(os.Stderr, "zeus-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *sloOut)
+			}
+			if !r.Pass() {
+				failed = true
+			}
+		} else {
+			e.run(scale)
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(2)
 	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "zeus-bench: SLO matrix failed (see rows marked FAIL)")
+		os.Exit(1)
+	}
+}
+
+func scaleName(full bool) string {
+	if full {
+		return "full"
+	}
+	return "quick"
 }
 
 type entry struct {
@@ -117,5 +159,10 @@ var order = []entry{
 	}},
 	{"readscale", "MVCC snapshot reads: RO throughput vs reader replicas (95/5 and 100/0)", func(s experiments.Scale) {
 		experiments.ReadScale(s).Print(os.Stdout)
+	}},
+	{"slo", "Open-loop SLO matrix: omission-safe latency over app workloads (netsim + TCP)", func(s experiments.Scale) {
+		// Handled specially in main so -slo-out and the pass/fail exit
+		// code apply; this entry exists for -list and ordering.
+		experiments.SLOExp(s).Print(os.Stdout)
 	}},
 }

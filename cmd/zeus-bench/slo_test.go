@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRec(t *testing.T, dir, name string, rec sloRecord) string {
+	t.Helper()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareSLORecords(t *testing.T) {
+	dir := t.TempDir()
+	base := sloRecord{
+		Label:        "base",
+		P99Tolerance: 2.0,
+		P99FloorNS:   25_000_000,
+		Rows: map[string]sloRecordRow{
+			"epcgw/netsim/n3/r1000/const":  {P99NS: 10_000_000, Pass: true},
+			"httplb/netsim/n3/r1000/const": {P99NS: 2_000_000, Pass: true},
+		},
+	}
+	oldPath := writeRec(t, dir, "old.json", base)
+
+	// Within tolerance (2.9× < 3×): passes.
+	ok := base
+	ok.Rows = map[string]sloRecordRow{
+		"epcgw/netsim/n3/r1000/const":  {P99NS: 29_000_000, Pass: true},
+		"httplb/netsim/n3/r1000/const": {P99NS: 1_500_000, Pass: true},
+	}
+	var buf bytes.Buffer
+	if err := compareSLORecords(&buf, oldPath, writeRec(t, dir, "ok.json", ok)); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v\n%s", err, buf.String())
+	}
+
+	// Beyond tolerance but under the absolute floor: sub-stall-scale noise
+	// (2ms → 20ms is 10×, still under 25ms) must not fire the gate.
+	noisy := base
+	noisy.Rows = map[string]sloRecordRow{
+		"epcgw/netsim/n3/r1000/const":  {P99NS: 10_000_000, Pass: true},
+		"httplb/netsim/n3/r1000/const": {P99NS: 20_000_000, Pass: true},
+	}
+	buf.Reset()
+	if err := compareSLORecords(&buf, oldPath, writeRec(t, dir, "noisy.json", noisy)); err != nil {
+		t.Fatalf("sub-floor swing gated as regression: %v\n%s", err, buf.String())
+	}
+
+	// Beyond tolerance (4× > 3×) and above the floor: the p99 gate fires.
+	bad := base
+	bad.Rows = map[string]sloRecordRow{
+		"epcgw/netsim/n3/r1000/const":  {P99NS: 40_000_000, Pass: true},
+		"httplb/netsim/n3/r1000/const": {P99NS: 2_000_000, Pass: true},
+	}
+	buf.Reset()
+	err := compareSLORecords(&buf, oldPath, writeRec(t, dir, "bad.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Fatalf("p99 regression not gated: err=%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("regression row not marked:\n%s", buf.String())
+	}
+
+	// A row that failed its own in-run SLO fails even with a fine p99.
+	inrun := base
+	inrun.Rows = map[string]sloRecordRow{
+		"epcgw/netsim/n3/r1000/const":  {P99NS: 10_000_000, Pass: false},
+		"httplb/netsim/n3/r1000/const": {P99NS: 2_000_000, Pass: true},
+	}
+	buf.Reset()
+	if err := compareSLORecords(&buf, oldPath, writeRec(t, dir, "inrun.json", inrun)); err == nil {
+		t.Fatalf("in-run SLO failure not gated:\n%s", buf.String())
+	}
+}

@@ -175,6 +175,16 @@ func (g *Gateway) State(worker, ue int) (uint64, error) {
 	return state, err
 }
 
+// Step processes the i-th operation of the Figure 13 mix for one subscriber:
+// even steps are service requests, odd steps releases. Open-loop drivers use
+// it so each scheduled arrival maps to exactly one signalling transaction.
+func (g *Gateway) Step(worker, ue, i int) error {
+	if i%2 == 0 {
+		return g.ServiceRequest(worker, ue)
+	}
+	return g.Release(worker, ue)
+}
+
 // Drive runs the Figure 13 mix (alternating service requests and releases)
 // for ops operations and returns the number completed.
 func (g *Gateway) Drive(worker, ops int, rng *rand.Rand) (int, error) {

@@ -179,6 +179,18 @@ func (a *Assoc) RecvSack(n int, payload int) error {
 	})
 }
 
+// PacketEvent processes one open-loop arrival: a DATA transmission when the
+// congestion window has room, otherwise the SACK that reopens it. Either way
+// it is exactly one write transaction over the association state — the
+// per-packet-event unit the paper replicates (§8.5).
+func (a *Assoc) PacketEvent(payload int) error {
+	ok, err := a.SendData(payload)
+	if err != nil || ok {
+		return err
+	}
+	return a.RecvSack(a.cfg.SackEvery, payload)
+}
+
 // TimerExpiry handles a retransmission timeout: multiplicative decrease,
 // RTO backoff, and one retransmission.
 func (a *Assoc) TimerExpiry() error {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"zeus/internal/dbapi"
+	"zeus/internal/obs"
 )
 
 // U64 encodes a counter value as an object payload.
@@ -104,6 +105,12 @@ type TimedRunner struct {
 	WorkersPerNode int
 	Duration       time.Duration
 	Seed           int64
+	// Latencies, when set, receives every committed op's service latency —
+	// the experiments report the same _p50/_p99/_p999 fields the load
+	// harness gates on instead of ad-hoc sorted-slice percentiles. (This is
+	// closed-loop timing: op start to op return. Open-loop intended-send
+	// measurement lives in internal/loadgen.)
+	Latencies *obs.Histogram
 }
 
 // RunTimed executes ops until the duration expires, sampling per-node
@@ -136,9 +143,13 @@ func (r TimedRunner) RunTimed(makeOp func(node int, db dbapi.DB) Op, interval ti
 						return
 					default:
 					}
+					t0 := time.Now()
 					if err := op(w, rng); err != nil {
 						failures.Add(1)
 						continue
+					}
+					if r.Latencies != nil {
+						r.Latencies.RecordSince(t0)
 					}
 					counters[node].Add(1)
 				}

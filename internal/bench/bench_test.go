@@ -7,6 +7,7 @@ import (
 
 	"zeus/internal/cluster"
 	"zeus/internal/dbapi"
+	"zeus/internal/obs"
 )
 
 func smallZeus(t *testing.T, nodes int) *cluster.Cluster {
@@ -234,7 +235,8 @@ func TestTimedRunnerSamples(t *testing.T) {
 	vt.Seed(ZeusSeeder(c))
 	// Duration ≫ interval: sleeps oversleep badly on loaded (-race,
 	// single-core) hosts, and a too-tight ratio yields a lone sample.
-	tr := TimedRunner{Name: "timed", DBs: ZeusDBs(c, nodes), WorkersPerNode: 2, Duration: 360 * time.Millisecond, Seed: 7}
+	lats := &obs.Histogram{}
+	tr := TimedRunner{Name: "timed", DBs: ZeusDBs(c, nodes), WorkersPerNode: 2, Duration: 360 * time.Millisecond, Seed: 7, Latencies: lats}
 	samples, total := tr.RunTimed(vt.MakeOp, 30*time.Millisecond)
 	if len(samples) < 2 {
 		t.Fatalf("only %d samples", len(samples))
@@ -250,6 +252,9 @@ func TestTimedRunnerSamples(t *testing.T) {
 	}
 	if sampled == 0 {
 		t.Fatal("samples all zero")
+	}
+	if snap := lats.Snapshot(); snap.Count != total.Ops {
+		t.Fatalf("latency histogram recorded %d samples for %d committed ops", snap.Count, total.Ops)
 	}
 }
 

@@ -36,6 +36,12 @@ const (
 	// FabricSim is the lossy simulated network under the reliable
 	// transport (protocol stress, fault injection).
 	FabricSim
+	// FabricTCP runs every endpoint over real loopback TCP sockets
+	// (transport.TCP with ":0" listeners and an in-process address book):
+	// in-process nodes, real syscalls — the load harness's "over TCP"
+	// configuration. Failure injection (Kill, Leave, KillViewReplica) is
+	// unsupported: TCP has no SetDown switch.
+	FabricTCP
 )
 
 // Options configures a cluster.
@@ -140,6 +146,14 @@ type Cluster struct {
 	// client's metrics — epoch changes, recovery-barrier durations, lease
 	// renew lag — which belong to the cluster, not to any one node.
 	viewObs *obs.Registry
+
+	// FabricTCP state: the address book maps every started endpoint to its
+	// ":0"-bound listen address, and tcpTrs tracks the live transports so a
+	// new endpoint's address propagates to all earlier ones (endpoints are
+	// created before they carry traffic, so propagation is race-free).
+	tcpMu   sync.Mutex
+	tcpBook map[wire.NodeID]string
+	tcpTrs  []*transport.TCP
 }
 
 // New builds and starts a cluster.
@@ -201,6 +215,8 @@ func New(opts Options) *Cluster {
 	switch opts.Fabric {
 	case FabricSim:
 		c.net = netsim.New(opts.Net)
+	case FabricTCP:
+		c.tcpBook = make(map[wire.NodeID]string)
 	default:
 		c.hub = transport.NewHub()
 	}
@@ -238,7 +254,30 @@ func (c *Cluster) endpoint(id wire.NodeID) transport.Transport {
 	if c.net != nil {
 		return transport.NewReliable(c.net.Endpoint(id), c.reliableCfg())
 	}
+	if c.tcpBook != nil {
+		return c.tcpEndpoint(id)
+	}
 	return c.hub.Node(id)
+}
+
+// tcpEndpoint starts a loopback TCP listener for id and threads its address
+// through the in-process book: the new transport gets every existing peer's
+// address, and every existing transport learns the new one — the same
+// propagation zeusd gets from the replicated address book, minus the wire.
+func (c *Cluster) tcpEndpoint(id wire.NodeID) transport.Transport {
+	c.tcpMu.Lock()
+	defer c.tcpMu.Unlock()
+	tr, err := transport.NewTCP(id, "127.0.0.1:0", c.tcpBook)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: tcp endpoint %d: %v", id, err))
+	}
+	addr := tr.Addr()
+	c.tcpBook[id] = addr
+	for _, peer := range c.tcpTrs {
+		peer.SetAddr(id, addr)
+	}
+	c.tcpTrs = append(c.tcpTrs, tr)
+	return tr
 }
 
 // reliableCfg derives the reliable-transport tuning from the fabric's
@@ -358,6 +397,21 @@ func (c *Cluster) ViewObs() *obs.Registry { return c.viewObs }
 // ViewService exposes the view-service ensemble (tests and tooling).
 func (c *Cluster) ViewService() *viewsvc.Ensemble { return c.views }
 
+// setDown toggles fabric reachability for id. It reports false on
+// FabricTCP, which has no down switch (real sockets cannot be severed
+// in-process without closing them for good).
+func (c *Cluster) setDown(id wire.NodeID, down bool) bool {
+	switch {
+	case c.net != nil:
+		c.net.SetDown(id, down)
+	case c.hub != nil:
+		c.hub.SetDown(id, down)
+	default:
+		return false
+	}
+	return true
+}
+
 // KillViewReplica crash-stops view-service replica k (0-based ensemble
 // index). The data plane must keep working as long as a replica quorum
 // survives; killing the leader triggers a ballot takeover.
@@ -365,10 +419,8 @@ func (c *Cluster) KillViewReplica(k int) error {
 	if k < 0 || k >= len(c.vsIDs) {
 		return fmt.Errorf("cluster: no view replica %d", k)
 	}
-	if c.net != nil {
-		c.net.SetDown(c.vsIDs[k], true)
-	} else {
-		c.hub.SetDown(c.vsIDs[k], true)
+	if !c.setDown(c.vsIDs[k], true) {
+		return fmt.Errorf("cluster: failure injection unsupported on the TCP fabric")
 	}
 	return nil
 }
@@ -405,10 +457,8 @@ func (c *Cluster) DirDrivers(obj wire.ObjectID) wire.Bitmap {
 // barrier to complete.
 func (c *Cluster) Kill(i int) error {
 	id := wire.NodeID(i)
-	if c.net != nil {
-		c.net.SetDown(id, true)
-	} else {
-		c.hub.SetDown(id, true)
+	if !c.setDown(id, true) {
+		return fmt.Errorf("cluster: failure injection unsupported on the TCP fabric")
 	}
 	before := c.mgr.View().Epoch
 	c.mgr.Fail(id)
@@ -460,10 +510,8 @@ func (c *Cluster) Restart(i int) (*core.Node, error) {
 	// The old instance died mid-flight; release its engines and its WAL
 	// without closing the shared fabric endpoint the new instance reuses.
 	old.Shutdown(false)
-	if c.net != nil {
-		c.net.SetDown(id, false)
-	} else {
-		c.hub.SetDown(id, false)
+	if !c.setDown(id, false) {
+		return nil, fmt.Errorf("cluster: restart unsupported on the TCP fabric")
 	}
 	// A fresh agent: the dead instance's callbacks must not see the
 	// rejoin's view changes.
@@ -508,11 +556,10 @@ func (c *Cluster) Leave(i int) error {
 	if !c.waitRecoveryDrained(5 * time.Second) {
 		return fmt.Errorf("cluster: recovery barrier after leave timed out")
 	}
-	if c.net != nil {
-		c.net.SetDown(id, true)
-	} else {
-		c.hub.SetDown(id, true)
-	}
+	// On the TCP fabric the departed node cannot be isolated in place; the
+	// membership leave already removed it from the view, which is all the
+	// harness workloads need.
+	c.setDown(id, true)
 	return nil
 }
 
@@ -531,6 +578,15 @@ func (c *Cluster) Close() {
 	c.views.Close()
 	if c.net != nil {
 		c.net.Close()
+	}
+	// FabricTCP: close any listeners still open (node/view shutdown closes
+	// its own endpoints; Close is idempotent, so double closes are safe).
+	c.tcpMu.Lock()
+	trs := c.tcpTrs
+	c.tcpTrs = nil
+	c.tcpMu.Unlock()
+	for _, tr := range trs {
+		tr.Close()
 	}
 }
 

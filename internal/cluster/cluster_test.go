@@ -214,3 +214,36 @@ func TestOwnershipLatencyHookWiring(t *testing.T) {
 		t.Fatal("latency hook never fired")
 	}
 }
+
+func TestTCPFabricCluster(t *testing.T) {
+	opts := DefaultOptions(3)
+	opts.Fabric = FabricTCP
+	c := New(opts)
+	defer c.Close()
+	c.SeedAt(25, 0, []byte("tcp"))
+	// A remote write commits over real loopback sockets.
+	if err := dbapi.Run(c.Node(1).DB(), 0, func(tx dbapi.Txn) error {
+		return tx.Set(25, []byte("tcp2"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if err := dbapi.RunRO(c.Node(2).DB(), 0, func(tx dbapi.Txn) error {
+		v, err := tx.Get(25)
+		got = append([]byte(nil), v...)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tcp2" {
+		t.Fatalf("read %q over TCP fabric, want %q", got, "tcp2")
+	}
+	// Failure injection is a simulator capability; real sockets refuse it
+	// rather than silently doing nothing.
+	if err := c.Kill(1); err == nil {
+		t.Fatal("Kill on the TCP fabric should report unsupported")
+	}
+	if _, err := c.Restart(1); err == nil {
+		t.Fatal("Restart on the TCP fabric should report unsupported")
+	}
+}

@@ -281,3 +281,26 @@ func TestTransportExperiment(t *testing.T) {
 	}
 	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "Transport")
 }
+
+func TestSLOExperiment(t *testing.T) {
+	r := SLOExp(tiny)
+	if len(r.Rows) != 11 {
+		t.Fatalf("matrix has %d rows, want 11", len(r.Rows))
+	}
+	if got, want := r.Rows[0].Key(), "epcgw/netsim/n3/r1000/const"; got != want {
+		t.Fatalf("row key %q, want %q (SLO records are keyed on this)", got, want)
+	}
+	for _, row := range r.Rows {
+		if row.Offered == 0 || row.Completed == 0 {
+			t.Fatalf("row %s issued nothing: offered=%d done=%d", row.Key(), row.Offered, row.Completed)
+		}
+		if uint64(row.Offered) != row.Completed+row.Errors {
+			t.Fatalf("row %s dropped slots: offered=%d done=%d err=%d — open loop must account for every arrival",
+				row.Key(), row.Offered, row.Completed, row.Errors)
+		}
+		if !row.Pass {
+			t.Errorf("row %s failed: %v (health: incidents=%d)", row.Key(), row.Violations, row.Health.Incidents)
+		}
+	}
+	renders(t, func(b *bytes.Buffer) { r.Print(b) }, "SLO", "PASS", "tcp", "poisson", "ack_p99")
+}

@@ -4,16 +4,47 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"zeus/internal/bench"
 	"zeus/internal/cluster"
 	"zeus/internal/dbapi"
+	"zeus/internal/obs"
 	"zeus/internal/wire"
 )
+
+// latQuantiles folds a latency histogram snapshot into the _p50/_p99/_p999
+// fields every experiment reports (the same quantile estimator the obs
+// registry renders and the load harness gates on).
+type latQuantiles struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+}
+
+func quantilesOf(s obs.HistSnapshot) latQuantiles {
+	q := latQuantiles{
+		Count: s.Count,
+		P50:   time.Duration(s.Quantile(0.50)),
+		P99:   time.Duration(s.Quantile(0.99)),
+		P999:  time.Duration(s.Quantile(0.999)),
+		Max:   time.Duration(s.Max()),
+	}
+	if s.Count > 0 {
+		q.Mean = time.Duration(s.Sum / s.Count)
+	}
+	return q
+}
+
+func (q latQuantiles) String() string {
+	return fmt.Sprintf("latency_p50=%v latency_p99=%v latency_p999=%v max=%v",
+		q.P50.Round(time.Microsecond), q.P99.Round(time.Microsecond),
+		q.P999.Round(time.Microsecond), q.Max.Round(time.Microsecond))
+}
 
 // Fig10Result is the Voter bulk-migration experiment (§8.4, Figure 10): a
 // voter population entirely on node 0, moved wholesale to node 1 and then to
@@ -25,6 +56,8 @@ type Fig10Result struct {
 	Moved      int
 	MoveRate   float64 // objects/second for a single mover worker
 	TotalVotes uint64
+	// Latency summarizes committed-vote service latency (obs histogram).
+	Latency latQuantiles
 }
 
 // voterExperiment is the shared machinery of Figures 10–12.
@@ -148,15 +181,18 @@ func Fig10(s Scale) Fig10Result {
 		moved = m1 + m2
 		rate = (r1 + r2) / 2
 	}()
+	lats := &obs.Histogram{}
 	tr := bench.TimedRunner{
 		Name: "fig10", DBs: bench.ZeusDBs(v.c, 3),
 		WorkersPerNode: s.Workers, Duration: s.Duration, Seed: 31,
+		Latencies: lats,
 	}
 	samples, total := tr.RunTimed(v.makeOp(s.Workers), s.Interval)
 	<-moverDone // migrations may outlast the load window
 	return Fig10Result{
 		Voters: v.voters, Interval: s.Interval, Samples: samples,
 		Moved: moved, MoveRate: rate, TotalVotes: total.Ops,
+		Latency: quantilesOf(lats.Snapshot()),
 	}
 }
 
@@ -171,6 +207,7 @@ func (r Fig10Result) Print(w io.Writer) {
 			time.Duration(i+1)*r.Interval, row[0], row[1], row[2])
 	}
 	fmt.Fprintf(w, "  total votes: %d\n", r.TotalVotes)
+	fmt.Fprintf(w, "  vote %s\n", r.Latency)
 }
 
 // Fig11Result is the concurrent-migration experiment (§8.4, Figure 11): a
@@ -183,6 +220,8 @@ type Fig11Result struct {
 	HotMoveRate      float64
 	BackgroundBefore float64 // background tps while migration idle
 	BackgroundDuring float64 // background tps while migrating
+	// Latency summarizes committed-vote service latency across both phases.
+	Latency latQuantiles
 }
 
 // Fig11 runs the hot-object migration concurrently with steady load.
@@ -225,9 +264,11 @@ func Fig11(s Scale) Fig11Result {
 	}()
 
 	var duringOps, duringNs, beforeOps, beforeNs atomic.Int64
+	lats := &obs.Histogram{}
 	tr := bench.TimedRunner{
 		Name: "fig11", DBs: bench.ZeusDBs(c, 3),
 		WorkersPerNode: s.Workers, Duration: s.Duration, Seed: 32,
+		Latencies: lats,
 	}
 	makeOp := func(node int, db dbapi.DB) bench.Op {
 		inner := vt.MakeOp(node, db)
@@ -263,6 +304,7 @@ func Fig11(s Scale) Fig11Result {
 		HotMoved: int(hotMoved.Load()), HotMoveRate: hotRate,
 		BackgroundBefore: tput(beforeOps.Load(), beforeNs.Load()),
 		BackgroundDuring: tput(duringOps.Load(), duringNs.Load()),
+		Latency:          quantilesOf(lats.Snapshot()),
 	}
 }
 
@@ -273,6 +315,7 @@ func (r Fig11Result) Print(w io.Writer) {
 		r.HotMoved, r.HotMoveRate)
 	fmt.Fprintf(w, "  background per-op throughput: before %.0f op/s, during migration %.0f op/s\n",
 		r.BackgroundBefore, r.BackgroundDuring)
+	fmt.Fprintf(w, "  vote %s\n", r.Latency)
 	fmt.Fprintf(w, "  per-%v committed votes per node:\n", r.Interval)
 	for i, row := range r.Samples {
 		fmt.Fprintf(w, "   t=%-6s node0=%-8d node1=%-8d node2=%-8d\n",
@@ -280,25 +323,19 @@ func (r Fig11Result) Print(w io.Writer) {
 	}
 }
 
-// Fig12Result is the ownership-latency CDF (§8.4, Figure 12).
+// Fig12Result is the ownership-latency CDF (§8.4, Figure 12), summarized
+// through the same log-linear obs histogram every latency artefact uses
+// (quantiles are bucket upper bounds, relative error ≤ 1/4).
 type Fig12Result struct {
-	Count int
-	Mean  time.Duration
-	P50   time.Duration
-	P99   time.Duration
-	P999  time.Duration
-	Max   time.Duration
+	latQuantiles
 }
 
 // Fig12 harvests ownership-request latencies during a bulk migration under
 // load (the paper's "moving 100K hot voters" case).
 func Fig12(s Scale) Fig12Result {
-	var mu sync.Mutex
-	var lats []time.Duration
+	ownLat := &obs.Histogram{}
 	v := newVoterExperiment(s, 3, func(d time.Duration) {
-		mu.Lock()
-		lats = append(lats, d)
-		mu.Unlock()
+		ownLat.Record(uint64(d))
 	})
 	defer v.c.Close()
 	go func() {
@@ -310,39 +347,13 @@ func Fig12(s Scale) Fig12Result {
 		WorkersPerNode: s.Workers, Duration: s.Duration, Seed: 33,
 	}
 	tr.RunTimed(v.makeOp(s.Workers), s.Interval)
-
-	mu.Lock()
-	defer mu.Unlock()
-	return latencyStats(lats)
-}
-
-func latencyStats(lats []time.Duration) Fig12Result {
-	if len(lats) == 0 {
-		return Fig12Result{}
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(lats)-1))
-		return lats[i]
-	}
-	var sum time.Duration
-	for _, l := range lats {
-		sum += l
-	}
-	return Fig12Result{
-		Count: len(lats),
-		Mean:  sum / time.Duration(len(lats)),
-		P50:   pct(0.50),
-		P99:   pct(0.99),
-		P999:  pct(0.999),
-		Max:   lats[len(lats)-1],
-	}
+	return Fig12Result{quantilesOf(ownLat.Snapshot())}
 }
 
 // Print renders the CDF summary.
 func (r Fig12Result) Print(w io.Writer) {
 	printHeader(w, "Figure 12: CDF of ownership request latency")
-	fmt.Fprintf(w, "  samples=%d mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
-		r.Count, r.Mean, r.P50, r.P99, r.P999, r.Max)
+	fmt.Fprintf(w, "  samples=%d mean=%v %s\n",
+		r.Count, r.Mean.Round(time.Microsecond), r.latQuantiles)
 	fmt.Fprintf(w, "  (paper: mean 17–29 µs, p99.9 36–83 µs on 40Gb DPDK hardware)\n")
 }

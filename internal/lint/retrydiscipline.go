@@ -34,6 +34,7 @@ var skipPkgPrefixes = []string{
 	"zeus/internal/netsim",      // simulator clock calibration
 	"zeus/internal/experiments", // measurement pacing
 	"zeus/internal/bench",       // workload pacing
+	"zeus/internal/loadgen",     // open-loop arrival pacing (wall-clock schedule)
 	"zeus/internal/apps",        // application simulators
 	"zeus/cmd",                  // operator binaries
 	"zeus/examples",

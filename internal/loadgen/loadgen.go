@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zeus/internal/obs"
+)
+
+// Op executes one simulated client's request. worker is the zeus pipeline
+// the driver binds it to, client identifies the simulated client (stable for
+// a given schedule slot, drawn from Config.Clients), and rng is the worker's
+// private source.
+type Op func(worker, client int, rng *rand.Rand) error
+
+// Config shapes one open-loop run.
+type Config struct {
+	// Name labels the result.
+	Name string
+	// Rate is the aggregate target arrival rate (requests/second) across
+	// all drivers.
+	Rate float64
+	// Arrival is the arrival process (default ConstantRate).
+	Arrival Arrival
+	// Duration is the schedule horizon: arrivals land in [0, Duration).
+	// The run itself lasts until the last request completes.
+	Duration time.Duration
+	// Clients is the simulated client population; each schedule slot is
+	// assigned a client by hashing its index into this space (default 1e6 —
+	// the paper's "millions of users" framing at simulation scale).
+	Clients int
+	// Drivers partitions the schedule into independent driver groups, each
+	// with its own executor pool — the multi-core runner mode. Defaults to
+	// max(GOMAXPROCS, 1); experiments typically round it up to a multiple
+	// of the node count so every node is driven.
+	Drivers int
+	// WorkersPerDriver bounds each driver's in-flight requests (default 4).
+	// When all workers are busy, further arrivals queue — and their queueing
+	// delay is charged to them, because their clocks started at their
+	// scheduled offsets.
+	WorkersPerDriver int
+	// Seed makes schedules and client choices reproducible.
+	Seed int64
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Name      string
+	Rate      float64
+	Arrival   string
+	Offered   int    // scheduled arrivals
+	Completed uint64 // requests that returned nil
+	Errors    uint64 // requests that returned an error (after dbapi retries)
+	Elapsed   time.Duration
+	Drivers   int
+	Workers   int // per driver
+
+	// Latency is the coordinated-omission-safe histogram: every request
+	// recorded from its intended send time, errors included (an errored
+	// request still occupied its slot).
+	Latency obs.HistSnapshot
+	// Service is the same population recorded from the *actual* send time —
+	// the measurement a closed-loop harness would report. It exists for the
+	// omission-safety regression test and the run summary's "how much tail
+	// was queueing" decomposition; never gate on it.
+	Service obs.HistSnapshot
+}
+
+// Throughput returns completed requests per second of elapsed run time.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// startLead is how far in the future the schedule origin is placed, so the
+// first arrivals are not already late before the workers have spun up.
+const startLead = 2 * time.Millisecond
+
+// Run executes the schedule. makeOp is called once per driver (drivers bound
+// to different nodes return ops against different DBs); the returned op runs
+// on the driver's workers.
+//
+// Workers claim schedule slots in order within their driver: a worker takes
+// the next slot, sleeps until its intended time if early, executes, and
+// records time-since-intended. If the system is saturated or stalled, slots
+// are claimed late and the backlog delay lands in the histogram — never
+// dropped. The schedule is interleaved round-robin across drivers so each
+// driver sees the full run duration at rate/Drivers.
+func Run(cfg Config, makeOp func(driver int) Op) Result {
+	if cfg.Arrival == nil {
+		cfg.Arrival = ConstantRate{}
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1_000_000
+	}
+	if cfg.Drivers <= 0 {
+		cfg.Drivers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.WorkersPerDriver <= 0 {
+		cfg.WorkersPerDriver = 4
+	}
+	sched := cfg.Arrival.Schedule(cfg.Rate, cfg.Duration, cfg.Seed)
+	lat := &obs.Histogram{}
+	svc := &obs.Histogram{}
+	var completed, errors atomic.Uint64
+
+	start := time.Now().Add(startLead)
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.Drivers; d++ {
+		op := makeOp(d)
+		// next claims indices into this driver's arithmetic sub-schedule
+		// (global slot = k*Drivers + d): claiming is a single atomic, and
+		// slots within a driver are still issued in intended-time order.
+		next := &atomic.Int64{}
+		for w := 0; w < cfg.WorkersPerDriver; w++ {
+			wg.Add(1)
+			go func(d, w int, op Op, next *atomic.Int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(d)*1_000_003 + int64(w)))
+				for {
+					slot := int(next.Add(1)-1)*cfg.Drivers + d
+					if slot >= len(sched) {
+						return
+					}
+					intended := start.Add(sched[slot])
+					if wait := time.Until(intended); wait > 0 {
+						time.Sleep(wait)
+					}
+					sent := time.Now()
+					if err := op(w, clientOf(slot, cfg.Clients), rng); err != nil {
+						errors.Add(1)
+					} else {
+						completed.Add(1)
+					}
+					// Open-loop: charge everything since the scheduled
+					// offset, including the time this slot waited for a
+					// free worker. Service keeps the closed-loop view for
+					// the queueing decomposition.
+					lat.RecordSince(intended)
+					svc.RecordSince(sent)
+				}
+			}(d, w, op, next)
+		}
+	}
+	wg.Wait()
+	return Result{
+		Name:      cfg.Name,
+		Rate:      cfg.Rate,
+		Arrival:   cfg.Arrival.Name(),
+		Offered:   len(sched),
+		Completed: completed.Load(),
+		Errors:    errors.Load(),
+		Elapsed:   time.Since(start),
+		Drivers:   cfg.Drivers,
+		Workers:   cfg.WorkersPerDriver,
+		Latency:   lat.Snapshot(),
+		Service:   svc.Snapshot(),
+	}
+}
+
+// clientOf hashes a schedule slot to a stable simulated-client identity.
+func clientOf(slot, clients int) int {
+	h := uint64(slot) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(clients))
+}

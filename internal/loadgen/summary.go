@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"zeus/internal/obs"
+)
+
+// SLO is a latency objective over the omission-safe histogram. Zero fields
+// are ungated.
+type SLO struct {
+	P50, P99, P999 time.Duration
+	// MaxErrorRate bounds Errors/Offered; 0 means any error violates.
+	MaxErrorRate float64
+}
+
+// Check returns the violated objectives, empty when the result meets the SLO.
+func (s SLO) Check(r Result) []string {
+	var v []string
+	gate := func(name string, want time.Duration, q float64) {
+		if want <= 0 {
+			return
+		}
+		got := time.Duration(r.Latency.Quantile(q))
+		if got > want {
+			v = append(v, fmt.Sprintf("%s %v > %v", name, got, want))
+		}
+	}
+	gate("p50", s.P50, 0.50)
+	gate("p99", s.P99, 0.99)
+	gate("p999", s.P999, 0.999)
+	if r.Offered > 0 {
+		rate := float64(r.Errors) / float64(r.Offered)
+		if rate > s.MaxErrorRate {
+			v = append(v, fmt.Sprintf("error rate %.3f > %.3f (%d/%d)", rate, s.MaxErrorRate, r.Errors, r.Offered))
+		}
+	}
+	return v
+}
+
+// Health is the obs-registry cross-check attached to every run summary: the
+// same zero-incident assertion the multiproc smoke makes by scraping
+// /metrics, made in-process, plus the reliability errata (retransmits, NACK
+// reasons) that turn an SLO miss into a diagnosis.
+type Health struct {
+	Incidents   uint64
+	IncidentLog []obs.Incident
+	Retransmits uint64
+	// Nacks holds every non-zero own_nack_<reason>_total across the
+	// collected registries.
+	Nacks map[string]uint64
+}
+
+// Healthy reports whether the run was incident-free.
+func (h Health) Healthy() bool { return h.Incidents == 0 }
+
+// CollectHealth folds per-node (and cluster-level) registries into one
+// health report; nil registries are skipped.
+func CollectHealth(regs ...*obs.Registry) Health {
+	h := Health{Nacks: make(map[string]uint64)}
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		h.Incidents += r.Incidents.Total()
+		h.IncidentLog = append(h.IncidentLog, r.Incidents.Recent()...)
+		for name, v := range r.Counters() {
+			switch {
+			case name == "tr_retransmits_total":
+				h.Retransmits += v
+			case v > 0 && strings.HasPrefix(name, "own_nack_") && strings.HasSuffix(name, "_total"):
+				h.Nacks[name] += v
+			}
+		}
+	}
+	return h
+}
+
+// WriteText renders the health report; failed runs print the incident list
+// so the diagnosis travels with the SLO miss.
+func (h Health) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "  health: incidents=%d retransmits=%d", h.Incidents, h.Retransmits)
+	if len(h.Nacks) > 0 {
+		names := make([]string, 0, len(h.Nacks))
+		for n := range h.Nacks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%d", n, h.Nacks[n])
+		}
+	}
+	fmt.Fprintln(w)
+	for _, inc := range h.IncidentLog {
+		fmt.Fprintf(w, "  INCIDENT %s [%s] %s\n", inc.When.Format(time.RFC3339), inc.Kind, inc.Detail)
+	}
+}
+
+// phaseHists are the per-phase commit histograms PR 9's tracer records
+// (begin → inv → ack → val → applied): cmt_ack_ns is begin→quorum-ack,
+// cmt_applied_ns is begin→locally-applied. A p999 excursion in the harness
+// histogram decomposes against these — a fat cmt_ack_ns tail means the
+// pipeline (replication round), a thin one means queueing above the engine.
+var phaseHists = []string{"cmt_ack_ns", "cmt_applied_ns"}
+
+// Phases merges each commit-phase histogram across the given registries.
+func Phases(regs ...*obs.Registry) map[string]obs.HistSnapshot {
+	out := make(map[string]obs.HistSnapshot, len(phaseHists))
+	for _, name := range phaseHists {
+		var merged obs.HistSnapshot
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if s, ok := r.HistogramSnapshot(name); ok {
+				merged.Merge(&s)
+			}
+		}
+		out[name] = merged
+	}
+	return out
+}
+
+// SlowTraces returns the slowest sampled transaction traces across the
+// registries, slowest first — the per-request view behind a phase histogram
+// excursion.
+func SlowTraces(limit int, regs ...*obs.Registry) []obs.TraceRecord {
+	var all []obs.TraceRecord
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		all = append(all, r.Traces.Slowest()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Total > all[j].Total })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}

@@ -155,6 +155,18 @@ func (s *HistSnapshot) Merge(o *HistSnapshot) {
 	s.Sum += o.Sum
 }
 
+// Max returns the upper bound of the highest non-empty bucket (0 for an
+// empty histogram) — the histogram's max-sample estimate, within the
+// bucketing's ≤1/4 relative error.
+func (s *HistSnapshot) Max() uint64 {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			return BucketUpper(i)
+		}
+	}
+	return 0
+}
+
 // Quantile returns the value at quantile q in [0, 1] (bucket upper bound; 0
 // for an empty histogram).
 func (s *HistSnapshot) Quantile(q float64) uint64 {
@@ -279,6 +291,28 @@ func (r *Registry) CounterValue(name string) (uint64, bool) {
 		return fn(), true
 	}
 	return 0, false
+}
+
+// Counters returns a name→value snapshot of every counter, direct and
+// func-registered (render-time accessor: the load harness folds per-node
+// registries into its run summary — retransmits, NACK reasons — without
+// naming each counter up front).
+func (r *Registry) Counters() map[string]uint64 {
+	r.mu.Lock()
+	out := make(map[string]uint64, len(r.counters)+len(r.cfuncs))
+	fns := make(map[string]func() uint64, len(r.cfuncs))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, fn := range r.cfuncs {
+		fns[name] = fn
+	}
+	r.mu.Unlock()
+	// Pull-scraped counters read their sources outside the registry lock.
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
 }
 
 // HistogramSnapshot returns a snapshot of the named histogram and whether it
